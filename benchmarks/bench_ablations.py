@@ -1,0 +1,95 @@
+"""Design ablations (DESIGN.md §5).
+
+* ``ablation-schedule``: schedule construction cost, greedy vs exact
+  (the exact solver is exponential — run on a 5-snapshot prefix) and the
+  resulting schedule costs as ``extra_info``.
+* ``ablation-representation``: Δ-CSR overlay vs rebuilding each
+  snapshot's full CSR for the same Direct-Hop evaluation.
+* ``ablation-scheduler``: sync vs async vs auto engine modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.bench.experiments import _truncated
+from repro.core.common import CommonGraphDecomposition
+from repro.core.direct_hop import DirectHopEvaluator
+from repro.core.steiner import exact_steiner, greedy_steiner
+from repro.core.triangular_grid import TriangularGrid
+from repro.graph.csr import CSRGraph
+from repro.kickstarter.engine import incremental_additions, static_compute
+
+from conftest import WF
+
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def small_grid(workload):
+    evolving = _truncated(workload.evolving, 5)
+    return TriangularGrid(CommonGraphDecomposition.from_evolving(evolving))
+
+
+@pytest.mark.benchmark(group="ablation-schedule")
+def test_greedy_steiner(benchmark, small_grid):
+    tree = benchmark.pedantic(
+        lambda: greedy_steiner(small_grid), rounds=ROUNDS, iterations=1
+    )
+    benchmark.extra_info["cost_additions"] = tree.cost(small_grid)
+
+
+@pytest.mark.benchmark(group="ablation-schedule")
+def test_exact_steiner(benchmark, small_grid):
+    tree = benchmark.pedantic(
+        lambda: exact_steiner(small_grid), rounds=ROUNDS, iterations=1
+    )
+    benchmark.extra_info["cost_additions"] = tree.cost(small_grid)
+
+
+@pytest.mark.benchmark(group="ablation-representation")
+def test_overlay_representation(benchmark, workload, decomposition):
+    alg = get_algorithm("SSSP")
+
+    def run():
+        DirectHopEvaluator(
+            decomposition, alg, workload.source, weight_fn=WF
+        ).run(keep_values=False)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="ablation-representation")
+def test_rebuild_representation(benchmark, workload, decomposition):
+    """Same schedule, but every snapshot's CSR is materialised in full."""
+    alg = get_algorithm("SSSP")
+
+    def run():
+        base_csr = decomposition.common_csr(WF)
+        base_state = static_compute(base_csr, alg, workload.source)
+        for index in range(decomposition.num_snapshots):
+            full = CSRGraph.from_edge_set(
+                decomposition.snapshot_edges(index),
+                decomposition.num_vertices,
+                weight_fn=WF,
+            )
+            state = base_state.copy()
+            batch = decomposition.direct_hop_batch(index)
+            src, dst = batch.arrays()
+            incremental_additions(full, alg, state, src, dst, WF(src, dst))
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.parametrize("mode", ["sync", "async", "auto"])
+def test_engine_modes(benchmark, workload, decomposition, mode):
+    benchmark.group = "ablation-scheduler"
+    alg = get_algorithm("SSSP")
+
+    def run():
+        DirectHopEvaluator(
+            decomposition, alg, workload.source, weight_fn=WF, mode=mode
+        ).run(keep_values=False)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)

@@ -1,0 +1,110 @@
+"""Figure 1 — the cost asymmetry between deletions and additions.
+
+Top panel (group ``figure1-incremental``): incremental computation cost
+of a deletion batch vs an equal-sized addition batch.  Bottom panel
+(group ``figure1-mutation``): graph-mutation cost of the same two
+batches.  The paper measures deletions ≈ 3x additions for incremental
+computation and several-x for mutation.
+
+Graph construction and initial convergence happen in per-round setup,
+so only the operation under study is timed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.evolving.generator import UpdateStreamGenerator
+from repro.graph.mutable import MutableGraph
+from repro.kickstarter.deletion import trim_and_repair
+from repro.kickstarter.engine import incremental_additions, static_compute
+
+from conftest import WF
+
+BATCH = 120
+ALGORITHM = "SSSP"
+ROUNDS = 5
+
+
+@pytest.fixture(scope="module")
+def setup_data(workload):
+    base = workload.evolving.snapshot_edges(0)
+    n = workload.num_vertices
+    additions = UpdateStreamGenerator(
+        n, base, BATCH, add_fraction=1.0, seed=1, protect_vertex=workload.source
+    ).next_batch().additions
+    deletions = UpdateStreamGenerator(
+        n, base, BATCH, add_fraction=0.0, seed=1, protect_vertex=workload.source
+    ).next_batch().deletions
+    return workload, base, additions, deletions
+
+
+def _fresh(workload, base, alg=None):
+    graph = MutableGraph.from_edge_set(base, workload.num_vertices, weight_fn=WF)
+    state = None
+    if alg is not None:
+        state = static_compute(graph, alg, workload.source, track_parents=True)
+    return graph, state
+
+
+@pytest.mark.benchmark(group="figure1-incremental")
+def test_incremental_additions(benchmark, setup_data):
+    workload, base, additions, _ = setup_data
+    alg = get_algorithm(ALGORITHM)
+    src, dst = additions.arrays()
+    weights = WF(src, dst)
+
+    def setup():
+        graph, state = _fresh(workload, base, alg)
+        graph.add_batch(additions)
+        return (graph, state), {}
+
+    def run(graph, state):
+        incremental_additions(graph, alg, state, src, dst, weights)
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="figure1-incremental")
+def test_incremental_deletions(benchmark, setup_data):
+    workload, base, _, deletions = setup_data
+    alg = get_algorithm(ALGORITHM)
+
+    def setup():
+        graph, state = _fresh(workload, base, alg)
+        graph.delete_batch(deletions)
+        return (graph, state), {}
+
+    def run(graph, state):
+        trim_and_repair(graph, alg, state, deletions)
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="figure1-mutation")
+def test_mutation_additions(benchmark, setup_data):
+    workload, base, additions, _ = setup_data
+
+    def setup():
+        graph, _ = _fresh(workload, base)
+        return (graph,), {}
+
+    def run(graph):
+        graph.add_batch(additions)
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="figure1-mutation")
+def test_mutation_deletions(benchmark, setup_data):
+    workload, base, _, deletions = setup_data
+
+    def setup():
+        graph, _ = _fresh(workload, base)
+        return (graph,), {}
+
+    def run(graph):
+        graph.delete_batch(deletions)
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)

@@ -1,0 +1,57 @@
+"""Figure 10 — sensitivity to the addition:deletion ratio.
+
+KickStarter vs Direct-Hop under addition-heavy (75% adds) and
+deletion-heavy (25% adds) update streams.  The paper's claim: the more
+deletions the stream carries, the larger Direct-Hop's advantage,
+because deletions are exactly the work the CommonGraph eliminates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.bench.workloads import build_workload
+from repro.core.common import CommonGraphDecomposition
+from repro.core.direct_hop import DirectHopEvaluator
+from repro.kickstarter.streaming import StreamingSession
+
+from conftest import BENCH_SPEC, WF
+
+ALGORITHM = "SSSP"
+ROUNDS = 3
+RATIOS = (0.75, 0.5, 0.25)  # fraction of each batch that is additions
+
+
+@pytest.fixture(scope="module", params=RATIOS, ids=lambda r: f"adds{int(r*100)}pct")
+def ratio_workload(request):
+    workload = build_workload(
+        BENCH_SPEC.scaled(add_fraction=request.param), weight_fn=WF
+    )
+    decomp = CommonGraphDecomposition.from_evolving(workload.evolving)
+    return request.param, workload, decomp
+
+
+def test_kickstarter(benchmark, ratio_workload):
+    fraction, workload, _ = ratio_workload
+    benchmark.group = f"figure10-adds{int(fraction * 100)}pct"
+
+    def run():
+        StreamingSession(
+            workload.evolving, get_algorithm(ALGORITHM), workload.source,
+            weight_fn=WF, keep_values=False,
+        ).run()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+def test_direct_hop(benchmark, ratio_workload):
+    fraction, workload, decomp = ratio_workload
+    benchmark.group = f"figure10-adds{int(fraction * 100)}pct"
+
+    def run():
+        DirectHopEvaluator(
+            decomp, get_algorithm(ALGORITHM), workload.source, weight_fn=WF
+        ).run(keep_values=False)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)

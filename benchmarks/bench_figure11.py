@@ -1,0 +1,62 @@
+"""Figure 11 — execution-time breakdown.
+
+Benchmarks record the full runs and attach the per-phase breakdown
+(incremental add/del, mutation add/del, initial compute) as
+``extra_info``, mirroring the stacked bars of the figure: KickStarter
+pays all four streaming components, CommonGraph only incremental
+additions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.engine import WorkSharingEvaluator
+from repro.kickstarter.streaming import StreamingSession
+
+from conftest import WF
+
+ALGORITHM = "SSSP"
+ROUNDS = 3
+PHASES = (
+    "incremental_add", "incremental_del", "mutation_add",
+    "mutation_del", "initial_compute",
+)
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_kickstarter_breakdown(benchmark, workload):
+    timers = {}
+
+    def run():
+        result = StreamingSession(
+            workload.evolving, get_algorithm(ALGORITHM), workload.source,
+            weight_fn=WF, keep_values=False,
+        ).run()
+        timers.update(result.timer.as_dict())
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    for phase in PHASES:
+        benchmark.extra_info[phase] = round(timers.get(phase, 0.0), 5)
+    assert timers["mutation_del"] > 0
+    assert timers["incremental_del"] > 0
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_commongraph_breakdown(benchmark, workload, decomposition):
+    timers = {}
+
+    def run():
+        result = WorkSharingEvaluator(
+            decomposition, get_algorithm(ALGORITHM), workload.source, weight_fn=WF
+        ).run(keep_values=False)
+        timers.update(result.timer.as_dict())
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    for phase in PHASES:
+        benchmark.extra_info[phase] = round(timers.get(phase, 0.0), 5)
+    # CommonGraph has no mutation or deletion phases at all.
+    assert "mutation_add" not in timers
+    assert "mutation_del" not in timers
+    assert "incremental_del" not in timers

@@ -1,0 +1,69 @@
+"""Figure 8 — scalability in the number of snapshots.
+
+Each strategy is benchmarked at two window sizes (10 vs 20 snapshots of
+the same update stream).  The paper's claims: all three strategies grow
+linearly in the snapshot count, and work-sharing overtakes direct-hop
+as the window widens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.bench.experiments import _truncated
+from repro.core.common import CommonGraphDecomposition
+from repro.core.direct_hop import DirectHopEvaluator
+from repro.core.engine import WorkSharingEvaluator
+from repro.kickstarter.streaming import StreamingSession
+
+from conftest import WF
+
+ALGORITHM = "SSSP"
+ROUNDS = 3
+WINDOWS = (10, 20)
+
+
+@pytest.fixture(scope="module", params=WINDOWS)
+def window(request, workload_large):
+    count = request.param
+    evolving = _truncated(workload_large.evolving, count)
+    decomp = CommonGraphDecomposition.from_evolving(evolving)
+    return count, evolving, decomp, workload_large.source
+
+
+def test_kickstarter(benchmark, window):
+    count, evolving, _, source = window
+    benchmark.group = f"figure8-{count}snapshots"
+
+    def run():
+        StreamingSession(
+            evolving, get_algorithm(ALGORITHM), source,
+            weight_fn=WF, keep_values=False,
+        ).run()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+def test_direct_hop(benchmark, window):
+    count, _, decomp, source = window
+    benchmark.group = f"figure8-{count}snapshots"
+
+    def run():
+        DirectHopEvaluator(
+            decomp, get_algorithm(ALGORITHM), source, weight_fn=WF
+        ).run(keep_values=False)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+def test_work_sharing(benchmark, window):
+    count, _, decomp, source = window
+    benchmark.group = f"figure8-{count}snapshots"
+
+    def run():
+        WorkSharingEvaluator(
+            decomp, get_algorithm(ALGORITHM), source, weight_fn=WF
+        ).run(keep_values=False)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)

@@ -1,0 +1,71 @@
+"""Figure 9 — fixed total updates, batch size traded against snapshots.
+
+Two workloads carry the same total number of updates: many small
+batches (more snapshots) vs few large batches.  The paper's claim:
+direct-hop is favoured by large batches, work-sharing by small ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.bench.workloads import build_workload
+from repro.core.common import CommonGraphDecomposition
+from repro.core.direct_hop import DirectHopEvaluator
+from repro.core.engine import WorkSharingEvaluator
+from repro.kickstarter.streaming import StreamingSession
+
+from conftest import BENCH_SPEC, WF
+
+ALGORITHM = "SSSP"
+ROUNDS = 3
+# (batch_size, snapshots): both carry 720 total updates.
+SWEEP = ((45, 17), (180, 5))
+
+
+@pytest.fixture(scope="module", params=SWEEP, ids=lambda p: f"batch{p[0]}x{p[1]}")
+def tradeoff(request):
+    batch, count = request.param
+    workload = build_workload(
+        BENCH_SPEC.scaled(batch_size=batch, num_snapshots=count), weight_fn=WF
+    )
+    decomp = CommonGraphDecomposition.from_evolving(workload.evolving)
+    return batch, count, workload, decomp
+
+
+def test_kickstarter(benchmark, tradeoff):
+    batch, count, workload, _ = tradeoff
+    benchmark.group = f"figure9-batch{batch}x{count}"
+
+    def run():
+        StreamingSession(
+            workload.evolving, get_algorithm(ALGORITHM), workload.source,
+            weight_fn=WF, keep_values=False,
+        ).run()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+def test_direct_hop(benchmark, tradeoff):
+    batch, count, workload, decomp = tradeoff
+    benchmark.group = f"figure9-batch{batch}x{count}"
+
+    def run():
+        DirectHopEvaluator(
+            decomp, get_algorithm(ALGORITHM), workload.source, weight_fn=WF
+        ).run(keep_values=False)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+def test_work_sharing(benchmark, tradeoff):
+    batch, count, workload, decomp = tradeoff
+    benchmark.group = f"figure9-batch{batch}x{count}"
+
+    def run():
+        WorkSharingEvaluator(
+            decomp, get_algorithm(ALGORITHM), workload.source, weight_fn=WF
+        ).run(keep_values=False)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)

@@ -1,0 +1,59 @@
+"""Table 4 — the headline comparison.
+
+One benchmark per (strategy, algorithm): KickStarter streaming vs
+Direct-Hop vs Work-Sharing over the full snapshot window.  The paper's
+speedups (Direct-Hop 1.02x–7.91x, Work-Sharing 1.38x–8.17x over
+KickStarter) correspond to the ratios between the ``table4-<alg>``
+group members here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.direct_hop import DirectHopEvaluator
+from repro.core.engine import WorkSharingEvaluator
+from repro.kickstarter.streaming import StreamingSession
+
+from conftest import WF
+
+ALGORITHMS = ("BFS", "SSSP", "SSWP")
+ROUNDS = 3
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_kickstarter(benchmark, workload, algorithm):
+    benchmark.group = f"table4-{algorithm}"
+
+    def run():
+        StreamingSession(
+            workload.evolving, get_algorithm(algorithm), workload.source,
+            weight_fn=WF, keep_values=False,
+        ).run()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_direct_hop(benchmark, workload, decomposition, algorithm):
+    benchmark.group = f"table4-{algorithm}"
+
+    def run():
+        DirectHopEvaluator(
+            decomposition, get_algorithm(algorithm), workload.source, weight_fn=WF
+        ).run(keep_values=False)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_work_sharing(benchmark, workload, decomposition, algorithm):
+    benchmark.group = f"table4-{algorithm}"
+
+    def run():
+        WorkSharingEvaluator(
+            decomposition, get_algorithm(algorithm), workload.source, weight_fn=WF
+        ).run(keep_values=False)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Extending the engine with a custom monotonic algorithm.
+
+Any query whose edge function is monotonic — a better upstream value
+never produces a worse proposal — plugs into every engine in the
+package: static, streaming (including trim-and-repair deletions),
+Direct-Hop and Work-Sharing.  This example adds *bounded-hop SSSP*
+(shortest path counting at most a fixed extra penalty per hop, a common
+routing heuristic) and runs it across an evolving graph.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import numpy as np
+
+import repro
+
+
+class HopPenaltySSSP(repro.MonotonicAlgorithm):
+    """Shortest path where every hop also costs a fixed penalty.
+
+    Proposal: ``Val(u) + wt(u, v) + penalty`` — monotone in ``Val(u)``,
+    so all incremental machinery applies unchanged.
+    """
+
+    name = "HopPenaltySSSP"
+    direction = "min"
+    worst = np.inf
+    source_value = 0.0
+    penalty = 5.0
+
+    def proposals(self, src_values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return src_values + weights + self.penalty
+
+
+def main() -> None:
+    from repro.testing import assert_monotonic
+
+    assert_monotonic(HopPenaltySSSP())  # verify the contract up front
+    repro.register_algorithm(HopPenaltySSSP)
+    print(f"registered algorithms: {', '.join(repro.algorithm_names())}")
+
+    base = repro.rmat_edges(scale=10, num_edges=10_000, seed=3)
+    evolving = repro.generate_evolving_graph(
+        num_vertices=1 << 10, base=base, num_snapshots=10,
+        batch_size=120, seed=4, name="custom",
+    )
+    decomp = repro.CommonGraphDecomposition.from_evolving(evolving)
+    weight_fn = repro.default_weights()
+    alg = repro.get_algorithm("hoppenaltysssp")
+
+    # The custom algorithm goes through all three evaluation strategies
+    # and they agree, deletions and all.
+    streaming = repro.StreamingSession(evolving, alg, 0, weight_fn=weight_fn).run()
+    direct = repro.DirectHopEvaluator(decomp, alg, 0, weight_fn=weight_fn).run()
+    sharing = repro.WorkSharingEvaluator(decomp, alg, 0, weight_fn=weight_fn).run()
+    for i in range(evolving.num_snapshots):
+        assert np.array_equal(streaming.snapshot_values[i], direct.snapshot_values[i])
+        assert np.array_equal(streaming.snapshot_values[i], sharing.snapshot_values[i])
+    print("custom algorithm verified across streaming, direct-hop and "
+          "work-sharing")
+
+    finals = direct.snapshot_values[-1]
+    reached = np.isfinite(finals)
+    print(f"\nsnapshot {evolving.num_snapshots - 1}: reached "
+          f"{int(reached.sum())} vertices; "
+          f"mean penalised distance {finals[reached].mean():.1f} "
+          f"(plain SSSP would be lower by ~{HopPenaltySSSP.penalty:.0f}/hop)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Range queries: analysing a window of history without replaying it.
+
+The paper's conclusion highlights that CommonGraph "enables efficient
+range queries without having to start from an initial stored snapshot".
+This example keeps a version-controlled evolving graph, then answers a
+query over just versions 30..39 of 40.  The window is evaluated from
+the window's *own* intermediate common graph, which is much closer to
+the window's snapshots than the global common graph is — so far fewer
+additions are streamed, and none of versions 0..29 are touched at all.
+A streaming system would have to replay 30 versions of history first.
+
+Run:  python examples/range_queries.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.common import CommonGraphDecomposition
+from repro.core.direct_hop import DirectHopEvaluator
+
+
+def main() -> None:
+    num_vertices = 1 << 10
+    base = repro.rmat_edges(scale=10, num_edges=15_000, seed=21)
+    evolving = repro.generate_evolving_graph(
+        num_vertices=num_vertices, base=base, num_snapshots=40,
+        batch_size=200, readd_fraction=0.4, seed=22, name="history",
+    )
+    weight_fn = repro.default_weights()
+    vc = repro.VersionController(evolving, weight_fn=weight_fn)
+    alg = repro.SSSP()
+    first, last = 30, 39
+
+    # The window query: one call, rooted at ICG(30, 39).
+    window = vc.evaluate(alg, source=0, first=first, last=last)
+    print(f"evaluated versions {first}..{last}: "
+          f"{len(window.snapshot_values)} result arrays, "
+          f"{window.additions_processed} additions streamed, "
+          f"{window.stabilisations} incremental steps")
+
+    # The same versions from the *global* common graph (what a plain
+    # direct-hop over the full history would do for these snapshots).
+    decomp = CommonGraphDecomposition.from_evolving(evolving)
+    global_additions = sum(
+        len(decomp.direct_hop_batch(v)) for v in range(first, last + 1)
+    )
+    print(f"hopping from the global common graph instead would stream "
+          f"{global_additions} additions "
+          f"({global_additions / max(window.additions_processed, 1):.1f}x more)")
+
+    # Values are exactly the same either way.
+    full = DirectHopEvaluator(decomp, alg, 0, weight_fn=weight_fn).run()
+    for k in range(first, last + 1):
+        assert np.array_equal(
+            window.snapshot_values[k - first], full.snapshot_values[k]
+        )
+    print("window results verified against the full evaluation")
+
+    # A quick trend over the window: mean distance from the source.
+    print(f"\n{'version':>8} {'reached':>8} {'mean dist':>10}")
+    for k, values in enumerate(window.snapshot_values):
+        finite = values[np.isfinite(values)]
+        print(f"{first + k:>8} {finite.size:>8} {finite.mean():>10.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip cannot do PEP 517 editable
+installs (no `wheel` available offline); `pip install -e .` works via
+this file, and pyproject.toml remains the single source of metadata."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Monotonic graph algorithms (Table 3 of the paper)."""
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.algorithms.registry import (
+    ALGORITHMS,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.algorithms.suite import BFS, SSNP, SSSP, SSWP, Viterbi
+
+__all__ = [
+    "MonotonicAlgorithm",
+    "BFS",
+    "SSSP",
+    "SSWP",
+    "SSNP",
+    "Viterbi",
+    "get_algorithm",
+    "register_algorithm",
+    "algorithm_names",
+    "ALGORITHMS",
+]

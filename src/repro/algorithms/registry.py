@@ -1,0 +1,39 @@
+"""Name-based lookup for the monotonic algorithm suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.algorithms.suite import BFS, SSNP, SSSP, SSWP, Viterbi
+from repro.errors import AlgorithmError
+
+__all__ = ["get_algorithm", "register_algorithm", "algorithm_names", "ALGORITHMS"]
+
+ALGORITHMS: Dict[str, Type[MonotonicAlgorithm]] = {
+    cls.name.lower(): cls for cls in (BFS, SSSP, SSWP, SSNP, Viterbi)
+}
+
+
+def register_algorithm(cls: Type[MonotonicAlgorithm]) -> Type[MonotonicAlgorithm]:
+    """Register a user-defined monotonic algorithm (decorator-friendly)."""
+    key = cls.name.lower()
+    if key in ALGORITHMS and ALGORITHMS[key] is not cls:
+        raise AlgorithmError(f"algorithm name {cls.name!r} already registered")
+    ALGORITHMS[key] = cls
+    return cls
+
+
+def get_algorithm(name: str) -> MonotonicAlgorithm:
+    """Instantiate an algorithm by (case-insensitive) name."""
+    try:
+        return ALGORITHMS[name.lower()]()
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; available: {algorithm_names()}"
+        ) from None
+
+
+def algorithm_names() -> List[str]:
+    """Registered algorithm names in display form."""
+    return sorted(cls.name for cls in ALGORITHMS.values())

@@ -1,0 +1,22 @@
+"""Temporal analytics over evolving-graph query results: per-snapshot
+metrics, trend tracking, and change detection."""
+
+from repro.analysis.metrics import (
+    METRICS,
+    Metric,
+    evaluate_metric,
+    metric_names,
+    vertex_value,
+)
+from repro.analysis.trends import TrendReport, TrendTracker, detect_changes
+
+__all__ = [
+    "Metric",
+    "METRICS",
+    "evaluate_metric",
+    "metric_names",
+    "vertex_value",
+    "TrendTracker",
+    "TrendReport",
+    "detect_changes",
+]

@@ -1,0 +1,98 @@
+"""Per-snapshot metrics over query results.
+
+A metric maps one snapshot's vertex-value array to a scalar; an
+evolving-graph query then yields a *series* of that metric over time —
+exactly the trend-tracking use case the paper's introduction motivates
+(e.g. "maintain the shortest path to a destination as traffic
+conditions change").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.errors import ReproError
+
+__all__ = ["Metric", "METRICS", "evaluate_metric", "metric_names"]
+
+#: A metric: ``(values, algorithm) -> float``.
+Metric = Callable[[np.ndarray, MonotonicAlgorithm], float]
+
+
+def _finite(values: np.ndarray, alg: MonotonicAlgorithm) -> np.ndarray:
+    """Values of vertices actually reached by the query.
+
+    Reached = strictly better than the algorithm's worst value.  (This
+    keeps, e.g., SSWP's infinite source width, which ``isfinite`` would
+    wrongly drop.)
+    """
+    worst = np.full(values.shape, alg.worst)
+    return values[alg.better(values, worst)]
+
+
+def reach(values: np.ndarray, alg: MonotonicAlgorithm) -> float:
+    """How many vertices hold a non-worst, finite value."""
+    return float(_finite(values, alg).size)
+
+
+def mean_value(values: np.ndarray, alg: MonotonicAlgorithm) -> float:
+    reached = _finite(values, alg)
+    reached = reached[np.isfinite(reached)]  # drop e.g. SSWP's inf source
+    return float(reached.mean()) if reached.size else float("nan")
+
+
+def extreme_value(values: np.ndarray, alg: MonotonicAlgorithm) -> float:
+    """The worst value among reached vertices (eccentricity-like)."""
+    reached = _finite(values, alg)
+    if not reached.size:
+        return float("nan")
+    return float(reached.max() if alg.direction == "min" else reached.min())
+
+
+def best_value(values: np.ndarray, alg: MonotonicAlgorithm) -> float:
+    reached = _finite(values, alg)
+    if not reached.size:
+        return float("nan")
+    return float(reached.min() if alg.direction == "min" else reached.max())
+
+
+def vertex_value(vertex: int) -> Metric:
+    """A metric tracking one vertex's value (e.g. a destination)."""
+
+    def metric(values: np.ndarray, alg: MonotonicAlgorithm) -> float:
+        return float(values[vertex])
+
+    metric.__name__ = f"vertex_{vertex}"
+    return metric
+
+
+#: Built-in metrics addressable by name.
+METRICS: Dict[str, Metric] = {
+    "reach": reach,
+    "mean": mean_value,
+    "extreme": extreme_value,
+    "best": best_value,
+}
+
+
+def metric_names() -> list:
+    """Names of the built-in metrics, sorted."""
+    return sorted(METRICS)
+
+
+def evaluate_metric(
+    name_or_fn, values: np.ndarray, alg: MonotonicAlgorithm
+) -> float:
+    """Evaluate a metric given by name or as a callable."""
+    if callable(name_or_fn):
+        return float(name_or_fn(values, alg))
+    try:
+        metric = METRICS[name_or_fn]
+    except KeyError:
+        raise ReproError(
+            f"unknown metric {name_or_fn!r}; available: {metric_names()}"
+        ) from None
+    return float(metric(values, alg))

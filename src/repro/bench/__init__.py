@@ -1,0 +1,55 @@
+"""Benchmark harness: workloads, experiment drivers, reporting."""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    ablation_overlay,
+    ablation_scheduler,
+    ablation_steiner,
+    figure1,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    run_experiment,
+    table4,
+    table5,
+)
+from repro.bench.reporting import (
+    format_seconds,
+    format_speedup,
+    render_markdown_table,
+    render_table,
+)
+from repro.bench.workloads import (
+    PROFILES,
+    Workload,
+    WorkloadSpec,
+    build_workload,
+    pick_source,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "figure1",
+    "table4",
+    "figure8",
+    "figure9",
+    "figure10",
+    "table5",
+    "figure11",
+    "ablation_steiner",
+    "ablation_overlay",
+    "ablation_scheduler",
+    "WorkloadSpec",
+    "Workload",
+    "PROFILES",
+    "build_workload",
+    "pick_source",
+    "render_table",
+    "render_markdown_table",
+    "format_seconds",
+    "format_speedup",
+]

@@ -1,0 +1,122 @@
+"""Command-line harness: regenerate the paper's evaluation end to end.
+
+Usage::
+
+    python -m repro.bench                     # all experiments, paper profile
+    python -m repro.bench --profile ci        # fast smoke profile
+    python -m repro.bench table4 figure8      # a subset
+    python -m repro.bench --out EXPERIMENTS_RUN.md
+
+Writes each experiment's table to stdout and, with ``--out``, a
+Markdown report suitable for diffing against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.experiments import EXPERIMENTS, ExperimentResult
+from repro.bench.workloads import PROFILES, WorkloadSpec
+
+__all__ = ["main", "run_all", "profile_kwargs"]
+
+
+def profile_kwargs(name: str, experiment: str) -> Dict[str, object]:
+    """Per-experiment keyword overrides implementing a profile."""
+    spec: WorkloadSpec = PROFILES[name]
+    if experiment == "figure1":
+        if name == "ci":
+            return {"edge_scale": spec.edge_scale, "repeats": 1,
+                    "batch_sizes": (40, 80), "algorithms": ("BFS", "SSSP")}
+        return {}
+    if experiment == "figure8":
+        if name == "ci":
+            return {"spec": spec, "snapshot_counts": (4, 8),
+                    "algorithms": ("BFS", "SSSP")}
+        return {}
+    if experiment == "figure9":
+        if name == "ci":
+            return {"spec": spec, "sweep": ((40, 8), (80, 4)),
+                    "algorithms": ("BFS", "SSSP")}
+        return {}
+    if experiment == "figure10":
+        if name == "ci":
+            return {"spec": spec, "ratios": ((60, 20), (20, 60)),
+                    "algorithms": ("BFS", "SSSP")}
+        return {}
+    if experiment in ("table4", "table5", "figure11"):
+        if name == "ci":
+            extra: Dict[str, object] = {"spec": spec}
+            if experiment != "figure11":
+                extra["datasets"] = ("LJ",)
+            extra["algorithms"] = ("BFS", "SSSP")
+            return extra
+        return {}
+    if experiment == "ablation_steiner":
+        return {}
+    if experiment in ("ablation_overlay", "ablation_scheduler"):
+        return {"spec": spec} if name == "ci" else {}
+    if experiment == "ablation_batch_scale":
+        if name == "ci":
+            return {"spec": spec, "dataset": "LJ", "batch_sizes": (20, 60)}
+        return {}
+    if experiment == "ablation_storage":
+        if name == "ci":
+            return {"spec": spec, "datasets": ("LJ",)}
+        return {}
+    return {}
+
+
+def run_all(
+    names: Sequence[str],
+    profile: str = "paper",
+    stream=None,
+) -> List[ExperimentResult]:
+    """Run the named experiments under a profile, printing as we go."""
+    if stream is None:
+        stream = sys.stdout
+    results = []
+    for name in names:
+        kwargs = profile_kwargs(profile, name)
+        t0 = time.perf_counter()
+        result = EXPERIMENTS[name](**kwargs)  # type: ignore[operator]
+        elapsed = time.perf_counter() - t0
+        print(result.render(), file=stream)
+        print(f"[{name} completed in {elapsed:.1f}s]\n", file=stream)
+        results.append(result)
+    return results
+
+
+def write_markdown(results: Sequence[ExperimentResult], path: str, profile: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# CommonGraph reproduction — measured results ({profile} profile)\n\n")
+        for result in results:
+            handle.write(result.to_markdown())
+            handle.write("\n\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", default=[],
+        help=f"experiments to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="paper")
+    parser.add_argument("--out", default=None, help="write a Markdown report here")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
+    results = run_all(names, profile=args.profile)
+    if args.out:
+        write_markdown(results, args.out, args.profile)
+        print(f"wrote {args.out}")
+    return 0

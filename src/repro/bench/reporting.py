@@ -1,0 +1,119 @@
+"""Plain-text and Markdown rendering for experiment results.
+
+Besides tables, :func:`render_chart` draws multi-series ASCII line
+charts so the harness can render the paper's *figures* as figures, not
+just as rows of numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "render_table",
+    "render_markdown_table",
+    "render_chart",
+    "format_seconds",
+    "format_speedup",
+]
+
+
+def format_seconds(value: float) -> str:
+    """Human-scale seconds (μs/ms/s as appropriate)."""
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def format_speedup(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def _stringify(rows: Sequence[Sequence[object]]) -> List[List[str]]:
+    return [[str(cell) for cell in row] for row in rows]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = _stringify(rows)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 64,
+    height: int = 14,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart.
+
+    Each series gets a marker character; overlapping points show the
+    later series' marker.  The y-axis starts at zero (the paper's
+    figures do), the x-axis spans the data.
+    """
+    markers = "*o+x#@%&"
+    points = [v for values in series.values() for v in values]
+    if not points or not x_values:
+        return f"{title}\n(no data)"
+    y_max = max(points) or 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, values) in enumerate(series.items()):
+        marker = markers[k % len(markers)]
+        for x, y in zip(x_values, values):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round(y / y_max * (height - 1)))
+            grid[min(max(row, 0), height - 1)][min(max(col, 0), width - 1)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    for r, row in enumerate(grid):
+        prefix = top_label.rjust(8) if r == 0 else ("0".rjust(8) if r == height - 1 else " " * 8)
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * 8 + "+" + "-" * width + "+")
+    lines.append(
+        " " * 9 + f"{x_min:g}".ljust(width - len(f"{x_max:g}")) + f"{x_max:g}"
+    )
+    legend = "   ".join(
+        f"{markers[k % len(markers)]} {name}" for k, name in enumerate(series)
+    )
+    axis_note = ""
+    if y_label or x_label:
+        axis_note = f"   [{y_label or 'y'} vs {x_label or 'x'}]"
+    lines.append(" " * 9 + legend + axis_note)
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """GitHub-flavoured Markdown table."""
+    str_rows = _stringify(rows)
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,255 @@
+"""Top-level command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+
+``generate``
+    Create an on-disk evolving-graph store from a named dataset (or an
+    RMAT specification) plus a synthetic update stream.
+``info``
+    Summarise a store: sizes, batch statistics, common-graph share.
+``evaluate``
+    Answer a query over a store's snapshots (optionally a version
+    range) with a chosen strategy, printing per-snapshot summaries or
+    saving raw values.
+``trend``
+    Track metric series (reach, mean, extreme, best, or a vertex) for a
+    query across snapshots, with change detection and an ASCII chart.
+
+The benchmark harness has its own entry point, ``python -m repro.bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.registry import algorithm_names, get_algorithm
+from repro.bench.reporting import render_table
+from repro.core.common import CommonGraphDecomposition
+from repro.evolving.generator import generate_evolving_graph
+from repro.evolving.store import SnapshotStore
+from repro.evolving.version_control import VersionController
+from repro.graph.generators import DATASETS, generate_dataset, rmat_edges
+from repro.graph.weights import HashWeights
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset:
+        base = generate_dataset(args.dataset, edge_scale=args.edge_scale)
+        num_vertices = DATASETS[args.dataset].num_vertices
+        name = args.dataset
+    else:
+        base = rmat_edges(args.scale, args.edges, seed=args.seed)
+        num_vertices = 1 << args.scale
+        name = f"rmat{args.scale}"
+    evolving = generate_evolving_graph(
+        num_vertices=num_vertices,
+        base=base,
+        num_snapshots=args.snapshots,
+        batch_size=args.batch_size,
+        add_fraction=args.add_fraction,
+        readd_fraction=args.readd_fraction,
+        seed=args.seed,
+        name=name,
+    )
+    store = SnapshotStore.create(args.store, evolving)
+    print(f"created {store}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    store = SnapshotStore(args.store)
+    evolving = store.load()
+    decomp = CommonGraphDecomposition.from_evolving(evolving)
+    base_size = len(evolving.snapshot_edges(0))
+    batch_sizes = [batch.size for batch in evolving.batches]
+    rows = [
+        ["name", store.name or "(unnamed)"],
+        ["vertices", store.num_vertices],
+        ["snapshots", store.num_snapshots],
+        ["base edges", base_size],
+        ["updates total", sum(batch_sizes)],
+        ["batch size (min/max)",
+         f"{min(batch_sizes)}/{max(batch_sizes)}" if batch_sizes else "-"],
+        ["common graph edges", len(decomp.common)],
+        ["common share of base", f"{len(decomp.common) / max(base_size, 1):.1%}"],
+        ["direct-hop additions", decomp.total_direct_hop_additions()],
+    ]
+    print(render_table(["property", "value"], rows, title=f"store {args.store}"))
+    if args.detailed:
+        from repro.graph.stats import compute_stats, degree_histogram
+
+        base_csr = evolving.snapshot_csr(0)
+        stats = compute_stats(base_csr)
+        print()
+        print(render_table(
+            ["property", "value"], stats.as_rows(),
+            title="base snapshot structure",
+        ))
+        print()
+        hist = degree_histogram(base_csr)
+        print(render_table(
+            ["out-degree", "vertices"], list(hist.items()),
+            title="degree histogram",
+        ))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    store = SnapshotStore(args.store)
+    evolving = store.load()
+    weight_fn = HashWeights(max_weight=args.max_weight, seed=args.weight_seed)
+    controller = VersionController(evolving, weight_fn=weight_fn)
+    algorithm = get_algorithm(args.algorithm)
+    last = args.last if args.last is not None else store.num_snapshots - 1
+    result = controller.evaluate(
+        algorithm, args.source, first=args.first, last=last,
+        strategy=args.strategy,
+    )
+    rows = []
+    for k, values in enumerate(result.snapshot_values):
+        finite = values[np.isfinite(values) & (values != algorithm.worst)]
+        rows.append([
+            args.first + k,
+            int(finite.size),
+            round(float(finite.mean()), 3) if finite.size else "-",
+            round(float(finite.max()), 3) if finite.size else "-",
+        ])
+    print(render_table(
+        ["version", "reached", "mean", "max"],
+        rows,
+        title=(
+            f"{algorithm.name} from {args.source} on versions "
+            f"{args.first}..{last} ({args.strategy})"
+        ),
+    ))
+    print(f"additions streamed: {result.additions_processed}; "
+          f"incremental steps: {result.stabilisations}; "
+          f"time: {result.total_seconds:.4f}s")
+    if args.out:
+        np.savez_compressed(
+            args.out,
+            **{
+                f"version_{args.first + k}": values
+                for k, values in enumerate(result.snapshot_values)
+            },
+        )
+        print(f"wrote values to {args.out}")
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import metric_names, vertex_value
+    from repro.analysis.trends import TrendTracker, detect_changes
+
+    store = SnapshotStore(args.store)
+    evolving = store.load()
+    weight_fn = HashWeights(max_weight=args.max_weight, seed=args.weight_seed)
+    algorithm = get_algorithm(args.algorithm)
+    metrics = []
+    for name in args.metrics:
+        if name.startswith("vertex:"):
+            metrics.append(vertex_value(int(name.split(":", 1)[1])))
+        elif name in metric_names():
+            metrics.append(name)
+        else:
+            print(f"unknown metric {name!r}; available: "
+                  f"{metric_names()} or vertex:<id>", file=sys.stderr)
+            return 2
+    tracker = TrendTracker(
+        evolving, algorithm, args.source, weight_fn=weight_fn,
+        strategy=args.strategy,
+    )
+    last = args.last if args.last is not None else store.num_snapshots - 1
+    report = tracker.track(metrics=metrics, first=args.first, last=last)
+    print(report.render(
+        title=f"{algorithm.name} trends from vertex {args.source}"
+    ))
+    if args.chart:
+        print()
+        print(report.chart())
+    for name, series in report.series.items():
+        changes = detect_changes(series, threshold=args.change_threshold)
+        if changes:
+            snaps = [report.first_snapshot + i for i in changes]
+            print(f"change points in {name!r}: snapshots {snaps}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CommonGraph evolving-graph analytics (ASPLOS 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="create an evolving-graph store")
+    gen.add_argument("store", help="directory to create")
+    group = gen.add_mutually_exclusive_group()
+    group.add_argument("--dataset", choices=sorted(DATASETS),
+                       help="named scaled dataset")
+    group.add_argument("--scale", type=int, default=10,
+                       help="RMAT scale (vertices = 2^scale)")
+    gen.add_argument("--edges", type=int, default=10_000,
+                     help="edge count for --scale graphs")
+    gen.add_argument("--edge-scale", type=float, default=1.0,
+                     help="shrink factor for --dataset graphs")
+    gen.add_argument("--snapshots", type=int, default=10)
+    gen.add_argument("--batch-size", type=int, default=100)
+    gen.add_argument("--add-fraction", type=float, default=0.5)
+    gen.add_argument("--readd-fraction", type=float, default=0.5)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="summarise a store")
+    info.add_argument("store")
+    info.add_argument("--detailed", action="store_true",
+                      help="include structural stats and degree histogram")
+    info.set_defaults(func=_cmd_info)
+
+    trend = sub.add_parser("trend", help="track metric trends over snapshots")
+    trend.add_argument("store")
+    trend.add_argument("--algorithm", default="SSSP")
+    trend.add_argument("--source", type=int, default=0)
+    trend.add_argument("--metrics", nargs="+", default=["reach", "mean"],
+                       help="built-in metric names or vertex:<id>")
+    trend.add_argument("--first", type=int, default=0)
+    trend.add_argument("--last", type=int, default=None)
+    trend.add_argument("--strategy", default="work-sharing",
+                       choices=["direct-hop", "work-sharing"])
+    trend.add_argument("--chart", action="store_true", help="ASCII chart")
+    trend.add_argument("--change-threshold", type=float, default=3.0)
+    trend.add_argument("--max-weight", type=int, default=64)
+    trend.add_argument("--weight-seed", type=int, default=0)
+    trend.set_defaults(func=_cmd_trend)
+
+    ev = sub.add_parser("evaluate", help="answer a query over snapshots")
+    ev.add_argument("store")
+    ev.add_argument("--algorithm", default="SSSP",
+                    help=f"one of {algorithm_names()}")
+    ev.add_argument("--source", type=int, default=0)
+    ev.add_argument("--first", type=int, default=0, help="first version")
+    ev.add_argument("--last", type=int, default=None, help="last version")
+    ev.add_argument("--strategy", default="work-sharing",
+                    choices=["direct-hop", "work-sharing"])
+    ev.add_argument("--max-weight", type=int, default=64)
+    ev.add_argument("--weight-seed", type=int, default=0)
+    ev.add_argument("--out", default=None, help="save raw values (.npz)")
+    ev.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

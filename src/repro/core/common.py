@@ -1,0 +1,179 @@
+"""The CommonGraph decomposition: shared core plus per-snapshot surplus.
+
+Given snapshots ``G_0..G_{n-1}``, the *common graph* ``Gc`` is the set
+of edges present in **every** snapshot.  Each snapshot is then
+``Gc ∪ surplus_i`` where ``surplus_i = E_i − Gc`` is small (bounded by
+the total churn of the update stream).  This converts every deletion
+into an addition: starting from ``Gc``, any snapshot is reached by
+adding its surplus (§2.2 of the paper).
+
+The same decomposition underlies the Triangular Grid: the intermediate
+common graph of a consecutive range ``i..j`` is
+``Gc ∪ interval_surplus(i, j)`` where ``interval_surplus(i, j) =
+⋂_{t∈[i,j]} surplus_t`` — all the interesting set algebra happens on
+the *small* surplus sets, never on full edge sets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SnapshotError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.weights import WeightFn
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.evolving
+    from repro.evolving.snapshots import EvolvingGraph
+
+__all__ = ["CommonGraphDecomposition"]
+
+
+class CommonGraphDecomposition:
+    """Common graph + per-snapshot surplus edge sets.
+
+    Build with :meth:`from_evolving` or :meth:`from_snapshots`.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        common: EdgeSet,
+        surpluses: Sequence[EdgeSet],
+    ) -> None:
+        if not surpluses:
+            raise SnapshotError("decomposition needs at least one snapshot")
+        for s in surpluses:
+            if not s.isdisjoint(common):
+                raise SnapshotError("surplus overlaps the common graph")
+        self.num_vertices = int(num_vertices)
+        self.common = common
+        self.surpluses: List[EdgeSet] = list(surpluses)
+        self._interval_cache: Dict[Tuple[int, int], EdgeSet] = {}
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_snapshots(
+        cls, num_vertices: int, snapshots: Sequence[EdgeSet]
+    ) -> "CommonGraphDecomposition":
+        """Decompose explicit snapshot edge sets."""
+        if not snapshots:
+            raise SnapshotError("need at least one snapshot")
+        common = snapshots[0]
+        for edges in snapshots[1:]:
+            common = common & edges
+        surpluses = [edges - common for edges in snapshots]
+        return cls(num_vertices, common, surpluses)
+
+    @classmethod
+    def from_evolving(cls, evolving: "EvolvingGraph") -> "CommonGraphDecomposition":
+        """Decompose an evolving graph.
+
+        Uses the stream structure for efficiency: an edge is common iff
+        it is in snapshot 0 and never touched by any batch (§4.1 — new
+        edges, both additions and deletions, are removed from the
+        common graph).
+        """
+        touched = EdgeSet.empty()
+        for batch in evolving.batches:
+            touched = touched | batch.additions | batch.deletions
+        common = evolving.snapshot_edges(0) - touched
+        surpluses = [
+            evolving.snapshot_edges(i) - common
+            for i in range(evolving.num_snapshots)
+        ]
+        return cls(evolving.num_vertices, common, surpluses)
+
+    # -- shape ------------------------------------------------------------
+    @property
+    def num_snapshots(self) -> int:
+        return len(self.surpluses)
+
+    def snapshot_edges(self, index: int) -> EdgeSet:
+        """Full edge set of snapshot ``index``."""
+        return self.common | self.surpluses[index]
+
+    # -- interval surpluses (Triangular Grid support) -----------------------
+    def interval_surplus(self, i: int, j: int) -> EdgeSet:
+        """Surplus of the intermediate common graph for snapshots ``i..j``.
+
+        ``ICG(i, j) = Gc ∪ interval_surplus(i, j)``; computed by
+        intersecting surpluses and memoised.  ``interval_surplus(0,
+        n-1)`` is empty by construction.
+        """
+        n = self.num_snapshots
+        if not 0 <= i <= j < n:
+            raise SnapshotError(f"invalid interval ({i}, {j}) for {n} snapshots")
+        key = (i, j)
+        cached = self._interval_cache.get(key)
+        if cached is not None:
+            return cached
+        if i == j:
+            result = self.surpluses[i]
+        else:
+            # Split anywhere; halving keeps the memo reusable.
+            mid = (i + j) // 2
+            result = self.interval_surplus(i, mid) & self.interval_surplus(mid + 1, j)
+        self._interval_cache[key] = result
+        return result
+
+    def interval_edges(self, i: int, j: int) -> EdgeSet:
+        """Full edge set of the intermediate common graph for ``i..j``."""
+        return self.common | self.interval_surplus(i, j)
+
+    def restrict(self, first: int, last: int) -> "CommonGraphDecomposition":
+        """Sub-decomposition for the snapshot range ``first..last``.
+
+        The restricted common graph is the range's intermediate common
+        graph ``ICG(first, last)`` — a *superset* of the global ``Gc`` —
+        so range queries start from a larger shared core and stream
+        fewer additions per snapshot.  This realises the range-query
+        direction sketched in the paper's concluding remarks: a window
+        query needs no walk from the initial snapshot.
+        """
+        n = self.num_snapshots
+        if not 0 <= first <= last < n:
+            raise SnapshotError(f"invalid range ({first}, {last}) for {n} snapshots")
+        range_surplus = self.interval_surplus(first, last)
+        common = self.common | range_surplus
+        surpluses = [
+            self.surpluses[t] - range_surplus for t in range(first, last + 1)
+        ]
+        return CommonGraphDecomposition(self.num_vertices, common, surpluses)
+
+    # -- materialisation -----------------------------------------------------
+    def common_csr(self, weight_fn: Optional[WeightFn] = None) -> CSRGraph:
+        """The common graph in CSR form."""
+        return CSRGraph.from_edge_set(self.common, self.num_vertices, weight_fn=weight_fn)
+
+    def delta_csr(self, edges: EdgeSet, weight_fn: Optional[WeightFn] = None) -> CSRGraph:
+        """A Δ batch in CSR form, ready to overlay on the common graph."""
+        return CSRGraph.from_edge_set(edges, self.num_vertices, weight_fn=weight_fn)
+
+    def direct_hop_batch(self, index: int) -> EdgeSet:
+        """The additions needed to hop from ``Gc`` to snapshot ``index``."""
+        return self.surpluses[index]
+
+    def total_direct_hop_additions(self) -> int:
+        """Cost (in additions) of the Direct-Hop schedule."""
+        return sum(len(s) for s in self.surpluses)
+
+    def storage_edges(self) -> int:
+        """Edges stored by the common-graph representation.
+
+        The paper's §4.1 space claim: the common graph plus the per-
+        snapshot surplus batches stores each edge once per *distinct*
+        role, versus ``num_snapshots`` copies for one-CSR-per-snapshot
+        storage.
+        """
+        return len(self.common) + sum(len(s) for s in self.surpluses)
+
+    def snapshot_storage_edges(self) -> int:
+        """Edges stored if every snapshot kept its own full CSR."""
+        return sum(len(self.snapshot_edges(i)) for i in range(self.num_snapshots))
+
+    def __repr__(self) -> str:
+        return (
+            f"CommonGraphDecomposition(V={self.num_vertices}, "
+            f"snapshots={self.num_snapshots}, |Gc|={len(self.common)})"
+        )

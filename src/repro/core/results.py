@@ -1,0 +1,56 @@
+"""Result container shared by the evolving-graph query evaluators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.kickstarter.engine import EngineCounters
+from repro.utils import PhaseTimer
+
+__all__ = ["EvolvingQueryResult"]
+
+
+@dataclass
+class EvolvingQueryResult:
+    """Converged per-snapshot values plus cost accounting.
+
+    ``per_hop_seconds`` is filled by the Direct-Hop evaluator: the wall
+    time of each snapshot's independent incremental computation.  Its
+    maximum is the critical-path estimate used for the parallel
+    projection (Table 5 of the paper).
+    """
+
+    strategy: str = ""
+    snapshot_values: List[np.ndarray] = field(default_factory=list)
+    timer: PhaseTimer = field(default_factory=PhaseTimer)
+    counters: EngineCounters = field(default_factory=EngineCounters)
+    per_hop_seconds: List[float] = field(default_factory=list)
+    #: Total additions streamed (the paper's schedule-cost metric).
+    additions_processed: int = 0
+    #: Number of incremental stabilisations executed (tree edges).
+    stabilisations: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timer.total()
+
+    @property
+    def work_seconds(self) -> float:
+        """Incremental work only — the one-off convergence on the common
+        graph is excluded, matching the paper's Table 4 accounting (the
+        from-scratch costs of the baselines are assumed similar and net
+        out of the comparison)."""
+        return self.timer.total() - self.timer.seconds("initial_compute")
+
+    @property
+    def critical_path_seconds(self) -> Optional[float]:
+        """Longest single hop, or ``None`` if not a Direct-Hop result."""
+        if not self.per_hop_seconds:
+            return None
+        return max(self.per_hop_seconds)
+
+    def phase_seconds(self) -> Dict[str, float]:
+        return self.timer.as_dict()

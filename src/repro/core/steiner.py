@@ -1,0 +1,258 @@
+"""Schedule construction: Direct-Hop, greedy Steiner, and exact Steiner.
+
+Finding the minimum-cost query-evaluation schedule is a Steiner tree
+problem on the Triangular Grid with terminals {root} ∪ {leaves}
+(§3.2, Algorithm 1).  Because TG edge weights telescope
+(``w(p→c) = |surplus(c)| − |surplus(p)|``), the shortest-path distance
+from any tree node ``A ⊇ x`` down to ``x`` is ``|surplus(x)| −
+|surplus(A)|`` regardless of the route, so the classic
+nearest-terminal greedy reduces to: repeatedly connect the cheapest
+uncovered snapshot to its deepest (largest-surplus) covering node
+already in the tree.  Route selection among equal-cost paths still
+matters for *future* sharing; we descend through the child with the
+larger surplus, which keeps shared edges as high in the grid as
+possible.
+
+``exact_steiner`` solves the problem optimally by enumerating subsets
+of intermediate nodes (exponential; guarded to small ``n``) — used by
+tests and the ablation benchmark to measure the greedy gap.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.schedule import ScheduleTree
+from repro.core.triangular_grid import Interval, TriangularGrid
+from repro.errors import ScheduleError
+
+__all__ = [
+    "direct_hop_tree",
+    "greedy_steiner",
+    "agglomerative_schedule",
+    "exact_steiner",
+    "build_schedule",
+]
+
+
+def direct_hop_tree(grid: TriangularGrid) -> ScheduleTree:
+    """The star schedule: every snapshot hangs directly off the root."""
+    tree = ScheduleTree(root=grid.root)
+    for leaf in grid.leaves:
+        if leaf != grid.root:
+            tree.parent[leaf] = grid.root
+    return tree
+
+
+def _descend_path(
+    grid: TriangularGrid, start: Interval, leaf: Interval
+) -> List[Interval]:
+    """A root-ward-to-leaf path of grid-adjacent nodes from ``start``.
+
+    Among the two admissible children at each step, prefer the one with
+    the larger surplus (ties: the one containing the smaller index),
+    deferring additions as long as possible to maximise later sharing.
+    """
+    if not TriangularGrid.contains(start, leaf):
+        raise ScheduleError(f"{start} does not contain {leaf}")
+    path = [start]
+    node = start
+    x = leaf[0]
+    while node != leaf:
+        candidates = [c for c in grid.children(node) if TriangularGrid.contains(c, leaf)]
+        if len(candidates) == 1:
+            node = candidates[0]
+        else:
+            a, b = candidates
+            node = a if grid.surplus_size(a) >= grid.surplus_size(b) else b
+        path.append(node)
+    assert path[-1] == (x, x)
+    return path
+
+
+def greedy_steiner(grid: TriangularGrid, compress: bool = True) -> ScheduleTree:
+    """Nearest-terminal greedy Steiner tree (Algorithm 1, step 2).
+
+    With ``compress=True`` the bypass step (Algorithm 1, step 3) is
+    applied before returning.
+    """
+    tree = ScheduleTree(root=grid.root)
+    uncovered = [leaf for leaf in grid.leaves if leaf != grid.root]
+    while uncovered:
+        # For each uncovered leaf, its cheapest anchor is the tree node
+        # containing it with the largest surplus (telescoping weights).
+        best: Optional[Tuple[int, Interval, Interval]] = None
+        tree_nodes = tree.nodes
+        for leaf in uncovered:
+            leaf_size = grid.surplus_size(leaf)
+            anchor = None
+            anchor_size = -1
+            for node in tree_nodes:
+                if TriangularGrid.contains(node, leaf):
+                    size = grid.surplus_size(node)
+                    if size > anchor_size:
+                        anchor, anchor_size = node, size
+            assert anchor is not None  # the root contains everything
+            cost = leaf_size - anchor_size
+            if best is None or cost < best[0]:
+                best = (cost, anchor, leaf)
+        _, anchor, leaf = best
+        path = _descend_path(grid, anchor, leaf)
+        # Commit the path; if it runs through an existing tree node,
+        # restart from there (those prefix edges would be redundant).
+        last_known = max(
+            (k for k, node in enumerate(path) if tree.contains_node(node)),
+            default=0,
+        )
+        for parent, child in zip(path[last_known:], path[last_known + 1:]):
+            if not tree.contains_node(child):
+                tree.add_edge(parent, child)
+        uncovered.remove(leaf)
+    if compress:
+        tree = tree.compressed(grid)
+    tree.validate(grid)
+    return tree
+
+
+def agglomerative_schedule(grid: TriangularGrid, compress: bool = True) -> ScheduleTree:
+    """Bottom-up schedule construction (an extension beyond the paper).
+
+    Start from the Direct-Hop star and repeatedly apply the best
+    cost-reducing move until none exists:
+
+    * **merge** — two siblings are re-hung under the ICG spanning both
+      (gain = ``|surplus(span)| − |surplus(parent)|``, the additions the
+      pair now shares);
+    * **adopt** — a node moves under a sibling that contains it
+      (gain = ``|surplus(sibling)| − |surplus(parent)|``).
+
+    Cost strictly decreases with each move, so termination is
+    guaranteed.  In the ablation this typically closes most of the gap
+    between the paper's greedy Steiner heuristic and the exact optimum.
+    """
+    tree = ScheduleTree(root=grid.root)
+    for leaf in grid.leaves:
+        if leaf != grid.root:
+            tree.parent[leaf] = grid.root
+
+    def children_of() -> dict:
+        return tree.children_map()
+
+    while True:
+        children = children_of()
+        best: Optional[Tuple[int, str, Interval, Interval, Interval]] = None
+        for parent, kids in children.items():
+            if len(kids) < 2:
+                continue
+            parent_size = grid.surplus_size(parent)
+            for i, a in enumerate(kids):
+                for b in kids[i + 1:]:
+                    if TriangularGrid.contains(a, b) and a != b:
+                        gain = grid.surplus_size(a) - parent_size
+                        if gain > 0 and (best is None or gain > best[0]):
+                            best = (gain, "adopt", a, b, a)
+                        continue
+                    if TriangularGrid.contains(b, a):
+                        gain = grid.surplus_size(b) - parent_size
+                        if gain > 0 and (best is None or gain > best[0]):
+                            best = (gain, "adopt", b, a, b)
+                        continue
+                    span = (min(a[0], b[0]), max(a[1], b[1]))
+                    if span == parent or not grid.is_node(span):
+                        continue
+                    gain = grid.surplus_size(span) - parent_size
+                    if gain > 0 and (best is None or gain > best[0]):
+                        best = (gain, "merge", a, b, span)
+        if best is None:
+            break
+        _, kind, a, b, target = best
+        if kind == "adopt":
+            tree.parent[b] = target
+        else:
+            parent = tree.parent[a]
+            if not tree.contains_node(target):
+                tree.parent[target] = parent
+            tree.parent[a] = target
+            tree.parent[b] = target
+    if compress:
+        tree = tree.compressed(grid)
+    tree.validate(grid)
+    return tree
+
+
+def _optimal_tree_over(
+    grid: TriangularGrid, nodes: Iterable[Interval]
+) -> Tuple[int, ScheduleTree]:
+    """Best tree on a fixed node set: each node hangs off its deepest
+    containing node in the set (weights telescope, so this is optimal
+    for the given set)."""
+    nodes = list(nodes)
+    tree = ScheduleTree(root=grid.root)
+    cost = 0
+    for node in nodes:
+        if node == grid.root:
+            continue
+        best_parent = None
+        best_size = -1
+        for other in nodes:
+            if other != node and TriangularGrid.contains(other, node):
+                size = grid.surplus_size(other)
+                if size > best_size:
+                    best_parent, best_size = other, size
+        if best_parent is None:
+            raise ScheduleError(f"{node} has no containing node in the set")
+        tree.parent[node] = best_parent
+        cost += grid.surplus_size(node) - best_size
+    return cost, tree
+
+
+def exact_steiner(grid: TriangularGrid, max_snapshots: int = 6) -> ScheduleTree:
+    """Optimal schedule by exhaustive search over intermediate node sets.
+
+    Exponential in the number of intermediate grid nodes; refuses to run
+    beyond ``max_snapshots`` snapshots.
+    """
+    if grid.n > max_snapshots:
+        raise ScheduleError(
+            f"exact Steiner is exponential; n={grid.n} exceeds "
+            f"max_snapshots={max_snapshots}"
+        )
+    terminals = [grid.root] + [l for l in grid.leaves if l != grid.root]
+    intermediates = [
+        node
+        for node in grid.nodes()
+        if node != grid.root and node not in grid.leaves
+    ]
+    best_cost = None
+    best_tree = None
+    for r in range(len(intermediates) + 1):
+        for subset in combinations(intermediates, r):
+            cost, tree = _optimal_tree_over(grid, terminals + list(subset))
+            if best_cost is None or cost < best_cost:
+                best_cost, best_tree = cost, tree
+    assert best_tree is not None
+    best_tree = best_tree.compressed(grid)
+    best_tree.validate(grid)
+    return best_tree
+
+
+def build_schedule(grid: TriangularGrid, strategy: str = "work-sharing") -> ScheduleTree:
+    """Build a schedule by strategy name.
+
+    ``"direct-hop"``, ``"work-sharing"`` (the paper's greedy Steiner +
+    bypass), ``"agglomerative"`` (bottom-up extension, usually cheaper
+    than greedy) or ``"exact"`` (small inputs only).
+    """
+    if strategy == "direct-hop":
+        return direct_hop_tree(grid)
+    if strategy == "work-sharing":
+        return greedy_steiner(grid)
+    if strategy == "agglomerative":
+        return agglomerative_schedule(grid)
+    if strategy == "exact":
+        return exact_steiner(grid)
+    raise ScheduleError(
+        f"unknown strategy {strategy!r}; expected 'direct-hop', "
+        f"'work-sharing', 'agglomerative' or 'exact'"
+    )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the CommonGraph reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch package failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Malformed graph input (bad vertex ids, ragged arrays, ...)."""
+
+
+class EdgeSetError(GraphError):
+    """Invalid edge-set construction or operation."""
+
+
+class DeltaError(ReproError):
+    """Invalid delta batch (e.g. adding an edge that already exists)."""
+
+
+class SnapshotError(ReproError):
+    """Snapshot index out of range or inconsistent snapshot state."""
+
+
+class ScheduleError(ReproError):
+    """Invalid query-evaluation schedule (not a tree, missing leaves, ...)."""
+
+
+class AlgorithmError(ReproError):
+    """Unknown algorithm name or invalid algorithm configuration."""
+
+
+class EngineError(ReproError):
+    """Engine misuse, e.g. evaluating before initialisation."""

@@ -1,0 +1,17 @@
+"""Evolving-graph model: delta batches, snapshots, stream generation,
+and version-control primitives."""
+
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.generator import UpdateStreamGenerator, generate_evolving_graph
+from repro.evolving.snapshots import EvolvingGraph
+from repro.evolving.store import SnapshotStore
+from repro.evolving.version_control import VersionController
+
+__all__ = [
+    "DeltaBatch",
+    "EvolvingGraph",
+    "SnapshotStore",
+    "UpdateStreamGenerator",
+    "generate_evolving_graph",
+    "VersionController",
+]

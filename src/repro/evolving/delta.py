@@ -1,0 +1,79 @@
+"""Delta batches: the unit of change between consecutive snapshots.
+
+A :class:`DeltaBatch` is the pair (Δ+, Δ−) of edge additions and
+deletions that transforms snapshot ``G_t`` into ``G_{t+1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeltaError
+from repro.graph.edgeset import EdgeSet
+
+__all__ = ["DeltaBatch"]
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """A batch of edge additions and deletions (Δ+, Δ−).
+
+    Invariant: the two sets are disjoint — an edge cannot be both added
+    and deleted in the same batch.
+    """
+
+    additions: EdgeSet = field(default_factory=EdgeSet)
+    deletions: EdgeSet = field(default_factory=EdgeSet)
+
+    def __post_init__(self) -> None:
+        if not self.additions.isdisjoint(self.deletions):
+            raise DeltaError("additions and deletions must be disjoint")
+
+    @property
+    def size(self) -> int:
+        """Total number of edge updates in the batch."""
+        return len(self.additions) + len(self.deletions)
+
+    def inverse(self) -> "DeltaBatch":
+        """The batch that undoes this one."""
+        return DeltaBatch(additions=self.deletions, deletions=self.additions)
+
+    def compose(self, later: "DeltaBatch") -> "DeltaBatch":
+        """The single batch equivalent to applying ``self`` then ``later``.
+
+        Updates cancel where the later batch reverts the earlier one
+        (an edge added then deleted — or deleted then re-added —
+        contributes nothing), so the composed batch can be *smaller*
+        than the sum of its parts.  This is how consecutive snapshots
+        are coarsened into a sparser timeline (cf. Figure 9's fixed
+        total updates at varying granularity).
+        """
+        # Net addition: added by either batch and not reverted by the
+        # other; symmetrically for deletions.  The two sides are
+        # provably disjoint for well-formed (strict) streams.
+        additions = (self.additions - later.deletions) | (
+            later.additions - self.deletions
+        )
+        deletions = (self.deletions - later.additions) | (
+            later.deletions - self.additions
+        )
+        return DeltaBatch(additions=additions, deletions=deletions)
+
+    def apply(self, edges: EdgeSet, strict: bool = True) -> EdgeSet:
+        """Apply this batch to an edge set, returning the new set.
+
+        With ``strict=True`` (the default), every addition must be new
+        and every deletion must be present, mirroring a well-formed
+        update stream.
+        """
+        if strict:
+            stale = self.additions & edges
+            if stale:
+                raise DeltaError(f"{len(stale)} additions already present")
+            missing = self.deletions - edges
+            if missing:
+                raise DeltaError(f"{len(missing)} deletions not present")
+        return (edges | self.additions) - self.deletions
+
+    def __repr__(self) -> str:
+        return f"DeltaBatch(+{len(self.additions)}, -{len(self.deletions)})"

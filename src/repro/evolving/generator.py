@@ -1,0 +1,158 @@
+"""Synthetic update-stream generation for evolving-graph workloads.
+
+Mirrors the paper's experimental setup: each snapshot is separated from
+the next by a batch of edge changes split between additions and
+deletions (§5: "split evenly between additions and deletions", with a
+sensitivity study over the ratio in Figure 10).
+
+Additions draw from two pools: previously-deleted edges (re-additions,
+which real update streams exhibit and which the paper's own worked
+example in Figure 4 contains) and fresh random edges.  Deletions sample
+the current edge set uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DeltaError
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.snapshots import EvolvingGraph
+from repro.graph.edgeset import EdgeSet, encode_edges
+
+__all__ = ["UpdateStreamGenerator", "generate_evolving_graph"]
+
+
+class UpdateStreamGenerator:
+    """Generates a stream of delta batches over a base edge set.
+
+    Parameters
+    ----------
+    num_vertices:
+        Vertex-id range for fresh edges.
+    base:
+        Edge set of snapshot 0.
+    batch_size:
+        Total updates (additions + deletions) per batch.
+    add_fraction:
+        Fraction of each batch that is additions (0.5 = paper default).
+    readd_fraction:
+        Fraction of additions drawn from previously deleted edges when
+        available (creates the shared structure the Triangular Grid
+        exploits).
+    protect_vertex:
+        Optional vertex whose *out*-edges are never deleted — keeps a
+        query source from being disconnected in tiny test graphs.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        base: EdgeSet,
+        batch_size: int,
+        add_fraction: float = 0.5,
+        readd_fraction: float = 0.5,
+        seed: int = 0,
+        protect_vertex: Optional[int] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise DeltaError("batch_size must be >= 1")
+        if not 0.0 <= add_fraction <= 1.0:
+            raise DeltaError("add_fraction must be in [0, 1]")
+        if not 0.0 <= readd_fraction <= 1.0:
+            raise DeltaError("readd_fraction must be in [0, 1]")
+        self.num_vertices = int(num_vertices)
+        self.batch_size = int(batch_size)
+        self.add_fraction = float(add_fraction)
+        self.readd_fraction = float(readd_fraction)
+        self.protect_vertex = protect_vertex
+        self._rng = np.random.default_rng(seed)
+        self._current = base
+        self._removed_pool = EdgeSet.empty()
+
+    # -- sampling helpers ---------------------------------------------------
+    def _sample_deletions(self, count: int) -> EdgeSet:
+        candidates = self._current.codes
+        if self.protect_vertex is not None:
+            src = candidates >> np.int64(32)
+            candidates = candidates[src != self.protect_vertex]
+        count = min(count, candidates.size)
+        if count == 0:
+            return EdgeSet.empty()
+        picks = self._rng.choice(candidates.size, size=count, replace=False)
+        return EdgeSet(candidates[picks])
+
+    def _sample_fresh(self, count: int, forbidden: EdgeSet) -> EdgeSet:
+        collected = np.empty(0, dtype=np.int64)
+        attempts = 0
+        while collected.size < count and attempts < 64:
+            want = count - collected.size
+            batch = max(want * 2, 64)
+            src = self._rng.integers(0, self.num_vertices, size=batch, dtype=np.int64)
+            dst = self._rng.integers(0, self.num_vertices, size=batch, dtype=np.int64)
+            keep = src != dst
+            codes = np.unique(encode_edges(src[keep], dst[keep]))
+            codes = codes[~self._current.contains_codes(codes)]
+            codes = codes[~forbidden.contains_codes(codes)]
+            collected = np.union1d(collected, codes)
+            attempts += 1
+        if collected.size > count:
+            picks = self._rng.choice(collected.size, size=count, replace=False)
+            collected = collected[picks]
+        return EdgeSet(collected)
+
+    def _sample_additions(self, count: int, deletions: EdgeSet) -> EdgeSet:
+        n_readd = int(round(count * self.readd_fraction))
+        pool = (self._removed_pool - self._current).difference(deletions)
+        n_readd = min(n_readd, len(pool))
+        readds = EdgeSet.empty()
+        if n_readd:
+            picks = self._rng.choice(pool.codes.size, size=n_readd, replace=False)
+            readds = EdgeSet(pool.codes[picks])
+        fresh = self._sample_fresh(count - len(readds), forbidden=deletions | readds)
+        return readds | fresh
+
+    # -- stream interface ---------------------------------------------------
+    def next_batch(self) -> DeltaBatch:
+        """Generate the next delta batch and advance the current state."""
+        n_add = int(round(self.batch_size * self.add_fraction))
+        n_del = self.batch_size - n_add
+        deletions = self._sample_deletions(n_del)
+        additions = self._sample_additions(n_add, deletions)
+        batch = DeltaBatch(additions=additions, deletions=deletions)
+        self._current = batch.apply(self._current, strict=True)
+        self._removed_pool = self._removed_pool | deletions
+        return batch
+
+    @property
+    def current_edges(self) -> EdgeSet:
+        return self._current
+
+
+def generate_evolving_graph(
+    num_vertices: int,
+    base: EdgeSet,
+    num_snapshots: int,
+    batch_size: int,
+    add_fraction: float = 0.5,
+    readd_fraction: float = 0.5,
+    seed: int = 0,
+    name: str = "",
+    protect_vertex: Optional[int] = None,
+) -> EvolvingGraph:
+    """Build an :class:`EvolvingGraph` with ``num_snapshots`` snapshots."""
+    if num_snapshots < 1:
+        raise DeltaError("num_snapshots must be >= 1")
+    gen = UpdateStreamGenerator(
+        num_vertices,
+        base,
+        batch_size,
+        add_fraction=add_fraction,
+        readd_fraction=readd_fraction,
+        seed=seed,
+        protect_vertex=protect_vertex,
+    )
+    batches = [gen.next_batch() for _ in range(num_snapshots - 1)]
+    return EvolvingGraph(num_vertices, base, batches, name=name)

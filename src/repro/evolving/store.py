@@ -1,0 +1,165 @@
+"""Directory-backed persistent storage for evolving graphs.
+
+Layout (one directory per evolving graph)::
+
+    store/
+      manifest.json        # name, num_vertices, num_batches, format tag
+      base.npz             # snapshot 0 edge codes
+      batch_00000.npz      # Δ+ / Δ− codes of batch 0
+      batch_00001.npz
+      ...
+
+Mirrors the paper's storage organisation (§4.1): the graph is kept as
+a base plus Δ batches, so new snapshots are appended as one small file
+and nothing existing is rewritten.  Batches load lazily — opening a
+store reads only the manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.errors import SnapshotError
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.snapshots import EvolvingGraph
+from repro.graph.edgeset import EdgeSet
+
+__all__ = ["SnapshotStore"]
+
+_FORMAT = "repro-snapshot-store-v1"
+
+
+class SnapshotStore:
+    """Append-only on-disk store of a base snapshot plus delta batches."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        manifest_path = self.directory / "manifest.json"
+        if not manifest_path.is_file():
+            raise SnapshotError(f"{self.directory} is not a snapshot store")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != _FORMAT:
+            raise SnapshotError(
+                f"{self.directory}: unsupported store format "
+                f"{manifest.get('format')!r}"
+            )
+        self.name: str = manifest["name"]
+        self.num_vertices: int = int(manifest["num_vertices"])
+        self._num_batches: int = int(manifest["num_batches"])
+
+    # -- creation -----------------------------------------------------------
+    @classmethod
+    def create(
+        cls, directory: Union[str, Path], evolving: EvolvingGraph
+    ) -> "SnapshotStore":
+        """Persist an evolving graph into a new store directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / "manifest.json").exists():
+            raise SnapshotError(f"{directory} already contains a store")
+        np.savez_compressed(
+            directory / "base.npz", codes=evolving.snapshot_edges(0).codes
+        )
+        for index, batch in enumerate(evolving.batches):
+            cls._write_batch(directory, index, batch)
+        manifest = {
+            "format": _FORMAT,
+            "name": evolving.name,
+            "num_vertices": evolving.num_vertices,
+            "num_batches": len(evolving.batches),
+        }
+        with open(directory / "manifest.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+        return cls(directory)
+
+    @staticmethod
+    def _batch_path(directory: Path, index: int) -> Path:
+        return directory / f"batch_{index:05d}.npz"
+
+    @classmethod
+    def _write_batch(cls, directory: Path, index: int, batch: DeltaBatch) -> None:
+        np.savez_compressed(
+            cls._batch_path(directory, index),
+            additions=batch.additions.codes,
+            deletions=batch.deletions.codes,
+        )
+
+    # -- shape ----------------------------------------------------------------
+    @property
+    def num_batches(self) -> int:
+        return self._num_batches
+
+    @property
+    def num_snapshots(self) -> int:
+        return self._num_batches + 1
+
+    # -- reading ----------------------------------------------------------------
+    def base_edges(self) -> EdgeSet:
+        with np.load(self.directory / "base.npz") as data:
+            return EdgeSet(data["codes"])
+
+    def read_batch(self, index: int) -> DeltaBatch:
+        if not 0 <= index < self._num_batches:
+            raise SnapshotError(
+                f"batch {index} out of range [0, {self._num_batches})"
+            )
+        path = self._batch_path(self.directory, index)
+        if not path.is_file():
+            raise SnapshotError(f"store is missing {path.name}")
+        with np.load(path) as data:
+            return DeltaBatch(
+                additions=EdgeSet(data["additions"]),
+                deletions=EdgeSet(data["deletions"]),
+            )
+
+    def iter_batches(self) -> Iterator[DeltaBatch]:
+        for index in range(self._num_batches):
+            yield self.read_batch(index)
+
+    def load(self) -> EvolvingGraph:
+        """Materialise the full evolving graph in memory."""
+        return EvolvingGraph(
+            self.num_vertices,
+            self.base_edges(),
+            list(self.iter_batches()),
+            name=self.name,
+        )
+
+    # -- appending ------------------------------------------------------------
+    def append(self, batch: DeltaBatch) -> int:
+        """Append one batch (one new snapshot); returns its batch index.
+
+        Validates the batch against the current tip before committing
+        anything, so a bad batch leaves the store untouched.
+        """
+        tip = self.base_edges()
+        for existing in self.iter_batches():
+            tip = existing.apply(tip, strict=False)
+        batch.apply(tip, strict=True)  # raises DeltaError if malformed
+        if batch.additions.max_vertex() >= self.num_vertices or (
+            batch.deletions.max_vertex() >= self.num_vertices
+        ):
+            raise SnapshotError("batch references vertex out of range")
+        index = self._num_batches
+        self._write_batch(self.directory, index, batch)
+        self._num_batches += 1
+        manifest = {
+            "format": _FORMAT,
+            "name": self.name,
+            "num_vertices": self.num_vertices,
+            "num_batches": self._num_batches,
+        }
+        with open(self.directory / "manifest.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+        return index
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotStore({str(self.directory)!r}, name={self.name!r}, "
+            f"snapshots={self.num_snapshots})"
+        )

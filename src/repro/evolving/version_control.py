@@ -1,0 +1,163 @@
+"""Version-control primitives for evolving graphs (Table 1 of the paper).
+
+========================  ====================================================
+API                       Description
+========================  ====================================================
+``get_version(number)``   Retrieve a snapshot (as a mutation-free overlay)
+``diff(a, b)``            Difference between two snapshots as a delta batch
+``new_version(Δ+, Δ−)``   Append a snapshot and update the common graph
+========================  ====================================================
+
+The controller keeps the common-graph decomposition in sync with the
+snapshot stream: per §4.1, when a new snapshot arrives, the edges it
+touches (additions *and* deletions) are removed from the common graph
+and redistributed into the per-snapshot surplus sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.common import CommonGraphDecomposition
+from repro.errors import ScheduleError, SnapshotError
+
+if TYPE_CHECKING:  # the evaluators import the kickstarter engine, which
+    # imports this package; resolve them lazily at call time instead.
+    from repro.core.results import EvolvingQueryResult
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.snapshots import EvolvingGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.overlay import OverlayGraph
+from repro.graph.weights import UnitWeights, WeightFn
+
+__all__ = ["VersionController"]
+
+
+class VersionController:
+    """Snapshot version control backed by the CommonGraph representation."""
+
+    def __init__(
+        self,
+        evolving: EvolvingGraph,
+        weight_fn: Optional[WeightFn] = None,
+    ) -> None:
+        self.evolving = evolving
+        self.weight_fn: WeightFn = weight_fn if weight_fn is not None else UnitWeights()
+        self._decomposition = CommonGraphDecomposition.from_evolving(evolving)
+        self._common_csr: Optional[CSRGraph] = None
+
+    # -- decomposition access ------------------------------------------------
+    @property
+    def decomposition(self) -> CommonGraphDecomposition:
+        return self._decomposition
+
+    @property
+    def num_versions(self) -> int:
+        return self.evolving.num_snapshots
+
+    def common_csr(self) -> CSRGraph:
+        """The shared common-graph CSR (cached; never mutated)."""
+        if self._common_csr is None:
+            self._common_csr = self._decomposition.common_csr(self.weight_fn)
+        return self._common_csr
+
+    # -- Table 1 primitives -----------------------------------------------------
+    def get_version(self, number: int) -> OverlayGraph:
+        """Retrieve snapshot ``number`` as common graph + Δ overlay."""
+        if not 0 <= number < self.num_versions:
+            raise SnapshotError(
+                f"version {number} out of range [0, {self.num_versions})"
+            )
+        surplus = self._decomposition.direct_hop_batch(number)
+        delta_csr = self._decomposition.delta_csr(surplus, self.weight_fn)
+        return OverlayGraph(self.common_csr(), (delta_csr,))
+
+    def diff(self, a: int, b: int) -> DeltaBatch:
+        """The delta batch transforming version ``a`` into version ``b``.
+
+        Computed on the small surplus sets; the common graph cancels.
+        """
+        if not 0 <= a < self.num_versions or not 0 <= b < self.num_versions:
+            raise SnapshotError("version out of range")
+        sa = self._decomposition.direct_hop_batch(a)
+        sb = self._decomposition.direct_hop_batch(b)
+        return DeltaBatch(additions=sb - sa, deletions=sa - sb)
+
+    def new_version(self, additions: EdgeSet, deletions: EdgeSet) -> int:
+        """Create a new snapshot; returns its version number.
+
+        The touched edges are removed from the common graph and pushed
+        into the surplus sets (§4.1), so existing overlays remain valid
+        and the common CSR is rebuilt only when it actually shrank.
+        """
+        batch = DeltaBatch(additions=additions, deletions=deletions)
+        self.evolving.append_batch(batch)
+
+        decomp = self._decomposition
+        touched = (additions | deletions) & decomp.common
+        new_common = decomp.common - touched
+        surpluses = [s | touched for s in decomp.surpluses] if touched else list(
+            decomp.surpluses
+        )
+        # Surplus of the new snapshot relative to the shrunk common graph.
+        new_edges = self.evolving.snapshot_edges(self.num_versions - 1)
+        surpluses.append(new_edges - new_common)
+        self._decomposition = CommonGraphDecomposition(
+            self.evolving.num_vertices, new_common, surpluses
+        )
+        if touched:
+            self._common_csr = None  # the shared CSR shrank; rebuild lazily
+        return self.num_versions - 1
+
+    # -- query evaluation ---------------------------------------------------
+    def evaluate(
+        self,
+        algorithm: MonotonicAlgorithm,
+        source: int,
+        first: int = 0,
+        last: int = -1,
+        strategy: str = "work-sharing",
+    ) -> "EvolvingQueryResult":
+        """Answer a query on a (range of) snapshot(s) in one call.
+
+        ``first..last`` (inclusive; ``last=-1`` means the latest
+        version) selects the window.  The window is evaluated from its
+        own intermediate common graph rather than the global one, so a
+        late, narrow window never pays for history before it — the
+        range-query capability the paper's conclusion calls out.
+        ``result.snapshot_values[k]`` holds version ``first + k``.
+        """
+        from repro.core.direct_hop import DirectHopEvaluator
+        from repro.core.engine import WorkSharingEvaluator
+
+        if last < 0:
+            last += self.num_versions
+        if not 0 <= first <= last < self.num_versions:
+            raise SnapshotError(
+                f"invalid range ({first}, {last}) for {self.num_versions} versions"
+            )
+        window = self._decomposition.restrict(first, last)
+        if strategy == "direct-hop":
+            evaluator = DirectHopEvaluator(
+                window, algorithm, source, weight_fn=self.weight_fn
+            )
+        elif strategy == "work-sharing":
+            evaluator = WorkSharingEvaluator(
+                window, algorithm, source, weight_fn=self.weight_fn
+            )
+        else:
+            raise ScheduleError(
+                f"unknown strategy {strategy!r}; expected "
+                f"'direct-hop' or 'work-sharing'"
+            )
+        return evaluator.run()
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionController(versions={self.num_versions}, "
+            f"|Gc|={len(self._decomposition.common)})"
+        )

@@ -1,0 +1,198 @@
+"""Immutable Compressed-Sparse-Row graph.
+
+This is the storage format used for the common graph and for every
+delta batch (the paper stores the CommonGraph and each Δ batch in CSR
+form so snapshots are *composed*, never mutated; see §4.1).
+
+The engine-facing protocol is :meth:`CSRGraph.gather`: given a frontier
+of active vertices, return the flat ``(sources, targets, weights)``
+arrays of all their out-edges with no Python-level loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.edgeset import EdgeSet, decode_edges, encode_edges
+from repro.graph.weights import UnitWeights, WeightFn
+from repro.utils import concat_ranges
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Directed graph in CSR form with per-edge float weights.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0..num_vertices-1``.
+    indptr:
+        ``int64`` array of length ``num_vertices + 1``.
+    indices:
+        ``int64`` array of edge targets, grouped by source.
+    weights:
+        ``float64`` array parallel to ``indices``.
+    """
+
+    __slots__ = ("num_vertices", "indptr", "indices", "weights")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if indptr.shape != (num_vertices + 1,):
+            raise GraphError("indptr must have length num_vertices + 1")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise GraphError("indptr must start at 0 and end at num_edges")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if weights.shape != indices.shape:
+            raise GraphError("weights must be parallel to indices")
+        if indices.size and (indices.min() < 0 or indices.max() >= num_vertices):
+            raise GraphError("edge target out of range")
+        self.num_vertices = int(num_vertices)
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        num_vertices: int,
+        weights: Optional[np.ndarray] = None,
+        weight_fn: Optional[WeightFn] = None,
+    ) -> "CSRGraph":
+        """Build a CSR from parallel edge arrays.
+
+        Exactly one of ``weights`` (explicit array) or ``weight_fn``
+        (deterministic function of the endpoints) may be given; with
+        neither, all weights are 1.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise GraphError("sources and targets must have the same shape")
+        if sources.size and (sources.min() < 0 or sources.max() >= num_vertices):
+            raise GraphError("edge source out of range")
+        if weights is not None and weight_fn is not None:
+            raise GraphError("pass either weights or weight_fn, not both")
+        order = np.argsort(sources, kind="stable")
+        sources = sources[order]
+        targets = targets[order]
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)[order]
+        else:
+            fn = weight_fn if weight_fn is not None else UnitWeights()
+            weights = fn(sources, targets)
+        counts = np.bincount(sources, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(num_vertices, indptr, targets, weights)
+
+    @classmethod
+    def from_edge_set(
+        cls,
+        edges: EdgeSet,
+        num_vertices: int,
+        weight_fn: Optional[WeightFn] = None,
+    ) -> "CSRGraph":
+        """Build a CSR from an :class:`EdgeSet` (weights from ``weight_fn``)."""
+        src, dst = edges.arrays()
+        return cls.from_edges(src, dst, num_vertices, weight_fn=weight_fn)
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "CSRGraph":
+        return cls(
+            num_vertices,
+            np.zeros(num_vertices + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
+    # -- basic accessors --------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the CSR arrays (indptr + indices + weights)."""
+        return int(self.indptr.nbytes + self.indices.nbytes + self.weights.nbytes)
+
+    def out_degree(self, vertex: int) -> int:
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, vertex: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(targets, weights)`` views of one vertex's out-edges."""
+        lo, hi = self.indptr[vertex], self.indptr[vertex + 1]
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All edges as flat ``(sources, targets, weights)`` arrays."""
+        sources = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees())
+        return sources, self.indices.copy(), self.weights.copy()
+
+    def edge_set(self) -> EdgeSet:
+        """The set of edges (weights dropped)."""
+        sources, targets, _ = self.edge_arrays()
+        return EdgeSet.from_arrays(sources, targets)
+
+    # -- engine protocol --------------------------------------------------
+    def gather(self, frontier: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat out-edges of the frontier: ``(sources, targets, weights)``.
+
+        ``frontier`` is an array of vertex ids; the result has one entry
+        per out-edge of a frontier vertex, with sources repeated.
+        """
+        frontier = np.asarray(frontier, dtype=np.int64)
+        starts = self.indptr[frontier]
+        stops = self.indptr[frontier + 1]
+        eidx = concat_ranges(starts, stops)
+        sources = np.repeat(frontier, stops - starts)
+        return sources, self.indices[eidx], self.weights[eidx]
+
+    # -- derived graphs ---------------------------------------------------
+    def transpose(self) -> "CSRGraph":
+        """Reverse every edge (weights preserved)."""
+        sources, targets, weights = self.edge_arrays()
+        return CSRGraph.from_edges(
+            targets, sources, self.num_vertices, weights=weights
+        )
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(V={self.num_vertices}, E={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.weights, other.weights)
+        )
+
+    def sorted_copy(self) -> "CSRGraph":
+        """Copy with each adjacency row sorted by target id."""
+        src, dst, w = self.edge_arrays()
+        code = encode_edges(src, dst)
+        order = np.argsort(code, kind="stable")
+        src2, dst2 = decode_edges(code[order])
+        return CSRGraph.from_edges(src2, dst2, self.num_vertices, weights=w[order])

@@ -1,0 +1,74 @@
+"""Graph and evolving-graph persistence.
+
+Two formats are supported:
+
+* **Edge-list text** — one ``u v`` pair per line, ``#`` comments; the
+  common interchange format for public graph datasets (SNAP, KONECT).
+* **NPZ bundles** — compact binary storage of an edge set or of a full
+  evolving graph (base snapshot plus all delta batches).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.edgeset import EdgeSet
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "save_edge_set_npz",
+    "load_edge_set_npz",
+]
+
+PathLike = Union[str, Path]
+
+
+def load_edge_list(path: PathLike) -> EdgeSet:
+    """Read a ``u v`` per line text edge list (``#`` starts a comment)."""
+    sources = []
+    targets = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            parts = body.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            try:
+                sources.append(int(parts[0]))
+                targets.append(int(parts[1]))
+            except ValueError as exc:
+                raise GraphError(f"{path}:{lineno}: non-integer vertex id") from exc
+    if not sources:
+        return EdgeSet.empty()
+    return EdgeSet.from_arrays(
+        np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64)
+    )
+
+
+def save_edge_list(edges: EdgeSet, path: PathLike) -> None:
+    """Write an edge set as a ``u v`` per line text file."""
+    src, dst = edges.arrays()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# directed edge list, one 'u v' pair per line\n")
+        for u, v in zip(src.tolist(), dst.tolist()):
+            handle.write(f"{u} {v}\n")
+
+
+def save_edge_set_npz(edges: EdgeSet, path: PathLike) -> None:
+    """Save an edge set as a compressed ``.npz`` file."""
+    np.savez_compressed(path, codes=edges.codes)
+
+
+def load_edge_set_npz(path: PathLike) -> EdgeSet:
+    """Load an edge set written by :func:`save_edge_set_npz`."""
+    with np.load(path) as data:
+        if "codes" not in data:
+            raise GraphError(f"{path}: not an edge-set bundle (missing 'codes')")
+        return EdgeSet(data["codes"])

@@ -1,0 +1,249 @@
+"""Mutable graph with in-place, row-local mutation (streaming baseline).
+
+This models the graph-update path of KickStarter/Ligra-style streaming
+systems, whose costs the paper measures in Figure 1 (bottom) and the
+mutation components of Figure 11.  Mutation cost must scale with the
+*update batch* (the paper's Figure 1 shows mutation cost growing with
+batch size), so updates are row-local and copy-on-write:
+
+* the pristine graph stays in flat CSR form (and its transpose);
+* the first update touching a vertex's adjacency row copies that row
+  out of the CSR into an override table; subsequent edits rewrite only
+  that row.
+
+**Additions** append to the source's out-row and the target's in-row —
+two row copies.  **Deletions** must first *locate* the edge in both
+rows (a scan) and then compact each row — making a deletion inherently
+more expensive than an addition, which is exactly the asymmetry the
+paper measures (and that the CommonGraph representation sidesteps by
+never mutating at all).
+
+Traversal (``gather``) runs vectorised over the pristine CSR for
+untouched rows and falls back to the override table for touched ones,
+so the mutation bookkeeping also taxes every subsequent traversal — as
+it does in real dynamic-graph stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.weights import UnitWeights, WeightFn
+from repro.utils import Stopwatch
+
+__all__ = ["MutableGraph", "MutationCosts"]
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+@dataclass
+class MutationCosts:
+    """Accumulated graph-mutation costs, split by operation kind."""
+
+    add: Stopwatch = field(default_factory=Stopwatch)
+    delete: Stopwatch = field(default_factory=Stopwatch)
+    #: Adjacency-row elements copied while applying additions/deletions.
+    elements_moved_add: int = 0
+    elements_moved_delete: int = 0
+
+    @property
+    def add_seconds(self) -> float:
+        return self.add.seconds
+
+    @property
+    def delete_seconds(self) -> float:
+        return self.delete.seconds
+
+    def reset(self) -> None:
+        self.add.reset()
+        self.delete.reset()
+        self.elements_moved_add = 0
+        self.elements_moved_delete = 0
+
+
+class _RowStore:
+    """One direction of the graph: flat CSR + copy-on-write row overrides."""
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self.csr = csr
+        self.rows: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def row(self, vertex: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Current ``(targets, weights)`` of a row (view or override)."""
+        override = self.rows.get(vertex)
+        if override is not None:
+            return override
+        return self.csr.neighbors(vertex)
+
+    def materialise(self, vertex: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Copy the row into the override table (idempotent)."""
+        override = self.rows.get(vertex)
+        if override is None:
+            targets, weights = self.csr.neighbors(vertex)
+            override = (targets.copy(), weights.copy())
+            self.rows[vertex] = override
+        return override
+
+    def append(self, vertex: int, target: int, weight: float) -> int:
+        """Append one edge to a row; returns elements copied."""
+        targets, weights = self.materialise(vertex)
+        self.rows[vertex] = (
+            np.append(targets, np.int64(target)),
+            np.append(weights, np.float64(weight)),
+        )
+        return targets.size + 1
+
+    def remove(self, vertex: int, target: int) -> int:
+        """Scan a row for ``target`` and compact it out; returns elements
+        scanned plus copied (the deletion's row-local cost)."""
+        targets, weights = self.materialise(vertex)
+        hits = np.flatnonzero(targets == target)
+        if hits.size == 0:
+            raise GraphError(f"edge ({vertex}, {target}) not present")
+        idx = int(hits[0])
+        self.rows[vertex] = (np.delete(targets, idx), np.delete(weights, idx))
+        return 2 * targets.size - 1  # scan + compaction copy
+
+    def gather(self, frontier: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat ``(rows, targets, weights)`` of the frontier's rows."""
+        if not self.rows:
+            return self.csr.gather(frontier)
+        dirty_mask = np.fromiter(
+            (int(v) in self.rows for v in frontier), dtype=bool, count=frontier.size
+        )
+        clean = frontier[~dirty_mask]
+        srcs, dsts, ws = [], [], []
+        if clean.size:
+            s, d, w = self.csr.gather(clean)
+            srcs.append(s)
+            dsts.append(d)
+            ws.append(w)
+        for v in frontier[dirty_mask]:
+            targets, weights = self.rows[int(v)]
+            if targets.size:
+                srcs.append(np.full(targets.size, v, dtype=np.int64))
+                dsts.append(targets)
+                ws.append(weights)
+        if not srcs:
+            return _EMPTY_I, _EMPTY_I.copy(), _EMPTY_F
+        return np.concatenate(srcs), np.concatenate(dsts), np.concatenate(ws)
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All current edges as flat arrays (rows, targets, weights)."""
+        n = self.csr.num_vertices
+        all_rows = np.arange(n, dtype=np.int64)
+        if not self.rows:
+            s, d, w = self.csr.edge_arrays()
+            return s, d, w
+        return self.gather(all_rows)
+
+
+class MutableGraph:
+    """A directed graph supporting in-place add/delete batches.
+
+    Exposes the same ``gather`` protocol as :class:`CSRGraph` plus
+    ``gather_in`` over the maintained transpose (the incremental
+    deletion algorithm repairs trimmed vertices through in-edges).
+    """
+
+    def __init__(
+        self,
+        base: CSRGraph,
+        weight_fn: Optional[WeightFn] = None,
+    ) -> None:
+        self._weight_fn: WeightFn = weight_fn if weight_fn is not None else UnitWeights()
+        self.num_vertices = base.num_vertices
+        self._out = _RowStore(base)
+        self._in = _RowStore(base.transpose())
+        self._num_edges = base.num_edges
+        self.costs = MutationCosts()
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_edge_set(
+        cls,
+        edges: EdgeSet,
+        num_vertices: int,
+        weight_fn: Optional[WeightFn] = None,
+    ) -> "MutableGraph":
+        base = CSRGraph.from_edge_set(edges, num_vertices, weight_fn=weight_fn)
+        return cls(base, weight_fn=weight_fn)
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def weight_fn(self) -> WeightFn:
+        return self._weight_fn
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def edge_set(self) -> EdgeSet:
+        src, dst, _ = self._out.edge_arrays()
+        return EdgeSet.from_arrays(src, dst)
+
+    def snapshot_csr(self) -> CSRGraph:
+        """Materialise the current graph as a single pristine CSR."""
+        src, dst, w = self._out.edge_arrays()
+        return CSRGraph.from_edges(src, dst, self.num_vertices, weights=w)
+
+    def neighbors(self, vertex: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(targets, weights)`` of one vertex's out-edges."""
+        return self._out.row(vertex)
+
+    # -- engine protocol ------------------------------------------------------
+    def gather(self, frontier: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Out-edges of the frontier."""
+        return self._out.gather(np.asarray(frontier, dtype=np.int64))
+
+    def gather_in(self, frontier: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """In-edges of the frontier as ``(origins, frontier_vertices, weights)``."""
+        rows, origins, weights = self._in.gather(np.asarray(frontier, dtype=np.int64))
+        return origins, rows, weights
+
+    # -- mutation -----------------------------------------------------------
+    def add_batch(self, additions: EdgeSet) -> None:
+        """Insert a batch of edges (row-local, out-row and in-row each)."""
+        with self.costs.add:
+            src, dst = additions.arrays()
+            if src.size and (
+                src.max() >= self.num_vertices or dst.max() >= self.num_vertices
+            ):
+                raise GraphError("edge endpoint out of range")
+            weights = self._weight_fn(src, dst)
+            moved = 0
+            for u, v, w in zip(src.tolist(), dst.tolist(), weights.tolist()):
+                moved += self._out.append(u, v, w)
+                moved += self._in.append(v, u, w)
+            self._num_edges += int(src.size)
+            self.costs.elements_moved_add += moved
+
+    def delete_batch(self, deletions: EdgeSet) -> None:
+        """Remove a batch of edges.
+
+        Each deletion scans and compacts the source's out-row *and* the
+        target's in-row — inherently costlier than the append an
+        addition needs, which reproduces the paper's mutation-cost
+        asymmetry (Figure 1, bottom).
+        """
+        with self.costs.delete:
+            src, dst = deletions.arrays()
+            moved = 0
+            for u, v in zip(src.tolist(), dst.tolist()):
+                moved += self._out.remove(u, v)
+                moved += self._in.remove(v, u)
+            self._num_edges -= int(src.size)
+            self.costs.elements_moved_delete += moved
+
+    def __repr__(self) -> str:
+        return (
+            f"MutableGraph(V={self.num_vertices}, E={self.num_edges}, "
+            f"dirty_rows={len(self._out.rows) + len(self._in.rows)})"
+        )

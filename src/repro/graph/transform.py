@@ -1,0 +1,76 @@
+"""Edge-set transformations.
+
+Utilities for preparing real-world inputs: many public datasets are
+undirected (symmetrise), contain self-loops (drop them), use sparse or
+arbitrary vertex ids (relabel densely), or are analysed one region at a
+time (induced subgraphs).  All operate on :class:`EdgeSet` so the
+results plug straight into the evolving-graph pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.graph.edgeset import EdgeSet, encode_edges
+
+__all__ = [
+    "symmetrize",
+    "remove_self_loops",
+    "induced_subgraph",
+    "relabel_dense",
+    "reverse_edges",
+]
+
+
+def symmetrize(edges: EdgeSet) -> EdgeSet:
+    """Add the reverse of every edge (undirected → directed encoding)."""
+    src, dst = edges.arrays()
+    return EdgeSet(
+        np.concatenate([edges.codes, encode_edges(dst, src)])
+    )
+
+
+def reverse_edges(edges: EdgeSet) -> EdgeSet:
+    """Flip every edge's direction."""
+    src, dst = edges.arrays()
+    return EdgeSet(encode_edges(dst, src))
+
+
+def remove_self_loops(edges: EdgeSet) -> EdgeSet:
+    """Drop edges whose endpoints coincide."""
+    src, dst = edges.arrays()
+    keep = src != dst
+    return EdgeSet(edges.codes[keep], _trusted=True)
+
+
+def induced_subgraph(edges: EdgeSet, vertices: np.ndarray) -> EdgeSet:
+    """Edges whose *both* endpoints are in ``vertices``."""
+    vertex_set = np.unique(np.asarray(vertices, dtype=np.int64))
+    src, dst = edges.arrays()
+
+    def member(ids: np.ndarray) -> np.ndarray:
+        pos = np.searchsorted(vertex_set, ids)
+        pos = np.clip(pos, 0, max(vertex_set.size - 1, 0))
+        if vertex_set.size == 0:
+            return np.zeros(ids.shape, dtype=bool)
+        return vertex_set[pos] == ids
+
+    keep = member(src) & member(dst)
+    return EdgeSet(edges.codes[keep], _trusted=True)
+
+
+def relabel_dense(edges: EdgeSet) -> Tuple[EdgeSet, Dict[int, int]]:
+    """Relabel vertices to a dense ``0..k-1`` range.
+
+    Returns the relabelled edge set and the old→new id mapping.  Useful
+    after loading datasets with sparse ids so CSR arrays are sized by
+    the number of *used* vertices.
+    """
+    src, dst = edges.arrays()
+    used = np.unique(np.concatenate([src, dst]))
+    new_src = np.searchsorted(used, src)
+    new_dst = np.searchsorted(used, dst)
+    mapping = {int(old): int(new) for new, old in enumerate(used.tolist())}
+    return EdgeSet.from_arrays(new_src, new_dst), mapping

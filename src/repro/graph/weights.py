@@ -1,0 +1,83 @@
+"""Deterministic edge-weight functions.
+
+In the evolving-graph model a weight is a fixed property of an edge
+``(u, v)``: an edge deleted at snapshot *t* and re-added at snapshot
+*t+k* has the same weight both times.  We therefore derive weights
+deterministically from the edge endpoints (plus a seed) instead of
+storing them alongside every edge set; any CSR materialised from any
+snapshot, common graph, or delta batch automatically agrees on weights.
+
+:class:`HashWeights` uses a SplitMix64-style integer mix, vectorised
+with NumPy ``uint64`` arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["WeightFn", "UnitWeights", "HashWeights", "default_weights"]
+
+
+class WeightFn(Protocol):
+    """Callable mapping parallel ``(sources, targets)`` arrays to weights."""
+
+    def __call__(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Return a float64 weight per edge."""
+
+
+class UnitWeights:
+    """All edges weigh 1.0 (used by BFS and unweighted queries)."""
+
+    def __call__(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return np.ones(np.asarray(sources).shape, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return "UnitWeights()"
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorised SplitMix64 finaliser over uint64 values."""
+    with np.errstate(over="ignore"):
+        x = (x + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        x = x ^ (x >> np.uint64(31))
+    return x
+
+
+class HashWeights:
+    """Deterministic pseudo-random integer weights in ``[1, max_weight]``.
+
+    Parameters
+    ----------
+    max_weight:
+        Inclusive upper bound for the weight values.
+    seed:
+        Mix seed; two :class:`HashWeights` with the same seed and bound
+        agree on every edge.
+    """
+
+    def __init__(self, max_weight: int = 64, seed: int = 0) -> None:
+        if max_weight < 1:
+            raise ValueError("max_weight must be >= 1")
+        self.max_weight = int(max_weight)
+        self.seed = int(seed)
+
+    def __call__(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        src = np.asarray(sources, dtype=np.uint64)
+        dst = np.asarray(targets, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            code = (src << np.uint64(32)) | dst
+            code = code ^ np.uint64(self.seed & 0xFFFFFFFFFFFFFFFF)
+        mixed = _splitmix64(code)
+        return (mixed % np.uint64(self.max_weight)).astype(np.float64) + 1.0
+
+    def __repr__(self) -> str:
+        return f"HashWeights(max_weight={self.max_weight}, seed={self.seed})"
+
+
+def default_weights() -> WeightFn:
+    """The weight function used by the benchmark harness (1..64)."""
+    return HashWeights(max_weight=64, seed=0)

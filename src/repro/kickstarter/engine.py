@@ -1,0 +1,297 @@
+"""Core push-based computation engine (KickStarter-style).
+
+The engine maintains one value per vertex and propagates improvements
+along out-edges until a fixpoint.  It has two execution modes, matching
+the scheduler policy of §4.3 of the paper:
+
+* **sync** — vectorised rounds: gather all out-edges of the frontier,
+  scatter-reduce proposals, diff values to find the next frontier.
+  Updates take effect in the next round.  Best for large frontiers.
+* **async** — a Python-level worklist where an updated value is visible
+  immediately.  Best for tiny frontiers (small streaming batches),
+  where the fixed per-round cost of the vectorised path dominates.
+
+``mode="auto"`` switches between them based on frontier size and is the
+default used by all evaluators.
+
+Optionally the engine tracks, per vertex, the *parent* — the origin of
+the edge whose proposal produced the vertex's current value.  Parents
+form the dependence tree that KickStarter's deletion handling trims
+(:mod:`repro.kickstarter.deletion`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.errors import EngineError
+
+__all__ = [
+    "GraphLike",
+    "EngineCounters",
+    "VertexState",
+    "push_until_stable",
+    "static_compute",
+    "seed_edges",
+    "incremental_additions",
+    "ASYNC_THRESHOLD",
+]
+
+#: Frontier size below which ``mode="auto"`` uses the async worklist.
+ASYNC_THRESHOLD = 32
+
+
+class GraphLike(Protocol):
+    """What the engine needs from a graph representation."""
+
+    num_vertices: int
+
+    def gather(self, frontier: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat ``(sources, targets, weights)`` of the frontier's out-edges."""
+
+    def neighbors(self, vertex: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(targets, weights)`` of one vertex's out-edges."""
+
+
+@dataclass
+class EngineCounters:
+    """Work counters, used for shape checks that are timing-independent."""
+
+    edges_relaxed: int = 0
+    vertices_updated: int = 0
+    iterations: int = 0
+    vertices_trimmed: int = 0
+    trim_rounds: int = 0
+
+    def reset(self) -> None:
+        self.edges_relaxed = 0
+        self.vertices_updated = 0
+        self.iterations = 0
+        self.vertices_trimmed = 0
+        self.trim_rounds = 0
+
+    def merged_with(self, other: "EngineCounters") -> "EngineCounters":
+        return EngineCounters(
+            edges_relaxed=self.edges_relaxed + other.edges_relaxed,
+            vertices_updated=self.vertices_updated + other.vertices_updated,
+            iterations=self.iterations + other.iterations,
+            vertices_trimmed=self.vertices_trimmed + other.vertices_trimmed,
+            trim_rounds=self.trim_rounds + other.trim_rounds,
+        )
+
+
+@dataclass
+class VertexState:
+    """Query state: per-vertex values plus (optional) dependence parents.
+
+    ``parents[v]`` is the origin vertex of the edge that produced
+    ``values[v]``, or ``-1`` when the value is intrinsic (source, or
+    still at the algorithm's worst value).
+    """
+
+    values: np.ndarray
+    parents: Optional[np.ndarray] = None
+    source: int = 0
+
+    @classmethod
+    def fresh(
+        cls,
+        alg: MonotonicAlgorithm,
+        num_vertices: int,
+        source: int,
+        track_parents: bool = False,
+    ) -> "VertexState":
+        values = alg.initial_values(num_vertices, source)
+        parents = np.full(num_vertices, -1, dtype=np.int64) if track_parents else None
+        return cls(values=values, parents=parents, source=source)
+
+    def copy(self) -> "VertexState":
+        return VertexState(
+            values=self.values.copy(),
+            parents=None if self.parents is None else self.parents.copy(),
+            source=self.source,
+        )
+
+
+def _sync_round(
+    graph: GraphLike,
+    alg: MonotonicAlgorithm,
+    state: VertexState,
+    frontier: np.ndarray,
+    counters: Optional[EngineCounters],
+) -> np.ndarray:
+    """One vectorised push round; returns the next frontier."""
+    src, dst, w = graph.gather(frontier)
+    if src.size == 0:
+        return np.empty(0, dtype=np.int64)
+    proposals = alg.proposals(state.values[src], w)
+    before = state.values[dst].copy()
+    alg.reduce_at(state.values, dst, proposals)
+    changed_mask = alg.better(state.values[dst], before)
+    if counters is not None:
+        counters.edges_relaxed += int(src.size)
+    if not changed_mask.any():
+        return np.empty(0, dtype=np.int64)
+    if state.parents is not None:
+        # An edge is a winner if its proposal equals the final value of
+        # its target and the target improved this round.  Ties are
+        # broken arbitrarily (later edges overwrite earlier ones).
+        winners = changed_mask & (proposals == state.values[dst])
+        state.parents[dst[winners]] = src[winners]
+    next_frontier = np.unique(dst[changed_mask])
+    if counters is not None:
+        counters.vertices_updated += int(next_frontier.size)
+    return next_frontier
+
+
+def _async_drain(
+    graph: GraphLike,
+    alg: MonotonicAlgorithm,
+    state: VertexState,
+    frontier: np.ndarray,
+    counters: Optional[EngineCounters],
+    spill_threshold: int,
+) -> np.ndarray:
+    """Asynchronous worklist execution.
+
+    Returns an empty array on convergence, or the remaining worklist if
+    it grew past ``spill_threshold`` (the caller then switches to sync
+    mode — the §4.3 policy in reverse, protecting against cascades).
+    """
+    values = state.values
+    parents = state.parents
+    work = deque(int(v) for v in frontier)
+    queued = set(work)
+    while work:
+        if len(work) > spill_threshold:
+            return np.fromiter(queued, dtype=np.int64)
+        u = work.popleft()
+        queued.discard(u)
+        targets, weights = graph.neighbors(u)
+        if counters is not None:
+            counters.iterations += 1
+        if targets.size == 0:
+            continue
+        proposals = alg.proposals(np.full(targets.shape, values[u]), weights)
+        improved = alg.better(proposals, values[targets])
+        if counters is not None:
+            counters.edges_relaxed += int(targets.size)
+        if not improved.any():
+            continue
+        upd_targets = targets[improved]
+        upd_values = proposals[improved]
+        # A vertex may appear twice (parallel edges across components);
+        # reduce within the update before writing.
+        for v, val in zip(upd_targets.tolist(), upd_values.tolist()):
+            if alg.better(val, values[v]):
+                values[v] = val
+                if parents is not None:
+                    parents[v] = u
+                if v not in queued:
+                    queued.add(v)
+                    work.append(v)
+                if counters is not None:
+                    counters.vertices_updated += 1
+    return np.empty(0, dtype=np.int64)
+
+
+def push_until_stable(
+    graph: GraphLike,
+    alg: MonotonicAlgorithm,
+    state: VertexState,
+    frontier: np.ndarray,
+    counters: Optional[EngineCounters] = None,
+    mode: str = "auto",
+    async_threshold: int = ASYNC_THRESHOLD,
+) -> None:
+    """Propagate improvements from ``frontier`` until a fixpoint.
+
+    ``mode`` is ``"sync"``, ``"async"`` or ``"auto"`` (switch by
+    frontier size, per the paper's scheduler design).
+    """
+    if mode not in ("sync", "async", "auto"):
+        raise EngineError(f"unknown mode {mode!r}")
+    frontier = np.unique(np.asarray(frontier, dtype=np.int64))
+    while frontier.size:
+        use_async = mode == "async" or (mode == "auto" and frontier.size < async_threshold)
+        if use_async:
+            spill = np.inf if mode == "async" else 8 * async_threshold
+            frontier = _async_drain(graph, alg, state, frontier, counters, spill)
+        else:
+            if counters is not None:
+                counters.iterations += 1
+            frontier = _sync_round(graph, alg, state, frontier, counters)
+
+
+def static_compute(
+    graph: GraphLike,
+    alg: MonotonicAlgorithm,
+    source: int,
+    track_parents: bool = False,
+    counters: Optional[EngineCounters] = None,
+    mode: str = "sync",
+) -> VertexState:
+    """Evaluate a query from scratch on ``graph``."""
+    state = VertexState.fresh(alg, graph.num_vertices, source, track_parents)
+    frontier = np.asarray([source], dtype=np.int64)
+    push_until_stable(graph, alg, state, frontier, counters=counters, mode=mode)
+    return state
+
+
+def seed_edges(
+    alg: MonotonicAlgorithm,
+    state: VertexState,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray,
+    counters: Optional[EngineCounters] = None,
+) -> np.ndarray:
+    """Apply a set of edges once, returning the vertices that improved.
+
+    This is lines 4–9 of Algorithm 2 in the paper: each streamed edge is
+    run through the edge function; destinations that improve are
+    scheduled.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if sources.size == 0:
+        return np.empty(0, dtype=np.int64)
+    proposals = alg.proposals(state.values[sources], np.asarray(weights, dtype=np.float64))
+    before = state.values[targets].copy()
+    alg.reduce_at(state.values, targets, proposals)
+    changed_mask = alg.better(state.values[targets], before)
+    if counters is not None:
+        counters.edges_relaxed += int(sources.size)
+    if state.parents is not None:
+        winners = changed_mask & (proposals == state.values[targets])
+        state.parents[targets[winners]] = sources[winners]
+    changed = np.unique(targets[changed_mask])
+    if counters is not None:
+        counters.vertices_updated += int(changed.size)
+    return changed
+
+
+def incremental_additions(
+    graph: GraphLike,
+    alg: MonotonicAlgorithm,
+    state: VertexState,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray,
+    counters: Optional[EngineCounters] = None,
+    mode: str = "auto",
+) -> None:
+    """Incrementally incorporate added edges into converged query state.
+
+    ``graph`` must already contain the added edges (it is the graph
+    *after* the batch).  For monotonic algorithms this is exact: an
+    addition can only improve values, and improvements propagate
+    forward.
+    """
+    frontier = seed_edges(alg, state, sources, targets, weights, counters=counters)
+    push_until_stable(graph, alg, state, frontier, counters=counters, mode=mode)

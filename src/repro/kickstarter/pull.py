@@ -1,0 +1,122 @@
+"""Pull-based execution: the dual of the push engine.
+
+Push iterates *out*-edges of changed vertices; pull iterates *in*-edges
+of candidate vertices and recomputes their value from all proposals.
+Real graph engines (Ligra and its descendants, including KickStarter)
+switch between the two by frontier density — push wins on sparse
+frontiers, pull on dense ones, because a pull round writes each vertex
+once with no atomics.
+
+This module provides a faithful pull engine over the transpose CSR plus
+a density-switching ``direction="auto"`` wrapper.  It is exact for the
+same reason push is: each pull assigns a vertex the best proposal over
+its full in-neighbourhood, and rounds repeat until no value changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.errors import EngineError
+from repro.graph.csr import CSRGraph
+from repro.kickstarter.engine import EngineCounters, VertexState
+
+__all__ = ["pull_until_stable", "static_compute_pull", "DENSE_FRACTION"]
+
+#: Frontier density above which ``direction="auto"`` switches to pull.
+DENSE_FRACTION = 0.35
+
+
+def _pull_round(
+    transpose: CSRGraph,
+    alg: MonotonicAlgorithm,
+    state: VertexState,
+    candidates: np.ndarray,
+    counters: Optional[EngineCounters],
+) -> np.ndarray:
+    """Recompute ``candidates`` from their in-edges; returns changed set."""
+    # In the transpose, row v holds v's in-edge origins, so a gather
+    # returns (pull targets, origins, weights) directly.
+    targets, origins, weights = transpose.gather(candidates)
+    if counters is not None:
+        counters.edges_relaxed += int(origins.size)
+    if origins.size == 0:
+        return np.empty(0, dtype=np.int64)
+    proposals = alg.proposals(state.values[origins], weights)
+    before = state.values[targets].copy()
+    alg.reduce_at(state.values, targets, proposals)
+    changed_mask = alg.better(state.values[targets], before)
+    if state.parents is not None:
+        winners = changed_mask & (proposals == state.values[targets])
+        state.parents[targets[winners]] = origins[winners]
+    changed = np.unique(targets[changed_mask])
+    if counters is not None:
+        counters.vertices_updated += int(changed.size)
+    return changed
+
+
+def pull_until_stable(
+    graph: CSRGraph,
+    alg: MonotonicAlgorithm,
+    state: VertexState,
+    frontier: np.ndarray,
+    transpose: Optional[CSRGraph] = None,
+    counters: Optional[EngineCounters] = None,
+) -> None:
+    """Propagate improvements from ``frontier`` using pull rounds.
+
+    Each round pulls the *out-neighbours of the changed set* — the only
+    vertices whose values can improve — from their full in-edge lists.
+    """
+    if transpose is None:
+        transpose = graph.transpose()
+    changed = np.unique(np.asarray(frontier, dtype=np.int64))
+    while changed.size:
+        if counters is not None:
+            counters.iterations += 1
+        _, candidates, _ = graph.gather(changed)
+        candidates = np.unique(candidates)
+        if candidates.size == 0:
+            return
+        changed = _pull_round(transpose, alg, state, candidates, counters)
+
+
+def static_compute_pull(
+    graph: CSRGraph,
+    alg: MonotonicAlgorithm,
+    source: int,
+    track_parents: bool = False,
+    counters: Optional[EngineCounters] = None,
+    transpose: Optional[CSRGraph] = None,
+    direction: str = "pull",
+) -> VertexState:
+    """Evaluate a query from scratch with pull (or density-auto) rounds.
+
+    ``direction="auto"`` starts in push (sparse frontier) and switches
+    to pull when the frontier covers more than :data:`DENSE_FRACTION`
+    of the vertices — the classic Ligra direction optimisation.
+    """
+    if direction not in ("pull", "auto"):
+        raise EngineError(f"unknown direction {direction!r}")
+    from repro.kickstarter.engine import _sync_round  # shared push round
+
+    if transpose is None:
+        transpose = graph.transpose()
+    state = VertexState.fresh(alg, graph.num_vertices, source, track_parents)
+    changed = np.asarray([source], dtype=np.int64)
+    while changed.size:
+        if counters is not None:
+            counters.iterations += 1
+        dense = changed.size > DENSE_FRACTION * graph.num_vertices
+        if direction == "pull" or dense:
+            _, candidates, _ = graph.gather(changed)
+            candidates = np.unique(candidates)
+            if candidates.size == 0:
+                break
+            changed = _pull_round(transpose, alg, state, candidates, counters)
+        else:
+            changed = _sync_round(graph, alg, state, changed, counters)
+    return state

@@ -1,0 +1,143 @@
+"""Cross-validation of the algorithm suite against NetworkX.
+
+Our primary oracle is the naive fixpoint reference in
+``tests/helpers.py``; this file adds a fully independent one.  BFS and
+SSSP map to NetworkX built-ins; SSWP (maximise the minimum edge weight)
+and SSNP (minimise the maximum edge weight) are expressed through
+NetworkX Dijkstra on transformed objectives.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.registry import get_algorithm
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.weights import HashWeights
+from repro.kickstarter.engine import static_compute
+from tests.strategies import edge_pairs
+
+WF = HashWeights(max_weight=8, seed=7)
+
+
+def build_nx(edges: EdgeSet) -> nx.DiGraph:
+    g = nx.DiGraph()
+    src, dst = edges.arrays()
+    weights = WF(src, dst)
+    for u, v, w in zip(src.tolist(), dst.tolist(), weights.tolist()):
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def our_values(edges: EdgeSet, n: int, name: str, source: int) -> np.ndarray:
+    csr = CSRGraph.from_edge_set(edges, n, weight_fn=WF)
+    return static_compute(csr, get_algorithm(name), source).values
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_pairs(max_edges=30))
+def test_bfs_matches_networkx(ab):
+    n, pairs = ab
+    edges = EdgeSet.from_pairs(pairs)
+    got = our_values(edges, n, "BFS", 0)
+    g = build_nx(edges)
+    g.add_node(0)
+    lengths = nx.single_source_shortest_path_length(g, 0)
+    for v in range(n):
+        want = lengths.get(v, np.inf)
+        assert got[v] == want, (v, got[v], want)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_pairs(max_edges=30))
+def test_sssp_matches_networkx(ab):
+    n, pairs = ab
+    edges = EdgeSet.from_pairs(pairs)
+    got = our_values(edges, n, "SSSP", 0)
+    g = build_nx(edges)
+    g.add_node(0)
+    lengths = nx.single_source_dijkstra_path_length(g, 0)
+    for v in range(n):
+        want = lengths.get(v, np.inf)
+        assert got[v] == want, (v, got[v], want)
+
+
+def _widest_paths(g: nx.DiGraph, source: int) -> dict:
+    """Maximin path widths via a Dijkstra-style search."""
+    import heapq
+
+    widths = {source: np.inf}
+    heap = [(-np.inf, source)]
+    visited = set()
+    while heap:
+        neg_width, u = heapq.heappop(heap)
+        if u in visited:
+            continue
+        visited.add(u)
+        for _, v, data in g.out_edges(u, data=True):
+            width = min(-neg_width, data["weight"])
+            if width > widths.get(v, 0.0):
+                widths[v] = width
+                heapq.heappush(heap, (-width, v))
+    return widths
+
+
+def _narrowest_paths(g: nx.DiGraph, source: int) -> dict:
+    """Minimax path bottlenecks via a Dijkstra-style search."""
+    import heapq
+
+    costs = {source: 0.0}
+    heap = [(0.0, source)]
+    visited = set()
+    while heap:
+        cost, u = heapq.heappop(heap)
+        if u in visited:
+            continue
+        visited.add(u)
+        for _, v, data in g.out_edges(u, data=True):
+            bottleneck = max(cost, data["weight"])
+            if bottleneck < costs.get(v, np.inf):
+                costs[v] = bottleneck
+                heapq.heappush(heap, (bottleneck, v))
+    return costs
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_pairs(max_edges=30))
+def test_sswp_matches_maximin_oracle(ab):
+    n, pairs = ab
+    edges = EdgeSet.from_pairs(pairs)
+    got = our_values(edges, n, "SSWP", 0)
+    g = build_nx(edges)
+    g.add_node(0)
+    widths = _widest_paths(g, 0)
+    for v in range(n):
+        want = widths.get(v, 0.0)
+        assert got[v] == want, (v, got[v], want)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_pairs(max_edges=30))
+def test_ssnp_matches_minimax_oracle(ab):
+    n, pairs = ab
+    edges = EdgeSet.from_pairs(pairs)
+    got = our_values(edges, n, "SSNP", 0)
+    g = build_nx(edges)
+    g.add_node(0)
+    costs = _narrowest_paths(g, 0)
+    for v in range(n):
+        want = costs.get(v, np.inf)
+        assert got[v] == want, (v, got[v], want)
+
+
+def test_sssp_on_rmat_matches_networkx(small_rmat):
+    """One larger deterministic cross-check (1.5K edges)."""
+    n = 256
+    got = our_values(small_rmat, n, "SSSP", 3)
+    g = build_nx(small_rmat)
+    g.add_node(3)
+    lengths = nx.single_source_dijkstra_path_length(g, 3)
+    for v in range(n):
+        assert got[v] == lengths.get(v, np.inf)

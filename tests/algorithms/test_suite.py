@@ -1,0 +1,158 @@
+"""Tests for the five monotonic algorithms (Table 3) and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.algorithms.registry import (
+    ALGORITHMS,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.algorithms.suite import BFS, SSNP, SSSP, SSWP, Viterbi
+from repro.errors import AlgorithmError
+
+
+class TestEdgeFunctions:
+    """Each algorithm's EdgeFunction, literally per Table 3."""
+
+    def test_bfs(self):
+        assert BFS().proposals(np.array([3.0]), np.array([99.0]))[0] == 4.0
+
+    def test_sssp(self):
+        assert SSSP().proposals(np.array([3.0]), np.array([5.0]))[0] == 8.0
+
+    def test_sswp(self):
+        # widest path: min(Val(u), wt)
+        assert SSWP().proposals(np.array([3.0]), np.array([5.0]))[0] == 3.0
+        assert SSWP().proposals(np.array([7.0]), np.array([5.0]))[0] == 5.0
+
+    def test_ssnp(self):
+        # narrowest path: max(Val(u), wt)
+        assert SSNP().proposals(np.array([3.0]), np.array([5.0]))[0] == 5.0
+        assert SSNP().proposals(np.array([7.0]), np.array([5.0]))[0] == 7.0
+
+    def test_viterbi(self):
+        assert Viterbi().proposals(np.array([1.0]), np.array([4.0]))[0] == 0.25
+
+
+class TestDirections:
+    def test_minimising(self):
+        for cls in (BFS, SSSP, SSNP):
+            alg = cls()
+            assert alg.direction == "min"
+            assert alg.worst == np.inf
+
+    def test_maximising(self):
+        for cls in (SSWP, Viterbi):
+            alg = cls()
+            assert alg.direction == "max"
+
+    def test_source_beats_worst(self, algorithm):
+        a = np.array([algorithm.source_value])
+        b = np.array([algorithm.worst])
+        assert bool(algorithm.better(a, b)[0])
+
+
+class TestInitialValues:
+    def test_shape_and_source(self, algorithm):
+        values = algorithm.initial_values(5, source=2)
+        assert values.shape == (5,)
+        assert values[2] == algorithm.source_value
+        mask = np.ones(5, dtype=bool)
+        mask[2] = False
+        assert np.all(values[mask] == algorithm.worst)
+
+    def test_source_out_of_range(self, algorithm):
+        with pytest.raises(AlgorithmError):
+            algorithm.initial_values(5, source=5)
+        with pytest.raises(AlgorithmError):
+            algorithm.initial_values(5, source=-1)
+
+
+class TestReductions:
+    def test_reduce_at_min(self):
+        alg = SSSP()
+        values = np.array([10.0, 10.0])
+        alg.reduce_at(values, np.array([0, 0, 1]), np.array([7.0, 9.0, 12.0]))
+        assert values.tolist() == [7.0, 10.0]
+
+    def test_reduce_at_max(self):
+        alg = SSWP()
+        values = np.array([1.0, 1.0])
+        alg.reduce_at(values, np.array([0, 0]), np.array([3.0, 2.0]))
+        assert values.tolist() == [3.0, 1.0]
+
+    def test_best(self):
+        assert SSSP().best(np.array([1.0]), np.array([2.0]))[0] == 1.0
+        assert SSWP().best(np.array([1.0]), np.array([2.0]))[0] == 2.0
+
+    def test_better_strict(self, algorithm):
+        v = np.array([algorithm.source_value])
+        assert not bool(algorithm.better(v, v)[0])
+
+
+class TestMonotonicity:
+    """A better upstream value never yields a worse proposal."""
+
+    @pytest.mark.parametrize("weight", [1.0, 3.0, 8.0])
+    def test_proposal_monotonic_in_source_value(self, algorithm, weight):
+        lo, hi = 1.0, 6.0
+        better_in = lo if algorithm.direction == "min" else hi
+        worse_in = hi if algorithm.direction == "min" else lo
+        p_better = algorithm.proposals(np.array([better_in]), np.array([weight]))
+        p_worse = algorithm.proposals(np.array([worse_in]), np.array([weight]))
+        assert not bool(algorithm.better(p_worse, p_better)[0])
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        assert algorithm_names() == ["BFS", "SSNP", "SSSP", "SSWP", "Viterbi"]
+
+    def test_lookup_case_insensitive(self):
+        assert isinstance(get_algorithm("bfs"), BFS)
+        assert isinstance(get_algorithm("SSSP"), SSSP)
+
+    def test_unknown_name(self):
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            get_algorithm("pagerank")
+
+    def test_register_custom(self):
+        class Capped(MonotonicAlgorithm):
+            name = "CappedSSSP-testonly"
+            direction = "min"
+            worst = np.inf
+            source_value = 0.0
+
+            def proposals(self, src_values, weights):
+                return np.minimum(src_values + weights, 100.0)
+
+        try:
+            register_algorithm(Capped)
+            assert isinstance(get_algorithm("cappedsssp-testonly"), Capped)
+            # Re-registering the same class is idempotent.
+            register_algorithm(Capped)
+
+            class Clash(MonotonicAlgorithm):
+                name = "CappedSSSP-testonly"
+                direction = "min"
+
+                def proposals(self, src_values, weights):
+                    return src_values
+
+            with pytest.raises(AlgorithmError, match="already registered"):
+                register_algorithm(Clash)
+        finally:
+            ALGORITHMS.pop("cappedsssp-testonly", None)
+
+    def test_bad_direction_rejected(self):
+        class Broken(MonotonicAlgorithm):
+            name = "broken"
+            direction = "sideways"
+
+            def proposals(self, src_values, weights):
+                return src_values
+
+        with pytest.raises(AlgorithmError):
+            Broken()

@@ -1,0 +1,67 @@
+"""Tests for repro.analysis.metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.analysis.metrics import (
+    METRICS,
+    evaluate_metric,
+    metric_names,
+    vertex_value,
+)
+from repro.errors import ReproError
+
+
+BFS = get_algorithm("BFS")
+SSWP = get_algorithm("SSWP")
+
+
+class TestBuiltinMetrics:
+    def test_reach_min_direction(self):
+        values = np.array([0.0, 1.0, np.inf, 2.0])
+        assert evaluate_metric("reach", values, BFS) == 3.0
+
+    def test_reach_max_direction_counts_source(self):
+        # SSWP: worst = 0, source holds inf — it is reached.
+        values = np.array([np.inf, 5.0, 0.0])
+        assert evaluate_metric("reach", values, SSWP) == 2.0
+
+    def test_mean_skips_unreached_and_infinite(self):
+        values = np.array([0.0, 2.0, np.inf, 4.0])
+        assert evaluate_metric("mean", values, BFS) == 2.0
+        sswp_values = np.array([np.inf, 6.0, 2.0, 0.0])
+        assert evaluate_metric("mean", sswp_values, SSWP) == 4.0
+
+    def test_extreme_is_worst_reached(self):
+        values = np.array([0.0, 1.0, 7.0, np.inf])
+        assert evaluate_metric("extreme", values, BFS) == 7.0
+        sswp_values = np.array([np.inf, 6.0, 2.0, 0.0])
+        assert evaluate_metric("extreme", sswp_values, SSWP) == 2.0
+
+    def test_best_is_best_reached(self):
+        values = np.array([np.inf, 3.0, 7.0])
+        assert evaluate_metric("best", values, BFS) == 3.0
+
+    def test_empty_reach_gives_nan(self):
+        values = np.array([np.inf, np.inf])
+        assert math.isnan(evaluate_metric("mean", values, BFS))
+        assert math.isnan(evaluate_metric("extreme", values, BFS))
+        assert evaluate_metric("reach", values, BFS) == 0.0
+
+    def test_vertex_value_metric(self):
+        metric = vertex_value(2)
+        values = np.array([0.0, 1.0, 9.0])
+        assert evaluate_metric(metric, values, BFS) == 9.0
+        assert metric.__name__ == "vertex_2"
+
+    def test_registry_names(self):
+        assert set(metric_names()) == set(METRICS) == {
+            "reach", "mean", "extreme", "best",
+        }
+
+    def test_unknown_metric(self):
+        with pytest.raises(ReproError, match="unknown metric"):
+            evaluate_metric("entropy", np.array([0.0]), BFS)

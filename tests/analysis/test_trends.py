@@ -1,0 +1,101 @@
+"""Tests for repro.analysis.trends."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.analysis.metrics import vertex_value
+from repro.analysis.trends import TrendReport, TrendTracker, detect_changes
+from repro.errors import ReproError
+from repro.graph.weights import HashWeights
+from repro.kickstarter.engine import static_compute
+
+WF = HashWeights(max_weight=8, seed=7)
+
+
+class TestTrendTracker:
+    def test_series_shapes(self, small_evolving):
+        tracker = TrendTracker(
+            small_evolving, get_algorithm("BFS"), source=3, weight_fn=WF
+        )
+        report = tracker.track()
+        assert set(report.series) == {"reach", "mean", "extreme"}
+        assert report.num_snapshots == small_evolving.num_snapshots
+        assert report.snapshots()[0] == 0
+
+    def test_values_match_direct_evaluation(self, small_evolving):
+        tracker = TrendTracker(
+            small_evolving, get_algorithm("BFS"), source=3, weight_fn=WF
+        )
+        report = tracker.track(metrics=("reach",))
+        for i in range(small_evolving.num_snapshots):
+            values = static_compute(
+                small_evolving.snapshot_csr(i, weight_fn=WF),
+                get_algorithm("BFS"), 3,
+            ).values
+            assert report.series["reach"][i] == float(np.isfinite(values).sum())
+
+    def test_window_tracking(self, small_evolving):
+        tracker = TrendTracker(
+            small_evolving, get_algorithm("SSSP"), source=3, weight_fn=WF
+        )
+        report = tracker.track(metrics=("reach",), first=2, last=5)
+        assert report.num_snapshots == 4
+        assert report.snapshots() == [2, 3, 4, 5]
+
+    def test_custom_metric_and_strategies_agree(self, small_evolving):
+        metric = vertex_value(10)
+        a = TrendTracker(
+            small_evolving, get_algorithm("SSSP"), 3, weight_fn=WF,
+            strategy="direct-hop",
+        ).track(metrics=(metric,))
+        b = TrendTracker(
+            small_evolving, get_algorithm("SSSP"), 3, weight_fn=WF,
+            strategy="work-sharing",
+        ).track(metrics=(metric,))
+        assert a.series["vertex_10"] == b.series["vertex_10"]
+
+    def test_unknown_strategy(self, small_evolving):
+        with pytest.raises(ReproError):
+            TrendTracker(
+                small_evolving, get_algorithm("BFS"), 3, strategy="psychic"
+            )
+
+    def test_render_and_chart(self, small_evolving):
+        tracker = TrendTracker(
+            small_evolving, get_algorithm("BFS"), source=3, weight_fn=WF
+        )
+        report = tracker.track(metrics=("reach", "mean"))
+        text = report.render(title="demo")
+        assert "demo" in text
+        assert "reach" in text
+        chart = report.chart(names=("reach",), width=20, height=5)
+        assert "* reach" in chart
+
+
+class TestDetectChanges:
+    def test_flat_series_no_changes(self):
+        assert detect_changes([5.0] * 10) == []
+
+    def test_single_jump_detected(self):
+        series = [10.0, 10.1, 10.0, 10.2, 25.0, 25.1, 25.0, 24.9]
+        assert detect_changes(series) == [4]
+
+    def test_short_series_ignored(self):
+        assert detect_changes([1.0, 99.0, 1.0]) == []
+
+    def test_linear_trend_no_changes(self):
+        assert detect_changes([float(i) for i in range(10)]) == []
+
+    def test_two_jumps(self):
+        series = [0.0, 0.0, 0.1, 0.0, 8.0, 8.1, 8.0, 8.1, -5.0, -5.1, -5.0]
+        flagged = detect_changes(series)
+        assert 4 in flagged
+        assert 8 in flagged
+
+
+class TestTrendReport:
+    def test_empty_report(self):
+        report = TrendReport(first_snapshot=0)
+        assert report.num_snapshots == 0
+        assert report.snapshots() == []

@@ -1,0 +1,82 @@
+"""Tests for table and chart rendering."""
+
+from repro.bench.reporting import (
+    format_seconds,
+    format_speedup,
+    render_chart,
+    render_markdown_table,
+    render_table,
+)
+
+
+class TestFormat:
+    def test_format_seconds_scales(self):
+        assert format_seconds(0.0000005).endswith("us")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(2.5) == "2.500s"
+
+    def test_format_speedup(self):
+        assert format_speedup(3.14159) == "3.14x"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data lines share one width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_markdown(self):
+        text = render_markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        chart = render_chart(
+            [1, 2, 3], {"ks": [1.0, 2.0, 3.0], "dh": [0.5, 1.0, 1.5]},
+            title="demo", width=20, height=6,
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert "* ks" in lines[-1]
+        assert "o dh" in lines[-1]
+        # y-axis bounds rendered on first/last grid rows
+        assert "3" in lines[1]
+        assert "0" in lines[-4]
+
+    def test_markers_placed(self):
+        chart = render_chart([0, 10], {"s": [0.0, 5.0]}, width=11, height=5)
+        grid_only = "\n".join(chart.splitlines()[:-1])  # drop the legend
+        assert grid_only.count("*") == 2
+
+    def test_extremes_land_inside(self):
+        chart = render_chart(
+            [0, 1], {"s": [0.0, 100.0]}, width=10, height=4
+        )
+        for line in chart.splitlines():
+            assert len(line) < 10 + 30  # no runaway rows
+
+    def test_empty_series(self):
+        assert "(no data)" in render_chart([], {}, title="t")
+
+    def test_constant_zero_series(self):
+        chart = render_chart([1, 2], {"flat": [0.0, 0.0]}, width=8, height=4)
+        assert "*" in chart
+
+    def test_axis_note(self):
+        chart = render_chart(
+            [1, 2], {"s": [1, 2]}, y_label="sec", x_label="batch"
+        )
+        assert "[sec vs batch]" in chart

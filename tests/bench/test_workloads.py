@@ -1,0 +1,63 @@
+"""Tests for the benchmark workload builder."""
+
+import pytest
+
+from repro.bench.workloads import (
+    PROFILES,
+    WorkloadSpec,
+    build_workload,
+    pick_source,
+)
+from repro.errors import ReproError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+
+CI_SPEC = WorkloadSpec(
+    dataset="LJ", num_snapshots=4, batch_size=20, edge_scale=0.05, seed=1
+)
+
+
+class TestWorkloadSpec:
+    def test_scaled_override(self):
+        spec = CI_SPEC.scaled(dataset="DL", batch_size=10)
+        assert spec.dataset == "DL"
+        assert spec.batch_size == 10
+        assert spec.num_snapshots == CI_SPEC.num_snapshots
+
+    def test_profiles_exist(self):
+        assert {"paper", "ci"} <= set(PROFILES)
+        assert PROFILES["paper"].num_snapshots == 50
+        assert PROFILES["paper"].batch_size == 75
+
+
+class TestBuildWorkload:
+    def test_builds_consistent_workload(self):
+        workload = build_workload(CI_SPEC)
+        assert workload.evolving.num_snapshots == 4
+        assert workload.evolving.name == "LJ"
+        assert 0 <= workload.source < workload.num_vertices
+        for batch in workload.evolving.batches:
+            assert batch.size == 20
+
+    def test_deterministic(self):
+        a = build_workload(CI_SPEC)
+        b = build_workload(CI_SPEC)
+        assert a.source == b.source
+        for i in range(a.evolving.num_snapshots):
+            assert a.evolving.snapshot_edges(i) == b.evolving.snapshot_edges(i)
+
+    def test_source_never_loses_out_edges(self):
+        workload = build_workload(CI_SPEC)
+        for i in range(workload.evolving.num_snapshots):
+            edges = workload.evolving.snapshot_edges(i)
+            assert any(u == workload.source for u, _ in edges)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError):
+            build_workload(CI_SPEC.scaled(dataset="nope"))
+
+
+def test_pick_source_is_max_degree():
+    edges = EdgeSet.from_pairs([(2, 0), (2, 1), (2, 3), (0, 1)])
+    csr = CSRGraph.from_edge_set(edges, 4)
+    assert pick_source(csr) == 2

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.evolving.generator import generate_evolving_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.generators import rmat_edges
+from repro.graph.weights import HashWeights
+
+ALL_ALGORITHMS = ("BFS", "SSSP", "SSWP", "SSNP", "Viterbi")
+
+
+@pytest.fixture(params=ALL_ALGORITHMS)
+def algorithm(request):
+    """Each of the five paper algorithms in turn."""
+    return get_algorithm(request.param)
+
+
+@pytest.fixture
+def weight_fn():
+    """Small deterministic weights so ties and caps are exercised."""
+    return HashWeights(max_weight=8, seed=7)
+
+
+@pytest.fixture
+def diamond_edges():
+    """A 6-vertex diamond-with-tail used by many engine tests.
+
+    0 -> 1 -> 3 -> 4 -> 5
+    0 -> 2 -> 3
+    """
+    return EdgeSet.from_pairs([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+
+
+@pytest.fixture
+def diamond_csr(diamond_edges, weight_fn):
+    return CSRGraph.from_edge_set(diamond_edges, 6, weight_fn=weight_fn)
+
+
+@pytest.fixture(scope="session")
+def small_rmat():
+    """A small RMAT edge set shared across integration tests."""
+    return rmat_edges(scale=8, num_edges=1500, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_evolving(small_rmat):
+    """An 8-snapshot evolving RMAT graph (batch 60, re-adds enabled)."""
+    return generate_evolving_graph(
+        num_vertices=1 << 8,
+        base=small_rmat,
+        num_snapshots=8,
+        batch_size=60,
+        readd_fraction=0.6,
+        seed=9,
+        name="small",
+    )
+
+
+def assert_values_equal(a: np.ndarray, b: np.ndarray, context: str = "") -> None:
+    __tracebackhide__ = True
+    if not np.array_equal(a, b):
+        diff = np.flatnonzero(a != b)
+        raise AssertionError(
+            f"{context}: values differ at {diff[:10]} "
+            f"(a={a[diff[:10]]}, b={b[diff[:10]]})"
+        )

@@ -1,0 +1,130 @@
+"""Tests for the CommonGraph decomposition."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.common import CommonGraphDecomposition
+from repro.errors import SnapshotError
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.snapshots import EvolvingGraph
+from repro.graph.edgeset import EdgeSet
+from tests.strategies import evolving_graphs
+
+
+def es(*pairs):
+    return EdgeSet.from_pairs(list(pairs))
+
+
+@pytest.fixture
+def eg():
+    base = es((0, 1), (1, 2), (2, 3), (3, 0))
+    batches = [
+        DeltaBatch(additions=es((0, 2)), deletions=es((1, 2))),
+        DeltaBatch(additions=es((1, 2)), deletions=es((0, 2), (2, 3))),
+    ]
+    return EvolvingGraph(4, base, batches)
+
+
+class TestConstruction:
+    def test_common_is_intersection(self, eg):
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        want = eg.snapshot_edges(0) & eg.snapshot_edges(1) & eg.snapshot_edges(2)
+        assert decomp.common == want
+        assert set(decomp.common) == {(0, 1), (3, 0)}
+
+    def test_from_snapshots_equivalent(self, eg):
+        a = CommonGraphDecomposition.from_evolving(eg)
+        b = CommonGraphDecomposition.from_snapshots(4, eg.all_snapshot_edges())
+        assert a.common == b.common
+        assert a.surpluses == b.surpluses
+
+    def test_reconstruction(self, eg):
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        for i in range(eg.num_snapshots):
+            assert decomp.snapshot_edges(i) == eg.snapshot_edges(i)
+
+    def test_surpluses_disjoint_from_common(self, eg):
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        for s in decomp.surpluses:
+            assert s.isdisjoint(decomp.common)
+
+    def test_single_snapshot(self):
+        decomp = CommonGraphDecomposition.from_snapshots(3, [es((0, 1))])
+        assert decomp.common == es((0, 1))
+        assert len(decomp.surpluses[0]) == 0
+
+    def test_empty_snapshots_rejected(self):
+        with pytest.raises(SnapshotError):
+            CommonGraphDecomposition.from_snapshots(3, [])
+
+    def test_overlapping_surplus_rejected(self):
+        with pytest.raises(SnapshotError):
+            CommonGraphDecomposition(3, es((0, 1)), [es((0, 1))])
+
+
+class TestIntervalSurplus:
+    def test_full_interval_is_empty(self, eg):
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        assert len(decomp.interval_surplus(0, eg.num_snapshots - 1)) == 0
+
+    def test_point_interval_is_snapshot_surplus(self, eg):
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        for i in range(eg.num_snapshots):
+            assert decomp.interval_surplus(i, i) == decomp.surpluses[i]
+
+    def test_interval_matches_direct_intersection(self, eg):
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        want = eg.snapshot_edges(0) & eg.snapshot_edges(1)
+        assert decomp.interval_edges(0, 1) == want
+
+    def test_invalid_interval(self, eg):
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        with pytest.raises(SnapshotError):
+            decomp.interval_surplus(1, 0)
+        with pytest.raises(SnapshotError):
+            decomp.interval_surplus(0, 5)
+
+    def test_memoisation_returns_same_object(self, eg):
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        a = decomp.interval_surplus(0, 1)
+        assert decomp.interval_surplus(0, 1) is a
+
+
+class TestCosts:
+    def test_direct_hop_batches(self, eg):
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        total = decomp.total_direct_hop_additions()
+        assert total == sum(len(s) for s in decomp.surpluses)
+        for i in range(eg.num_snapshots):
+            assert decomp.direct_hop_batch(i) == decomp.surpluses[i]
+
+    def test_materialisation(self, eg):
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        csr = decomp.common_csr()
+        assert csr.edge_set() == decomp.common
+        delta = decomp.delta_csr(decomp.surpluses[1])
+        assert delta.edge_set() == decomp.surpluses[1]
+
+
+@settings(max_examples=40)
+@given(evolving_graphs())
+def test_decomposition_invariants_random(eg):
+    decomp = CommonGraphDecomposition.from_evolving(eg)
+    n = eg.num_snapshots
+    # (1) the common graph is inside every snapshot
+    for i in range(n):
+        assert decomp.common.issubset(eg.snapshot_edges(i))
+        # (2) common + surplus reconstructs the snapshot exactly
+        assert decomp.snapshot_edges(i) == eg.snapshot_edges(i)
+    # (3) interval surpluses are intersections of point surpluses
+    for i in range(n):
+        for j in range(i, n):
+            want = decomp.surpluses[i]
+            for t in range(i + 1, j + 1):
+                want = want & decomp.surpluses[t]
+            assert decomp.interval_surplus(i, j) == want
+    # (4) equivalence of both constructors
+    other = CommonGraphDecomposition.from_snapshots(
+        eg.num_vertices, eg.all_snapshot_edges()
+    )
+    assert other.common == decomp.common

@@ -1,0 +1,140 @@
+"""Degenerate and boundary inputs across the evaluation stack."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.common import CommonGraphDecomposition
+from repro.core.direct_hop import DirectHopEvaluator
+from repro.core.engine import WorkSharingEvaluator
+from repro.core.steiner import greedy_steiner, direct_hop_tree
+from repro.core.triangular_grid import TriangularGrid
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.snapshots import EvolvingGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.weights import HashWeights
+from repro.kickstarter.engine import static_compute
+from repro.kickstarter.streaming import StreamingSession
+
+WF = HashWeights(max_weight=8, seed=7)
+
+
+def es(*pairs):
+    return EdgeSet.from_pairs(list(pairs))
+
+
+class TestEmptyAndTinyGraphs:
+    def test_static_compute_empty_graph(self, algorithm):
+        g = CSRGraph.empty(4)
+        state = static_compute(g, algorithm, 0)
+        assert state.values[0] == algorithm.source_value
+        assert np.all(state.values[1:] == algorithm.worst)
+
+    def test_single_vertex_graph(self, algorithm):
+        g = CSRGraph.empty(1)
+        state = static_compute(g, algorithm, 0)
+        assert state.values.tolist() == [algorithm.source_value]
+
+    def test_evolving_graph_with_empty_base(self):
+        eg = EvolvingGraph(3, EdgeSet.empty(), [
+            DeltaBatch(additions=es((0, 1))),
+            DeltaBatch(additions=es((1, 2)), deletions=es((0, 1))),
+        ])
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        assert len(decomp.common) == 0
+        result = DirectHopEvaluator(decomp, get_algorithm("BFS"), 0, weight_fn=WF).run()
+        assert result.snapshot_values[1][1] == 1.0
+        assert np.isinf(result.snapshot_values[2][1])
+
+    def test_empty_batches_everywhere(self, algorithm):
+        base = es((0, 1), (1, 2))
+        eg = EvolvingGraph(3, base, [DeltaBatch(), DeltaBatch()])
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        assert decomp.common == base
+        assert decomp.total_direct_hop_additions() == 0
+        ks = StreamingSession(eg, algorithm, 0, weight_fn=WF).run()
+        ws = WorkSharingEvaluator(decomp, algorithm, 0, weight_fn=WF).run()
+        for i in range(3):
+            assert np.array_equal(ks.snapshot_values[i], ws.snapshot_values[i])
+
+    def test_everything_deleted(self):
+        """The common graph can be empty and snapshots disjoint."""
+        eg = EvolvingGraph(4, es((0, 1), (0, 2)), [
+            DeltaBatch(additions=es((0, 3)), deletions=es((0, 1), (0, 2))),
+        ])
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        assert len(decomp.common) == 0
+        result = DirectHopEvaluator(decomp, get_algorithm("BFS"), 0, weight_fn=WF).run()
+        assert result.snapshot_values[0][1] == 1.0
+        assert np.isinf(result.snapshot_values[1][1])
+        assert result.snapshot_values[1][3] == 1.0
+
+
+class TestSourceCornerCases:
+    def test_isolated_source(self, algorithm):
+        eg = EvolvingGraph(4, es((1, 2), (2, 3)), [DeltaBatch(additions=es((3, 1)))])
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        result = DirectHopEvaluator(decomp, algorithm, 0, weight_fn=WF).run()
+        for values in result.snapshot_values:
+            assert values[0] == algorithm.source_value
+            assert np.all(values[1:] == algorithm.worst)
+
+    def test_source_becomes_connected_by_addition(self):
+        eg = EvolvingGraph(3, es((1, 2)), [DeltaBatch(additions=es((0, 1)))])
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        result = DirectHopEvaluator(decomp, get_algorithm("BFS"), 0, weight_fn=WF).run()
+        assert np.isinf(result.snapshot_values[0][1])
+        assert result.snapshot_values[1][1] == 1.0
+        assert result.snapshot_values[1][2] == 2.0
+
+
+class TestTwoSnapshotGrid:
+    """The smallest non-trivial Triangular Grid (n=2, one level)."""
+
+    def test_structure(self):
+        eg = EvolvingGraph(4, es((0, 1), (1, 2)), [
+            DeltaBatch(additions=es((2, 3)), deletions=es((1, 2))),
+        ])
+        grid = TriangularGrid(CommonGraphDecomposition.from_evolving(eg))
+        assert grid.n == 2
+        assert grid.root == (0, 1)
+        assert grid.children(grid.root) == [(0, 0), (1, 1)]
+        # With n=2 there are no interior ICGs; greedy == direct-hop.
+        greedy = greedy_steiner(grid)
+        star = direct_hop_tree(grid)
+        assert greedy.cost(grid) == star.cost(grid)
+
+    def test_single_snapshot_everything(self, algorithm):
+        eg = EvolvingGraph(3, es((0, 1), (1, 2)))
+        decomp = CommonGraphDecomposition.from_evolving(eg)
+        grid = TriangularGrid(decomp)
+        assert grid.root == (0, 0)
+        assert grid.children(grid.root) == []
+        dh = DirectHopEvaluator(decomp, algorithm, 0, weight_fn=WF).run()
+        ws = WorkSharingEvaluator(decomp, algorithm, 0, weight_fn=WF).run()
+        want = static_compute(
+            CSRGraph.from_edge_set(es((0, 1), (1, 2)), 3, weight_fn=WF),
+            algorithm, 0,
+        ).values
+        assert np.array_equal(dh.snapshot_values[0], want)
+        assert np.array_equal(ws.snapshot_values[0], want)
+
+
+class TestCoarsenedEvaluation:
+    def test_coarsened_matches_kept_snapshots(self, small_evolving, algorithm):
+        """Evaluating a coarsened stream gives exactly the kept
+        snapshots' results of the original stream."""
+        coarse = small_evolving.coarsened(3)
+        decomp = CommonGraphDecomposition.from_evolving(coarse)
+        result = DirectHopEvaluator(decomp, algorithm, 3, weight_fn=WF).run()
+        kept = [
+            min(k * 3, small_evolving.num_snapshots - 1)
+            for k in range(coarse.num_snapshots)
+        ]
+        for k, original_index in enumerate(kept):
+            want = static_compute(
+                small_evolving.snapshot_csr(original_index, weight_fn=WF),
+                algorithm, 3,
+            ).values
+            assert np.array_equal(result.snapshot_values[k], want)

@@ -1,0 +1,131 @@
+"""Range queries over snapshot windows (the paper's future-work item).
+
+``CommonGraphDecomposition.restrict`` roots a window's evaluation at
+that window's intermediate common graph; ``VersionController.evaluate``
+exposes the one-call API.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.common import CommonGraphDecomposition
+from repro.core.direct_hop import DirectHopEvaluator
+from repro.errors import ScheduleError, SnapshotError
+from repro.evolving.version_control import VersionController
+from repro.graph.weights import HashWeights
+from repro.kickstarter.engine import static_compute
+from tests.conftest import assert_values_equal
+from tests.strategies import evolving_graphs
+
+WF = HashWeights(max_weight=8, seed=7)
+
+
+class TestRestrict:
+    def test_window_common_is_interval_icg(self, small_evolving):
+        decomp = CommonGraphDecomposition.from_evolving(small_evolving)
+        window = decomp.restrict(2, 5)
+        assert window.common == decomp.interval_edges(2, 5)
+        assert window.num_snapshots == 4
+
+    def test_window_reconstructs_snapshots(self, small_evolving):
+        decomp = CommonGraphDecomposition.from_evolving(small_evolving)
+        window = decomp.restrict(3, 6)
+        for k in range(4):
+            assert window.snapshot_edges(k) == small_evolving.snapshot_edges(3 + k)
+
+    def test_window_core_is_larger(self, small_evolving):
+        """The window's shared core contains the global common graph, so
+        per-snapshot hops stream fewer additions."""
+        decomp = CommonGraphDecomposition.from_evolving(small_evolving)
+        window = decomp.restrict(4, 6)
+        assert decomp.common.issubset(window.common)
+        total_window = window.total_direct_hop_additions()
+        total_global = sum(len(decomp.surpluses[t]) for t in range(4, 7))
+        assert total_window <= total_global
+
+    def test_single_snapshot_window(self, small_evolving):
+        decomp = CommonGraphDecomposition.from_evolving(small_evolving)
+        window = decomp.restrict(5, 5)
+        assert window.num_snapshots == 1
+        assert len(window.surpluses[0]) == 0
+        assert window.common == small_evolving.snapshot_edges(5)
+
+    def test_full_range_is_identity(self, small_evolving):
+        decomp = CommonGraphDecomposition.from_evolving(small_evolving)
+        window = decomp.restrict(0, small_evolving.num_snapshots - 1)
+        assert window.common == decomp.common
+        assert window.surpluses == decomp.surpluses
+
+    def test_invalid_range(self, small_evolving):
+        decomp = CommonGraphDecomposition.from_evolving(small_evolving)
+        with pytest.raises(SnapshotError):
+            decomp.restrict(5, 2)
+        with pytest.raises(SnapshotError):
+            decomp.restrict(0, 99)
+
+
+class TestVersionControllerEvaluate:
+    def test_range_values_match_scratch(self, small_evolving, algorithm):
+        vc = VersionController(small_evolving, weight_fn=WF)
+        result = vc.evaluate(algorithm, source=3, first=2, last=5)
+        assert len(result.snapshot_values) == 4
+        for k in range(4):
+            want = static_compute(
+                small_evolving.snapshot_csr(2 + k, weight_fn=WF), algorithm, 3
+            ).values
+            assert_values_equal(result.snapshot_values[k], want, f"window@{k}")
+
+    def test_default_range_is_everything(self, small_evolving):
+        vc = VersionController(small_evolving, weight_fn=WF)
+        result = vc.evaluate(get_algorithm("BFS"), source=3)
+        assert len(result.snapshot_values) == small_evolving.num_snapshots
+
+    def test_strategies_agree(self, small_evolving):
+        vc = VersionController(small_evolving, weight_fn=WF)
+        a = vc.evaluate(get_algorithm("SSSP"), 3, 1, 6, strategy="direct-hop")
+        b = vc.evaluate(get_algorithm("SSSP"), 3, 1, 6, strategy="work-sharing")
+        for x, y in zip(a.snapshot_values, b.snapshot_values):
+            assert_values_equal(x, y)
+
+    def test_unknown_strategy(self, small_evolving):
+        vc = VersionController(small_evolving, weight_fn=WF)
+        with pytest.raises(ScheduleError):
+            vc.evaluate(get_algorithm("BFS"), 3, strategy="telepathy")
+
+    def test_bad_range(self, small_evolving):
+        vc = VersionController(small_evolving, weight_fn=WF)
+        with pytest.raises(SnapshotError):
+            vc.evaluate(get_algorithm("BFS"), 3, first=4, last=2)
+
+    def test_range_does_less_work_than_global(self, small_evolving):
+        """Evaluating a late window via restrict streams no more
+        additions than hopping from the global common graph."""
+        vc = VersionController(small_evolving, weight_fn=WF)
+        window = vc.evaluate(get_algorithm("BFS"), 3, 5, 7, strategy="direct-hop")
+        decomp = CommonGraphDecomposition.from_evolving(small_evolving)
+        global_hops = DirectHopEvaluator(
+            decomp, get_algorithm("BFS"), 3, weight_fn=WF
+        ).run(keep_values=False)
+        per_snapshot_global = sum(
+            len(decomp.surpluses[t]) for t in (5, 6, 7)
+        )
+        assert window.additions_processed <= per_snapshot_global
+        assert global_hops.additions_processed >= window.additions_processed
+
+
+@settings(max_examples=20, deadline=None)
+@given(evolving_graphs(max_batches=4), st.data())
+def test_restrict_random(eg, data):
+    decomp = CommonGraphDecomposition.from_evolving(eg)
+    n = eg.num_snapshots
+    first = data.draw(st.integers(0, n - 1))
+    last = data.draw(st.integers(first, n - 1))
+    window = decomp.restrict(first, last)
+    # Window invariants: core ⊆ every window snapshot; reconstruction.
+    for k in range(window.num_snapshots):
+        edges = eg.snapshot_edges(first + k)
+        assert window.common.issubset(edges)
+        assert window.snapshot_edges(k) == edges

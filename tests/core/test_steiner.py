@@ -1,0 +1,114 @@
+"""Tests for schedule construction (direct-hop, greedy, exact Steiner)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.common import CommonGraphDecomposition
+from repro.core.steiner import (
+    agglomerative_schedule,
+    build_schedule,
+    direct_hop_tree,
+    exact_steiner,
+    greedy_steiner,
+)
+from repro.core.triangular_grid import TriangularGrid
+from repro.errors import ScheduleError
+from tests.strategies import evolving_graphs
+
+
+def grid_for(eg):
+    return TriangularGrid(CommonGraphDecomposition.from_evolving(eg))
+
+
+class TestDirectHop:
+    def test_star_shape(self, small_evolving):
+        grid = grid_for(small_evolving)
+        tree = direct_hop_tree(grid)
+        assert set(tree.parent.values()) <= {grid.root}
+        assert sorted(tree.parent) == grid.leaves
+        tree.validate(grid)
+
+
+class TestGreedy:
+    def test_valid_and_no_worse_than_direct_hop(self, small_evolving):
+        grid = grid_for(small_evolving)
+        tree = greedy_steiner(grid)
+        tree.validate(grid)
+        assert tree.cost(grid) <= direct_hop_tree(grid).cost(grid)
+
+    def test_build_schedule_dispatch(self, small_evolving):
+        grid = grid_for(small_evolving)
+        assert build_schedule(grid, "direct-hop").parent == direct_hop_tree(grid).parent
+        assert build_schedule(grid, "work-sharing").cost(grid) == greedy_steiner(grid).cost(grid)
+        with pytest.raises(ScheduleError, match="unknown strategy"):
+            build_schedule(grid, "magic")
+
+    def test_single_snapshot(self):
+        from repro.evolving.snapshots import EvolvingGraph
+        from repro.graph.edgeset import EdgeSet
+
+        eg = EvolvingGraph(3, EdgeSet.from_pairs([(0, 1)]))
+        grid = grid_for(eg)
+        tree = greedy_steiner(grid)
+        tree.validate(grid)
+        assert tree.cost(grid) == 0
+        assert tree.num_stabilisations() == 0
+
+
+class TestAgglomerative:
+    def test_valid_and_no_worse_than_direct_hop(self, small_evolving):
+        grid = grid_for(small_evolving)
+        tree = agglomerative_schedule(grid)
+        tree.validate(grid)
+        assert tree.cost(grid) <= direct_hop_tree(grid).cost(grid)
+
+    def test_build_schedule_dispatch(self, small_evolving):
+        grid = grid_for(small_evolving)
+        assert build_schedule(grid, "agglomerative").cost(grid) == (
+            agglomerative_schedule(grid).cost(grid)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(evolving_graphs(max_batches=4))
+    def test_bounded_by_exact_and_star(self, eg):
+        grid = grid_for(eg)
+        agglo = agglomerative_schedule(grid)
+        agglo.validate(grid)
+        assert exact_steiner(grid).cost(grid) <= agglo.cost(grid)
+        assert agglo.cost(grid) <= direct_hop_tree(grid).cost(grid)
+
+
+class TestExact:
+    def test_refuses_large_grids(self, small_evolving):
+        grid = grid_for(small_evolving)
+        assert grid.n > 6
+        with pytest.raises(ScheduleError, match="exponential"):
+            exact_steiner(grid)
+
+    @settings(max_examples=25, deadline=None)
+    @given(evolving_graphs(max_batches=4))
+    def test_exact_is_lower_bound(self, eg):
+        grid = grid_for(eg)
+        exact = exact_steiner(grid)
+        exact.validate(grid)
+        greedy = greedy_steiner(grid)
+        star = direct_hop_tree(grid)
+        assert exact.cost(grid) <= greedy.cost(grid)
+        assert exact.cost(grid) <= star.cost(grid)
+
+
+@settings(max_examples=25, deadline=None)
+@given(evolving_graphs(max_batches=4))
+def test_greedy_properties_random(eg):
+    grid = grid_for(eg)
+    tree = greedy_steiner(grid)
+    tree.validate(grid)
+    assert tree.cost(grid) <= direct_hop_tree(grid).cost(grid)
+    # Every leaf is reachable from the root through parent pointers.
+    for leaf in grid.leaves:
+        node = leaf
+        hops = 0
+        while node != grid.root:
+            node = tree.parent[node]
+            hops += 1
+            assert hops <= grid.num_nodes()

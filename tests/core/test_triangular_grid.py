@@ -1,0 +1,104 @@
+"""Tests for the Triangular Grid representation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.common import CommonGraphDecomposition
+from repro.core.triangular_grid import TriangularGrid
+from repro.errors import ScheduleError
+from tests.strategies import evolving_graphs
+
+
+def grid_for(eg):
+    return TriangularGrid(CommonGraphDecomposition.from_evolving(eg))
+
+
+@settings(max_examples=30)
+@given(evolving_graphs(max_batches=4))
+def test_structure_invariants(eg):
+    grid = grid_for(eg)
+    n = grid.n
+    nodes = list(grid.nodes())
+    # Node count: triangular number; root first.
+    assert len(nodes) == n * (n + 1) // 2 == grid.num_nodes()
+    assert nodes[0] == grid.root == (0, n - 1)
+    assert grid.leaves == [(i, i) for i in range(n)]
+    # Root surplus is empty by construction.
+    assert grid.surplus_size(grid.root) == 0
+    for node in nodes:
+        kids = grid.children(node)
+        i, j = node
+        if i == j:
+            assert kids == []
+        else:
+            assert len(kids) == 2
+        for child in kids:
+            # surplus grows monotonically downward
+            assert grid.surplus(node).issubset(grid.surplus(child))
+            assert grid.weight(node, child) == (
+                grid.surplus_size(child) - grid.surplus_size(node)
+            )
+            assert grid.label(node, child) == (
+                grid.surplus(child) - grid.surplus(node)
+            )
+            assert node in grid.parents(child)
+
+
+@settings(max_examples=30)
+@given(evolving_graphs(max_batches=4))
+def test_telescoping_path_costs(eg):
+    """All downward paths between two nodes cost the same."""
+    grid = grid_for(eg)
+    if grid.n < 3:
+        return
+    root = grid.root
+    for leaf in grid.leaves:
+        # cost of any adjacency path == the direct jump weight
+        direct = grid.weight(root, leaf) if root != leaf else 0
+        node = root
+        total = 0
+        while node != leaf:
+            child = next(
+                c for c in grid.children(node) if TriangularGrid.contains(c, leaf)
+            )
+            total += grid.weight(node, child)
+            node = child
+        assert total == direct
+
+
+class TestEdgesAndErrors:
+    def test_grid_edges_count(self, small_evolving):
+        grid = grid_for(small_evolving)
+        n = grid.n
+        edges = list(grid.grid_edges())
+        # Every non-leaf node has exactly 2 children.
+        assert len(edges) == 2 * (grid.num_nodes() - n)
+
+    def test_parents_of_root_empty(self, small_evolving):
+        grid = grid_for(small_evolving)
+        assert grid.parents(grid.root) == []
+
+    def test_invalid_node_rejected(self, small_evolving):
+        grid = grid_for(small_evolving)
+        with pytest.raises(ScheduleError):
+            grid.children((3, 1))
+        with pytest.raises(ScheduleError):
+            grid.surplus((0, grid.n))
+
+    def test_label_requires_containment(self, small_evolving):
+        grid = grid_for(small_evolving)
+        with pytest.raises(ScheduleError):
+            grid.label((0, 0), (1, 1))
+        with pytest.raises(ScheduleError):
+            grid.weight((0, 0), (0, 0))
+
+    def test_icg_equals_subrange_decomposition(self, small_evolving):
+        """ICG(i, j) literally is the common graph of snapshots i..j."""
+        decomp = CommonGraphDecomposition.from_evolving(small_evolving)
+        grid = TriangularGrid(decomp)
+        sub = CommonGraphDecomposition.from_snapshots(
+            small_evolving.num_vertices,
+            [small_evolving.snapshot_edges(t) for t in range(2, 6)],
+        )
+        assert decomp.interval_edges(2, 5) == sub.common
+        assert grid.surplus((2, 5)) == sub.common - decomp.common

@@ -1,0 +1,87 @@
+"""Tests for repro.evolving.delta."""
+
+import pytest
+
+from repro.errors import DeltaError
+from repro.evolving.delta import DeltaBatch
+from repro.graph.edgeset import EdgeSet
+
+
+def es(*pairs):
+    return EdgeSet.from_pairs(list(pairs))
+
+
+class TestInvariants:
+    def test_disjointness_enforced(self):
+        with pytest.raises(DeltaError):
+            DeltaBatch(additions=es((0, 1)), deletions=es((0, 1)))
+
+    def test_empty_batch_ok(self):
+        batch = DeltaBatch()
+        assert batch.size == 0
+
+    def test_size(self):
+        batch = DeltaBatch(additions=es((0, 1), (1, 2)), deletions=es((2, 3)))
+        assert batch.size == 3
+
+    def test_repr(self):
+        batch = DeltaBatch(additions=es((0, 1)))
+        assert "+1" in repr(batch)
+
+
+class TestApply:
+    def test_apply(self):
+        batch = DeltaBatch(additions=es((1, 2)), deletions=es((0, 1)))
+        out = batch.apply(es((0, 1), (3, 4)))
+        assert set(out) == {(1, 2), (3, 4)}
+
+    def test_strict_rejects_existing_addition(self):
+        batch = DeltaBatch(additions=es((0, 1)))
+        with pytest.raises(DeltaError, match="already present"):
+            batch.apply(es((0, 1)))
+
+    def test_strict_rejects_missing_deletion(self):
+        batch = DeltaBatch(deletions=es((0, 1)))
+        with pytest.raises(DeltaError, match="not present"):
+            batch.apply(es((2, 3)))
+
+    def test_lenient_apply(self):
+        batch = DeltaBatch(additions=es((0, 1)), deletions=es((5, 6)))
+        out = batch.apply(es((0, 1)), strict=False)
+        assert set(out) == {(0, 1)}
+
+    def test_inverse_undoes(self):
+        base = es((0, 1), (1, 2), (2, 3))
+        batch = DeltaBatch(additions=es((3, 4)), deletions=es((1, 2)))
+        there = batch.apply(base)
+        back = batch.inverse().apply(there)
+        assert back == base
+
+
+class TestCompose:
+    def test_disjoint_batches_concatenate(self):
+        a = DeltaBatch(additions=es((0, 1)), deletions=es((2, 3)))
+        b = DeltaBatch(additions=es((4, 5)), deletions=es((6, 7)))
+        c = a.compose(b)
+        assert set(c.additions) == {(0, 1), (4, 5)}
+        assert set(c.deletions) == {(2, 3), (6, 7)}
+
+    def test_add_then_delete_cancels(self):
+        a = DeltaBatch(additions=es((0, 1)))
+        b = DeltaBatch(deletions=es((0, 1)))
+        c = a.compose(b)
+        assert c.size == 0
+
+    def test_delete_then_readd_cancels(self):
+        a = DeltaBatch(deletions=es((0, 1)))
+        b = DeltaBatch(additions=es((0, 1)))
+        c = a.compose(b)
+        assert c.size == 0
+
+    def test_compose_equals_sequential_apply(self):
+        base = es((0, 1), (1, 2), (2, 3), (3, 4))
+        a = DeltaBatch(additions=es((4, 5)), deletions=es((1, 2), (2, 3)))
+        b = DeltaBatch(additions=es((1, 2), (5, 6)), deletions=es((4, 5)))
+        sequential = b.apply(a.apply(base))
+        composed = a.compose(b).apply(base)
+        assert sequential == composed

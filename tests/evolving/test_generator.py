@@ -1,0 +1,100 @@
+"""Tests for repro.evolving.generator."""
+
+import pytest
+
+from repro.errors import DeltaError
+from repro.evolving.generator import UpdateStreamGenerator, generate_evolving_graph
+from repro.graph.generators import erdos_renyi_edges
+
+
+BASE = erdos_renyi_edges(64, 600, seed=1)
+
+
+class TestUpdateStreamGenerator:
+    def test_batch_size_respected(self):
+        gen = UpdateStreamGenerator(64, BASE, batch_size=40, seed=2)
+        batch = gen.next_batch()
+        assert batch.size == 40
+
+    def test_add_fraction(self):
+        gen = UpdateStreamGenerator(64, BASE, batch_size=40, add_fraction=0.75, seed=2)
+        batch = gen.next_batch()
+        assert len(batch.additions) == 30
+        assert len(batch.deletions) == 10
+
+    def test_pure_additions(self):
+        gen = UpdateStreamGenerator(64, BASE, batch_size=20, add_fraction=1.0, seed=3)
+        batch = gen.next_batch()
+        assert len(batch.deletions) == 0
+        assert len(batch.additions) == 20
+
+    def test_pure_deletions(self):
+        gen = UpdateStreamGenerator(64, BASE, batch_size=20, add_fraction=0.0, seed=3)
+        batch = gen.next_batch()
+        assert len(batch.additions) == 0
+        assert batch.deletions.issubset(BASE)
+
+    def test_stream_stays_well_formed(self):
+        gen = UpdateStreamGenerator(64, BASE, batch_size=30, seed=4)
+        current = BASE
+        for _ in range(10):
+            batch = gen.next_batch()
+            current = batch.apply(current)  # strict: raises if malformed
+        assert gen.current_edges == current
+
+    def test_readds_come_from_removed_pool(self):
+        gen = UpdateStreamGenerator(
+            64, BASE, batch_size=30, add_fraction=0.5, readd_fraction=1.0, seed=5
+        )
+        first = gen.next_batch()
+        removed = first.deletions
+        second = gen.next_batch()
+        # With readd_fraction=1 every addition that can be a re-add is one.
+        readds = second.additions & removed
+        assert len(readds) > 0
+
+    def test_protect_vertex_keeps_out_edges(self):
+        src0 = {(u, v) for u, v in BASE if u == 0}
+        assert src0, "fixture vertex 0 must have out-edges"
+        gen = UpdateStreamGenerator(
+            64, BASE, batch_size=50, add_fraction=0.0, seed=6, protect_vertex=0
+        )
+        for _ in range(5):
+            batch = gen.next_batch()
+            assert all(u != 0 for u, _ in batch.deletions)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DeltaError):
+            UpdateStreamGenerator(64, BASE, batch_size=0)
+        with pytest.raises(DeltaError):
+            UpdateStreamGenerator(64, BASE, batch_size=1, add_fraction=1.5)
+        with pytest.raises(DeltaError):
+            UpdateStreamGenerator(64, BASE, batch_size=1, readd_fraction=-0.1)
+
+    def test_deterministic(self):
+        a = UpdateStreamGenerator(64, BASE, batch_size=25, seed=7).next_batch()
+        b = UpdateStreamGenerator(64, BASE, batch_size=25, seed=7).next_batch()
+        assert a.additions == b.additions
+        assert a.deletions == b.deletions
+
+
+class TestGenerateEvolvingGraph:
+    def test_shape(self):
+        eg = generate_evolving_graph(64, BASE, num_snapshots=6, batch_size=20, seed=1)
+        assert eg.num_snapshots == 6
+        assert len(eg.batches) == 5
+
+    def test_single_snapshot(self):
+        eg = generate_evolving_graph(64, BASE, num_snapshots=1, batch_size=20)
+        assert eg.num_snapshots == 1
+        assert eg.snapshot_edges(0) == BASE
+
+    def test_invalid_count(self):
+        with pytest.raises(DeltaError):
+            generate_evolving_graph(64, BASE, num_snapshots=0, batch_size=10)
+
+    def test_name_passthrough(self):
+        eg = generate_evolving_graph(
+            64, BASE, num_snapshots=2, batch_size=10, name="demo"
+        )
+        assert eg.name == "demo"

@@ -1,0 +1,94 @@
+"""Tests for the directory-backed snapshot store."""
+
+import json
+
+import pytest
+
+from repro.errors import DeltaError, SnapshotError
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.store import SnapshotStore
+from repro.graph.edgeset import EdgeSet
+
+
+def es(*pairs):
+    return EdgeSet.from_pairs(list(pairs))
+
+
+@pytest.fixture
+def store(tmp_path, small_evolving):
+    return SnapshotStore.create(tmp_path / "store", small_evolving)
+
+
+class TestCreateAndLoad:
+    def test_roundtrip(self, store, small_evolving):
+        loaded = store.load()
+        assert loaded.num_vertices == small_evolving.num_vertices
+        assert loaded.num_snapshots == small_evolving.num_snapshots
+        assert loaded.name == small_evolving.name
+        for i in range(small_evolving.num_snapshots):
+            assert loaded.snapshot_edges(i) == small_evolving.snapshot_edges(i)
+
+    def test_open_reads_manifest_only(self, store):
+        reopened = SnapshotStore(store.directory)
+        assert reopened.num_snapshots == store.num_snapshots
+        assert reopened.num_vertices == store.num_vertices
+
+    def test_create_refuses_existing(self, store, small_evolving):
+        with pytest.raises(SnapshotError, match="already contains"):
+            SnapshotStore.create(store.directory, small_evolving)
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(SnapshotError, match="not a snapshot store"):
+            SnapshotStore(tmp_path / "nothing")
+
+    def test_open_bad_format(self, tmp_path):
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "manifest.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(SnapshotError, match="unsupported"):
+            SnapshotStore(bad)
+
+    def test_read_batch_bounds(self, store):
+        with pytest.raises(SnapshotError):
+            store.read_batch(store.num_batches)
+
+    def test_missing_batch_file(self, store):
+        (store.directory / "batch_00000.npz").unlink()
+        with pytest.raises(SnapshotError, match="missing"):
+            store.read_batch(0)
+
+
+class TestAppend:
+    def test_append_extends_store(self, tmp_path):
+        base = es((0, 1), (1, 2))
+        from repro.evolving.snapshots import EvolvingGraph
+
+        store = SnapshotStore.create(
+            tmp_path / "s", EvolvingGraph(4, base, name="t")
+        )
+        index = store.append(DeltaBatch(additions=es((2, 3))))
+        assert index == 0
+        assert store.num_snapshots == 2
+        # Visible to a fresh open as well.
+        again = SnapshotStore(store.directory)
+        assert again.num_snapshots == 2
+        assert (2, 3) in again.load().snapshot_edges(1)
+
+    def test_append_validates_before_commit(self, tmp_path):
+        from repro.evolving.snapshots import EvolvingGraph
+
+        store = SnapshotStore.create(
+            tmp_path / "s", EvolvingGraph(4, es((0, 1)))
+        )
+        with pytest.raises(DeltaError):
+            store.append(DeltaBatch(additions=es((0, 1))))  # already present
+        assert store.num_snapshots == 1
+
+    def test_append_vertex_range(self, tmp_path):
+        from repro.evolving.snapshots import EvolvingGraph
+
+        store = SnapshotStore.create(
+            tmp_path / "s", EvolvingGraph(4, es((0, 1)))
+        )
+        with pytest.raises(SnapshotError, match="out of range"):
+            store.append(DeltaBatch(additions=es((0, 9))))

@@ -1,0 +1,107 @@
+"""Tests for repro.evolving.version_control (Table 1 primitives)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SnapshotError
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.snapshots import EvolvingGraph
+from repro.evolving.version_control import VersionController
+from repro.graph.edgeset import EdgeSet
+from tests.strategies import evolving_graphs
+
+
+def es(*pairs):
+    return EdgeSet.from_pairs(list(pairs))
+
+
+@pytest.fixture
+def controller():
+    base = es((0, 1), (1, 2), (2, 3))
+    batches = [
+        DeltaBatch(additions=es((3, 0)), deletions=es((0, 1))),
+        DeltaBatch(additions=es((0, 1)), deletions=es((2, 3))),
+    ]
+    return VersionController(EvolvingGraph(4, base, batches))
+
+
+class TestGetVersion:
+    def test_matches_snapshot(self, controller):
+        for i in range(controller.num_versions):
+            overlay = controller.get_version(i)
+            assert overlay.edge_set() == controller.evolving.snapshot_edges(i)
+
+    def test_overlay_shares_common_csr(self, controller):
+        a = controller.get_version(0)
+        b = controller.get_version(1)
+        assert a.base is b.base  # the common CSR object is shared
+
+    def test_out_of_range(self, controller):
+        with pytest.raises(SnapshotError):
+            controller.get_version(5)
+
+
+class TestDiff:
+    def test_adjacent_diff_matches_batch(self, controller):
+        batch = controller.evolving.batches[0]
+        diff = controller.diff(0, 1)
+        assert diff.additions == batch.additions
+        assert diff.deletions == batch.deletions
+
+    def test_diff_applies(self, controller):
+        diff = controller.diff(0, 2)
+        out = diff.apply(controller.evolving.snapshot_edges(0))
+        assert out == controller.evolving.snapshot_edges(2)
+
+    def test_self_diff_empty(self, controller):
+        diff = controller.diff(1, 1)
+        assert diff.size == 0
+
+    def test_out_of_range(self, controller):
+        with pytest.raises(SnapshotError):
+            controller.diff(0, 9)
+
+
+class TestNewVersion:
+    def test_appends_and_decomposes(self, controller):
+        before = controller.num_versions
+        idx = controller.new_version(additions=es((3, 1)), deletions=es((1, 2)))
+        assert idx == before
+        assert controller.num_versions == before + 1
+        # New snapshot retrievable and correct.
+        overlay = controller.get_version(idx)
+        assert (3, 1) in overlay.edge_set()
+        assert (1, 2) not in overlay.edge_set()
+
+    def test_common_graph_shrinks_when_touched(self, controller):
+        common_before = controller.decomposition.common
+        touched = next(iter(common_before))
+        controller.new_version(additions=EdgeSet.empty(), deletions=es(touched))
+        assert touched not in controller.decomposition.common
+        # Decomposition still reconstructs every snapshot.
+        for i in range(controller.num_versions):
+            assert (
+                controller.decomposition.snapshot_edges(i)
+                == controller.evolving.snapshot_edges(i)
+            )
+
+    def test_matches_full_rebuild(self, controller):
+        from repro.core.common import CommonGraphDecomposition
+
+        controller.new_version(additions=es((3, 2)), deletions=EdgeSet.empty())
+        rebuilt = CommonGraphDecomposition.from_evolving(controller.evolving)
+        assert rebuilt.common == controller.decomposition.common
+        for a, b in zip(rebuilt.surpluses, controller.decomposition.surpluses):
+            assert a == b
+
+
+@settings(max_examples=30)
+@given(evolving_graphs(max_batches=3))
+def test_diff_between_any_versions(eg):
+    vc = VersionController(eg)
+    n = vc.num_versions
+    for a in range(n):
+        for b in range(n):
+            diff = vc.diff(a, b)
+            out = diff.apply(eg.snapshot_edges(a))
+            assert out == eg.snapshot_edges(b)

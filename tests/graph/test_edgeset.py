@@ -1,0 +1,131 @@
+"""Tests for repro.graph.edgeset."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import EdgeSetError
+from repro.graph.edgeset import (
+    MAX_VERTEX_ID,
+    EdgeSet,
+    decode_edges,
+    encode_edges,
+)
+from tests.strategies import edge_pairs
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        src = np.array([0, 5, 7, MAX_VERTEX_ID])
+        dst = np.array([1, 0, 7, MAX_VERTEX_ID])
+        codes = encode_edges(src, dst)
+        s2, d2 = decode_edges(codes)
+        assert s2.tolist() == src.tolist()
+        assert d2.tolist() == dst.tolist()
+
+    def test_codes_order_by_source_then_target(self):
+        codes = encode_edges(np.array([1, 0, 0]), np.array([0, 2, 1]))
+        assert sorted(codes.tolist()) == [1, 2, (1 << 32)]
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(EdgeSetError):
+            encode_edges(np.array([-1]), np.array([0]))
+
+    def test_oversized_id_rejected(self):
+        with pytest.raises(EdgeSetError):
+            encode_edges(np.array([MAX_VERTEX_ID + 1]), np.array([0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EdgeSetError):
+            encode_edges(np.array([1, 2]), np.array([3]))
+
+
+class TestConstruction:
+    def test_empty(self):
+        es = EdgeSet.empty()
+        assert len(es) == 0
+        assert not es
+        assert list(es) == []
+        assert es.max_vertex() == -1
+
+    def test_from_pairs(self):
+        es = EdgeSet.from_pairs([(1, 2), (0, 3)])
+        assert len(es) == 2
+        assert (1, 2) in es
+        assert (0, 3) in es
+        assert (2, 1) not in es
+
+    def test_deduplication(self):
+        es = EdgeSet.from_pairs([(1, 2), (1, 2), (1, 2)])
+        assert len(es) == 1
+
+    def test_from_bad_pairs(self):
+        with pytest.raises(EdgeSetError):
+            EdgeSet.from_pairs([(1, 2, 3)])
+
+    def test_codes_sorted_unique(self):
+        es = EdgeSet(np.array([5, 1, 5, 3], dtype=np.int64))
+        assert es.codes.tolist() == [1, 3, 5]
+
+    def test_max_vertex(self):
+        es = EdgeSet.from_pairs([(3, 9), (2, 4)])
+        assert es.max_vertex() == 9
+
+
+class TestSetProtocol:
+    def test_iteration_yields_pairs(self):
+        pairs = [(0, 1), (2, 3)]
+        assert sorted(EdgeSet.from_pairs(pairs)) == pairs
+
+    def test_equality_and_hash(self):
+        a = EdgeSet.from_pairs([(0, 1), (1, 2)])
+        b = EdgeSet.from_pairs([(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != EdgeSet.from_pairs([(0, 1)])
+
+    def test_eq_other_type(self):
+        assert EdgeSet.empty() != "not an edge set"
+
+    def test_contains_codes(self):
+        es = EdgeSet.from_pairs([(0, 1), (2, 3)])
+        codes = encode_edges(np.array([0, 2, 4]), np.array([1, 4, 4]))
+        assert es.contains_codes(codes).tolist() == [True, False, False]
+
+    def test_contains_codes_empty_set(self):
+        es = EdgeSet.empty()
+        codes = encode_edges(np.array([0]), np.array([1]))
+        assert es.contains_codes(codes).tolist() == [False]
+
+    def test_repr_is_informative(self):
+        es = EdgeSet.from_pairs([(0, 1)])
+        assert "n=1" in repr(es)
+
+
+@given(edge_pairs(max_edges=25), edge_pairs(max_edges=25))
+def test_algebra_matches_python_sets(ab, cd):
+    """Union / difference / intersection / xor agree with Python sets."""
+    _, pairs_a = ab
+    _, pairs_b = cd
+    a, b = EdgeSet.from_pairs(pairs_a), EdgeSet.from_pairs(pairs_b)
+    sa, sb = set(pairs_a), set(pairs_b)
+    assert set(a | b) == sa | sb
+    assert set(a - b) == sa - sb
+    assert set(a & b) == sa & sb
+    assert set(a ^ b) == sa ^ sb
+    assert a.isdisjoint(b) == sa.isdisjoint(sb)
+    assert a.issubset(b) == sa.issubset(sb)
+    assert a.issuperset(b) == sa.issuperset(sb)
+
+
+@given(edge_pairs(max_edges=25))
+def test_algebra_identities(ab):
+    _, pairs = ab
+    a = EdgeSet.from_pairs(pairs)
+    empty = EdgeSet.empty()
+    assert a | empty == a
+    assert a - empty == a
+    assert a & empty == empty
+    assert a - a == empty
+    assert a & a == a
+    assert a ^ a == empty

@@ -1,0 +1,74 @@
+"""Size-asymmetric EdgeSet operations (the binary-search fast paths).
+
+The general algebra laws are property-tested in ``test_edgeset.py`` on
+small, similar-sized operands.  These tests specifically drive the
+asymmetric branches: a small batch against a multi-thousand-edge set,
+which is the hot path of the evolving-graph pipeline.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.edgeset import EdgeSet, encode_edges
+from repro.graph.generators import erdos_renyi_edges
+
+BIG = erdos_renyi_edges(256, 8000, seed=13)
+
+
+def naive(op, a, b):
+    sa, sb = set(a), set(b)
+    return {"union": sa | sb, "difference": sa - sb, "intersection": sa & sb}[op]
+
+
+small_sets = st.lists(
+    st.tuples(st.integers(0, 255), st.integers(0, 255)).filter(lambda p: p[0] != p[1]),
+    min_size=0, max_size=12, unique=True,
+).map(EdgeSet.from_pairs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_sets)
+def test_union_small_into_big(small):
+    assert set(BIG | small) == naive("union", BIG, small)
+    assert set(small | BIG) == naive("union", BIG, small)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_sets)
+def test_difference_asymmetric(small):
+    assert set(BIG - small) == naive("difference", BIG, small)
+    assert set(small - BIG) == naive("difference", small, BIG)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_sets)
+def test_intersection_asymmetric(small):
+    want = naive("intersection", BIG, small)
+    assert set(BIG & small) == want
+    assert set(small & BIG) == want
+
+
+def test_union_with_fully_contained_small_returns_equivalent_set():
+    picks = np.random.default_rng(1).choice(BIG.codes.size, size=5, replace=False)
+    subset = EdgeSet(BIG.codes[picks])
+    assert (BIG | subset) == BIG
+
+
+def test_union_preserves_sortedness_with_insertions():
+    small = EdgeSet(encode_edges(np.array([0, 255]), np.array([255, 0])))
+    small = small - BIG  # keep only genuinely new codes
+    merged = BIG | small
+    codes = merged.codes
+    assert np.all(np.diff(codes) > 0)  # strictly sorted, no duplicates
+    assert len(merged) == len(BIG) + len(small)
+
+
+def test_difference_result_is_view_safe():
+    """Results share no mutable state with operands."""
+    small = EdgeSet.from_pairs([(0, 1)])
+    out = BIG - small
+    before = BIG.codes.copy()
+    # Mutating the result's buffer must not corrupt the operand.
+    out.codes.flags.writeable and out.codes.fill(0)  # only if writeable
+    assert np.array_equal(BIG.codes, before)

@@ -1,0 +1,92 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    DATASETS,
+    erdos_renyi_edges,
+    generate_dataset,
+    rmat_edges,
+)
+
+
+class TestRmat:
+    def test_exact_edge_count(self):
+        es = rmat_edges(scale=6, num_edges=300, seed=1)
+        assert len(es) == 300
+
+    def test_vertex_range(self):
+        es = rmat_edges(scale=5, num_edges=100, seed=2)
+        assert es.max_vertex() < 32
+
+    def test_no_self_loops_by_default(self):
+        es = rmat_edges(scale=5, num_edges=200, seed=3)
+        assert all(u != v for u, v in es)
+
+    def test_deterministic(self):
+        a = rmat_edges(scale=6, num_edges=250, seed=9)
+        b = rmat_edges(scale=6, num_edges=250, seed=9)
+        assert a == b
+
+    def test_seed_matters(self):
+        a = rmat_edges(scale=6, num_edges=250, seed=1)
+        b = rmat_edges(scale=6, num_edges=250, seed=2)
+        assert a != b
+
+    def test_degree_skew(self):
+        """RMAT should be much more skewed than uniform random."""
+        es = rmat_edges(scale=9, num_edges=4000, seed=4)
+        src, _ = es.arrays()
+        degrees = np.bincount(src, minlength=512)
+        er = erdos_renyi_edges(512, 4000, seed=4)
+        er_degrees = np.bincount(er.arrays()[0], minlength=512)
+        assert degrees.max() > 2 * er_degrees.max()
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            rmat_edges(scale=2, num_edges=100, seed=0)
+
+    def test_bad_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_edges(scale=4, num_edges=10, a=0.5, b=0.4, c=0.3)
+
+    def test_bad_scale(self):
+        with pytest.raises(GraphError):
+            rmat_edges(scale=0, num_edges=1)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        es = erdos_renyi_edges(64, 500, seed=1)
+        assert len(es) == 500
+
+    def test_range_and_loops(self):
+        es = erdos_renyi_edges(32, 300, seed=2)
+        assert es.max_vertex() < 32
+        assert all(u != v for u, v in es)
+
+    def test_saturation_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_edges(3, 100)
+
+
+class TestDatasets:
+    def test_catalogue_shape(self):
+        assert set(DATASETS) == {"LJ", "DL", "WEN", "TTW"}
+        # Relative size ordering matches the paper's Table 2.
+        sizes = [DATASETS[k].num_edges for k in ("LJ", "DL", "WEN", "TTW")]
+        assert sizes == sorted(sizes)
+        for spec in DATASETS.values():
+            assert spec.num_vertices == 1 << spec.scale
+            assert spec.avg_degree > 1
+            assert spec.paper_edges // spec.num_edges == 1000
+
+    def test_generate_scaled(self):
+        es = generate_dataset("LJ", edge_scale=0.01)
+        assert len(es) == DATASETS["LJ"].num_edges // 100
+
+    def test_unknown_dataset(self):
+        with pytest.raises(GraphError):
+            generate_dataset("nope")

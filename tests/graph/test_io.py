@@ -1,0 +1,69 @@
+"""Tests for repro.graph.io."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.edgeset import EdgeSet
+from repro.graph.io import (
+    load_edge_list,
+    load_edge_set_npz,
+    save_edge_list,
+    save_edge_set_npz,
+)
+
+
+class TestEdgeListText:
+    def test_roundtrip(self, tmp_path):
+        es = EdgeSet.from_pairs([(0, 1), (5, 2), (100, 3)])
+        path = tmp_path / "g.txt"
+        save_edge_list(es, path)
+        assert load_edge_list(path) == es
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n2 3  # trailing comment\n")
+        es = load_edge_list(path)
+        assert set(es) == {(0, 1), (2, 3)}
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        assert len(load_edge_list(path)) == 0
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError, match="expected"):
+            load_edge_list(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError, match="non-integer"):
+            load_edge_list(path)
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 42\n")
+        assert set(load_edge_list(path)) == {(0, 1)}
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        es = EdgeSet.from_pairs([(3, 4), (0, 9)])
+        path = tmp_path / "g.npz"
+        save_edge_set_npz(es, path)
+        assert load_edge_set_npz(path) == es
+
+    def test_empty_set(self, tmp_path):
+        path = tmp_path / "g.npz"
+        save_edge_set_npz(EdgeSet.empty(), path)
+        assert len(load_edge_set_npz(path)) == 0
+
+    def test_wrong_bundle(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "g.npz"
+        np.savez_compressed(path, other=np.array([1]))
+        with pytest.raises(GraphError):
+            load_edge_set_npz(path)

@@ -1,0 +1,163 @@
+"""Tests for repro.graph.mutable (row-local copy-on-write mutation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graph.edgeset import EdgeSet
+from repro.graph.mutable import MutableGraph
+from repro.graph.weights import HashWeights
+from tests.strategies import edge_pairs
+
+WF = HashWeights(max_weight=9, seed=8)
+
+
+def make(pairs, n):
+    return MutableGraph.from_edge_set(EdgeSet.from_pairs(pairs), n, weight_fn=WF)
+
+
+class TestMutation:
+    def test_add_batch(self):
+        g = make([(0, 1)], 4)
+        g.add_batch(EdgeSet.from_pairs([(1, 2), (2, 3)]))
+        assert g.num_edges == 3
+        assert set(g.edge_set()) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_delete_batch(self):
+        g = make([(0, 1), (1, 2), (2, 3)], 4)
+        g.delete_batch(EdgeSet.from_pairs([(1, 2)]))
+        assert g.num_edges == 2
+        assert set(g.edge_set()) == {(0, 1), (2, 3)}
+
+    def test_delete_previously_added(self):
+        g = make([(0, 1)], 4)
+        g.add_batch(EdgeSet.from_pairs([(1, 2)]))
+        g.delete_batch(EdgeSet.from_pairs([(1, 2)]))
+        assert set(g.edge_set()) == {(0, 1)}
+
+    def test_delete_missing_edge_raises(self):
+        g = make([(0, 1)], 3)
+        with pytest.raises(GraphError, match="not present"):
+            g.delete_batch(EdgeSet.from_pairs([(1, 2)]))
+
+    def test_add_out_of_range(self):
+        g = make([(0, 1)], 2)
+        with pytest.raises(GraphError):
+            g.add_batch(EdgeSet.from_pairs([(0, 5)]))
+
+    def test_empty_batches(self):
+        g = make([(0, 1)], 2)
+        g.add_batch(EdgeSet.empty())
+        g.delete_batch(EdgeSet.empty())
+        assert g.num_edges == 1
+
+    def test_weights_stable_across_mutation(self):
+        """An edge keeps its deterministic weight after row rewrites."""
+        g = make([(0, 1), (0, 2), (1, 2)], 4)
+        _, w_before = g.neighbors(0)
+        g.add_batch(EdgeSet.from_pairs([(0, 3)]))
+        g.delete_batch(EdgeSet.from_pairs([(0, 2)]))
+        targets, weights = g.neighbors(0)
+        order = np.argsort(targets)
+        assert targets[order].tolist() == [1, 3]
+        # weight of (0, 1) unchanged
+        assert weights[order][0] == w_before[0]
+
+    @given(edge_pairs(max_edges=20), edge_pairs(max_edges=10))
+    def test_add_then_delete_roundtrip(self, base, extra):
+        n1, base_pairs = base
+        n2, extra_pairs = extra
+        n = max(n1, n2)
+        base_set = EdgeSet.from_pairs(base_pairs)
+        extra_set = EdgeSet.from_pairs(extra_pairs) - base_set
+        g = MutableGraph.from_edge_set(base_set, n, weight_fn=WF)
+        g.add_batch(extra_set)
+        assert g.edge_set() == base_set | extra_set
+        g.delete_batch(extra_set)
+        assert g.edge_set() == base_set
+        assert g.num_edges == len(base_set)
+
+
+class TestEngineProtocol:
+    def test_gather_mixes_clean_and_dirty_rows(self):
+        g = make([(0, 1), (2, 3)], 4)
+        g.add_batch(EdgeSet.from_pairs([(0, 2)]))  # row 0 becomes dirty
+        src, dst, _ = g.gather(np.array([0, 2]))
+        assert sorted(zip(src.tolist(), dst.tolist())) == [(0, 1), (0, 2), (2, 3)]
+
+    def test_gather_empty_frontier(self):
+        g = make([(0, 1)], 3)
+        s, d, w = g.gather(np.array([], dtype=np.int64))
+        assert s.size == d.size == w.size == 0
+
+    def test_neighbors_reflects_mutation(self):
+        g = make([(0, 1)], 4)
+        g.add_batch(EdgeSet.from_pairs([(0, 3)]))
+        targets, weights = g.neighbors(0)
+        assert sorted(targets.tolist()) == [1, 3]
+        assert weights.size == 2
+
+    def test_gather_in_gives_in_edges(self):
+        g = make([(0, 2), (1, 2)], 4)
+        g.add_batch(EdgeSet.from_pairs([(3, 2)]))
+        origins, targets, _ = g.gather_in(np.array([2]))
+        assert sorted(origins.tolist()) == [0, 1, 3]
+        assert targets.tolist() == [2, 2, 2]
+
+    def test_gather_in_after_delete(self):
+        g = make([(0, 2), (1, 2)], 3)
+        g.delete_batch(EdgeSet.from_pairs([(0, 2)]))
+        origins, _, _ = g.gather_in(np.array([2]))
+        assert origins.tolist() == [1]
+
+    def test_gather_matches_snapshot_csr(self):
+        g = make([(0, 1), (1, 2), (2, 0)], 3)
+        g.add_batch(EdgeSet.from_pairs([(0, 2)]))
+        g.delete_batch(EdgeSet.from_pairs([(1, 2)]))
+        snap = g.snapshot_csr()
+        assert snap.edge_set() == g.edge_set()
+        s1, d1, w1 = g.gather(np.arange(3))
+        s2, d2, w2 = snap.gather(np.arange(3))
+        assert sorted(zip(s1, d1, w1)) == sorted(zip(s2, d2, w2))
+
+
+class TestCosts:
+    def test_counters_accumulate(self):
+        g = make([(0, 1), (1, 2), (2, 0)], 3)
+        g.add_batch(EdgeSet.from_pairs([(0, 2)]))
+        g.delete_batch(EdgeSet.from_pairs([(1, 2)]))
+        assert g.costs.add.calls == 1
+        assert g.costs.delete.calls == 1
+        assert g.costs.add_seconds > 0
+        assert g.costs.delete_seconds > 0
+        assert g.costs.elements_moved_add > 0
+        assert g.costs.elements_moved_delete > 0
+
+    def test_costs_reset(self):
+        g = make([(0, 1)], 2)
+        g.add_batch(EdgeSet.from_pairs([(1, 0)]))
+        g.costs.reset()
+        assert g.costs.add_seconds == 0.0
+        assert g.costs.elements_moved_add == 0
+
+    def test_deletion_moves_exceed_addition_moves(self):
+        """The Figure 1 (bottom) asymmetry: a deletion scans + compacts
+        two rows; an addition only appends to them."""
+        pairs = [(i % 50, (i * 7 + 1) % 50) for i in range(400)]
+        batch = EdgeSet.from_pairs([(0, 49)])
+        adder = make(pairs, 50)
+        adder.add_batch(batch)
+        deleter = make(pairs + [(0, 49)], 50)
+        deleter.delete_batch(batch)
+        assert deleter.costs.elements_moved_delete > adder.costs.elements_moved_add
+
+    def test_mutation_cost_scales_with_batch_not_graph(self):
+        """Row-local mutation: a 1-edge delete moves ~2 rows' worth of
+        elements, not the whole graph."""
+        pairs = [(i % 50, (i * 7 + 1) % 50) for i in range(400)]
+        g = make(pairs + [(0, 49)], 50)
+        g.delete_batch(EdgeSet.from_pairs([(0, 49)]))
+        out_deg = sum(1 for u, _ in pairs if u == 0) + 1
+        in_deg = sum(1 for _, v in pairs if v == 49) + 1
+        assert g.costs.elements_moved_delete <= 2 * (out_deg + in_deg)

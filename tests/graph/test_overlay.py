@@ -1,0 +1,87 @@
+"""Tests for repro.graph.overlay."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.overlay import OverlayGraph
+from repro.graph.weights import HashWeights
+from tests.strategies import edge_pairs
+
+WF = HashWeights(max_weight=9, seed=4)
+
+
+def csr_of(pairs, n):
+    return CSRGraph.from_edge_set(EdgeSet.from_pairs(pairs), n, weight_fn=WF)
+
+
+class TestComposition:
+    def test_base_only(self):
+        base = csr_of([(0, 1)], 3)
+        ov = OverlayGraph(base)
+        assert ov.num_edges == 1
+        assert ov.edge_set() == base.edge_set()
+
+    def test_with_delta_is_persistent(self):
+        base = csr_of([(0, 1)], 3)
+        ov0 = OverlayGraph(base)
+        ov1 = ov0.with_delta(csr_of([(1, 2)], 3))
+        assert ov0.num_edges == 1  # original untouched
+        assert ov1.num_edges == 2
+        assert len(ov1.deltas) == 1
+
+    def test_vertex_count_mismatch(self):
+        base = csr_of([(0, 1)], 3)
+        with pytest.raises(GraphError):
+            OverlayGraph(base, (csr_of([(0, 1)], 4),))
+        with pytest.raises(GraphError):
+            OverlayGraph(base).with_delta(csr_of([(0, 1)], 4))
+
+    def test_degrees_sum_components(self):
+        base = csr_of([(0, 1), (0, 2)], 3)
+        ov = OverlayGraph(base, (csr_of([(0, 1)], 3),))  # parallel edge allowed
+        assert ov.degrees().tolist() == [3, 0, 0]
+
+
+class TestGather:
+    def test_gather_combines_components(self):
+        base = csr_of([(0, 1)], 4)
+        ov = OverlayGraph(base, (csr_of([(0, 2)], 4), csr_of([(0, 3)], 4)))
+        src, dst, _ = ov.gather(np.array([0]))
+        assert sorted(dst.tolist()) == [1, 2, 3]
+        assert src.tolist() == [0, 0, 0]
+
+    def test_gather_empty(self):
+        ov = OverlayGraph(csr_of([], 3))
+        s, d, w = ov.gather(np.array([0, 1, 2]))
+        assert s.size == d.size == w.size == 0
+
+    def test_neighbors_combines(self):
+        base = csr_of([(1, 0)], 3)
+        ov = OverlayGraph(base, (csr_of([(1, 2)], 3),))
+        targets, weights = ov.neighbors(1)
+        assert sorted(targets.tolist()) == [0, 2]
+        assert weights.size == 2
+
+    @given(edge_pairs(max_edges=20), edge_pairs(max_edges=20))
+    def test_overlay_equals_flatten(self, ab, cd):
+        n1, pairs1 = ab
+        n2, pairs2 = cd
+        n = max(n1, n2)
+        base = CSRGraph.from_edge_set(EdgeSet.from_pairs(pairs1), n, weight_fn=WF)
+        delta = CSRGraph.from_edge_set(EdgeSet.from_pairs(pairs2), n, weight_fn=WF)
+        ov = OverlayGraph(base, (delta,))
+        flat = ov.flatten()
+        # Same multiset of (src, dst, weight) triples.
+        s1, d1, w1 = ov.gather(np.arange(n))
+        s2, d2, w2 = flat.gather(np.arange(n))
+        assert sorted(zip(s1, d1, w1)) == sorted(zip(s2, d2, w2))
+        assert ov.num_edges == flat.num_edges
+
+
+def test_repr():
+    ov = OverlayGraph(csr_of([(0, 1)], 3), (csr_of([], 3),))
+    assert "deltas=1" in repr(ov)

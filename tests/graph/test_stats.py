@@ -1,0 +1,87 @@
+"""Tests for repro.graph.stats."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.stats import (
+    compute_stats,
+    degree_histogram,
+    reach_count,
+    weakly_connected_labels,
+)
+from tests.strategies import edge_pairs
+
+
+def csr_of(pairs, n):
+    return CSRGraph.from_edge_set(EdgeSet.from_pairs(pairs), n)
+
+
+class TestWeakComponents:
+    def test_two_components(self):
+        g = csr_of([(0, 1), (1, 2), (3, 4)], 5)
+        labels = weakly_connected_labels(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_direction_ignored(self):
+        g = csr_of([(1, 0), (1, 2)], 3)
+        labels = weakly_connected_labels(g)
+        assert len(set(labels.tolist())) == 1
+
+    def test_isolated_vertices_are_own_components(self):
+        g = csr_of([(0, 1)], 4)
+        labels = weakly_connected_labels(g)
+        assert labels[2] == 2
+        assert labels[3] == 3
+
+    @settings(max_examples=40)
+    @given(edge_pairs(max_edges=30))
+    def test_matches_networkx(self, ab):
+        n, pairs = ab
+        g = csr_of(pairs, n)
+        labels = weakly_connected_labels(g)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from(pairs)
+        for component in nx.weakly_connected_components(nxg):
+            component = sorted(component)
+            assert len({labels[v] for v in component}) == 1
+        # distinct components get distinct labels
+        want = len(list(nx.weakly_connected_components(nxg)))
+        assert len(set(labels.tolist())) == want
+
+
+class TestStats:
+    def test_summary_fields(self):
+        g = csr_of([(0, 1), (0, 2), (1, 2)], 5)
+        stats = compute_stats(g)
+        assert stats.num_vertices == 5
+        assert stats.num_edges == 3
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+        assert stats.isolated_vertices == 2
+        assert stats.num_components == 3  # {0,1,2}, {3}, {4}
+        assert stats.largest_component == 3
+        assert len(stats.as_rows()) == 8
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(3)
+        stats = compute_stats(g)
+        assert stats.num_edges == 0
+        assert stats.isolated_vertices == 3
+        assert stats.num_components == 3
+
+    def test_reach_count(self):
+        g = csr_of([(0, 1), (1, 2), (3, 0)], 5)
+        assert reach_count(g, 0) == 3
+        assert reach_count(g, 3) == 4
+        assert reach_count(g, 4) == 1
+
+    def test_degree_histogram_covers_all_vertices(self):
+        g = csr_of([(0, i) for i in range(1, 9)] + [(1, 2)], 16)
+        hist = degree_histogram(g)
+        assert sum(hist.values()) == 16

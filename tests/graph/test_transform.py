@@ -1,0 +1,96 @@
+"""Tests for repro.graph.transform."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.graph.edgeset import EdgeSet
+from repro.graph.transform import (
+    induced_subgraph,
+    relabel_dense,
+    remove_self_loops,
+    reverse_edges,
+    symmetrize,
+)
+from tests.strategies import edge_pairs
+
+
+def es(*pairs):
+    return EdgeSet.from_pairs(list(pairs))
+
+
+class TestSymmetrize:
+    def test_adds_reverses(self):
+        sym = symmetrize(es((0, 1), (1, 2)))
+        assert set(sym) == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_idempotent(self):
+        once = symmetrize(es((0, 1), (2, 0)))
+        assert symmetrize(once) == once
+
+    @given(edge_pairs(max_edges=25))
+    def test_contains_both_directions(self, ab):
+        _, pairs = ab
+        sym = symmetrize(EdgeSet.from_pairs(pairs))
+        for u, v in pairs:
+            assert (u, v) in sym and (v, u) in sym
+
+
+class TestReverse:
+    def test_reverses(self):
+        assert set(reverse_edges(es((0, 1), (2, 3)))) == {(1, 0), (3, 2)}
+
+    @given(edge_pairs(max_edges=25))
+    def test_involution(self, ab):
+        _, pairs = ab
+        edges = EdgeSet.from_pairs(pairs)
+        assert reverse_edges(reverse_edges(edges)) == edges
+
+
+class TestSelfLoops:
+    def test_drops_only_loops(self):
+        loops = EdgeSet.from_arrays(np.array([0, 1, 2]), np.array([0, 2, 2]))
+        cleaned = remove_self_loops(loops)
+        assert set(cleaned) == {(1, 2)}
+
+    def test_no_loops_unchanged(self):
+        edges = es((0, 1), (1, 2))
+        assert remove_self_loops(edges) == edges
+
+
+class TestInducedSubgraph:
+    def test_both_endpoints_required(self):
+        edges = es((0, 1), (1, 2), (2, 3))
+        sub = induced_subgraph(edges, np.array([1, 2]))
+        assert set(sub) == {(1, 2)}
+
+    def test_empty_vertex_set(self):
+        assert len(induced_subgraph(es((0, 1)), np.array([], dtype=np.int64))) == 0
+
+    def test_full_vertex_set_is_identity(self):
+        edges = es((0, 1), (3, 2))
+        assert induced_subgraph(edges, np.arange(4)) == edges
+
+
+class TestRelabelDense:
+    def test_dense_range(self):
+        edges = es((10, 50), (50, 99))
+        relabelled, mapping = relabel_dense(edges)
+        assert relabelled.max_vertex() == 2
+        assert mapping == {10: 0, 50: 1, 99: 2}
+        assert set(relabelled) == {(0, 1), (1, 2)}
+
+    def test_structure_preserved(self):
+        edges = es((7, 3), (3, 9), (9, 7))
+        relabelled, mapping = relabel_dense(edges)
+        for u, v in edges:
+            assert (mapping[u], mapping[v]) in relabelled
+
+    @given(edge_pairs(max_edges=25))
+    def test_bijective_on_used_vertices(self, ab):
+        _, pairs = ab
+        edges = EdgeSet.from_pairs(pairs)
+        relabelled, mapping = relabel_dense(edges)
+        assert len(relabelled) == len(edges)
+        used = {u for u, v in pairs} | {v for _, v in pairs}
+        assert set(mapping) == used
+        assert sorted(mapping.values()) == list(range(len(used)))

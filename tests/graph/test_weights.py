@@ -1,0 +1,65 @@
+"""Tests for repro.graph.weights."""
+
+import numpy as np
+import pytest
+
+from repro.graph.weights import HashWeights, UnitWeights, default_weights
+
+
+class TestUnitWeights:
+    def test_all_ones(self):
+        w = UnitWeights()(np.array([0, 1, 2]), np.array([1, 2, 3]))
+        assert w.tolist() == [1.0, 1.0, 1.0]
+        assert w.dtype == np.float64
+
+    def test_empty(self):
+        w = UnitWeights()(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert w.size == 0
+
+
+class TestHashWeights:
+    def test_deterministic(self):
+        fn = HashWeights(max_weight=64, seed=3)
+        src = np.arange(100)
+        dst = np.arange(100) + 1
+        assert np.array_equal(fn(src, dst), fn(src, dst))
+        assert np.array_equal(fn(src, dst), HashWeights(max_weight=64, seed=3)(src, dst))
+
+    def test_range(self):
+        fn = HashWeights(max_weight=16, seed=0)
+        w = fn(np.arange(5000), np.arange(5000) % 97)
+        assert w.min() >= 1.0
+        assert w.max() <= 16.0
+        assert np.array_equal(w, np.floor(w))  # integral weights
+
+    def test_seed_changes_values(self):
+        src, dst = np.arange(200), np.arange(200) + 7
+        a = HashWeights(max_weight=64, seed=1)(src, dst)
+        b = HashWeights(max_weight=64, seed=2)(src, dst)
+        assert not np.array_equal(a, b)
+
+    def test_direction_sensitive(self):
+        fn = HashWeights(max_weight=1 << 20, seed=0)
+        a = fn(np.array([3]), np.array([4]))
+        b = fn(np.array([4]), np.array([3]))
+        assert a[0] != b[0]
+
+    def test_roughly_uniform(self):
+        fn = HashWeights(max_weight=4, seed=0)
+        w = fn(np.arange(8000), np.arange(8000) * 3 % 7919)
+        counts = np.bincount(w.astype(int), minlength=5)[1:5]
+        assert counts.min() > 8000 / 4 * 0.8
+
+    def test_invalid_max_weight(self):
+        with pytest.raises(ValueError):
+            HashWeights(max_weight=0)
+
+    def test_repr(self):
+        assert "max_weight=64" in repr(HashWeights(64, 1))
+
+
+def test_default_weights_is_stable():
+    a = default_weights()
+    b = default_weights()
+    src, dst = np.arange(50), np.arange(50) + 2
+    assert np.array_equal(a(src, dst), b(src, dst))

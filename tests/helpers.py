@@ -1,0 +1,14 @@
+"""Shared test helpers.
+
+The reference implementations now live in the *public*
+:mod:`repro.testing` module (so downstream users can test custom
+algorithms against the same oracle); this module re-exports them for
+the test suite.
+"""
+
+from repro.testing import (  # noqa: F401
+    assert_monotonic,
+    assert_values_equal,
+    reference_compute,
+    reference_compute_edgeset,
+)

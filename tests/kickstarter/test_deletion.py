@@ -1,0 +1,212 @@
+"""Trim-and-repair deletions must equal from-scratch recomputation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import get_algorithm
+from repro.errors import EngineError
+from repro.graph.edgeset import EdgeSet
+from repro.graph.mutable import MutableGraph
+from repro.graph.weights import HashWeights
+from repro.kickstarter.deletion import trim_and_repair
+from repro.kickstarter.engine import EngineCounters, static_compute
+from tests.conftest import ALL_ALGORITHMS, assert_values_equal
+from tests.helpers import reference_compute_edgeset
+from tests.strategies import edge_pairs
+
+WF = HashWeights(max_weight=8, seed=7)
+
+
+def run_deletion(
+    base, deletions, n, alg, source, counters=None, mode="auto", tagging="support"
+):
+    """Converge on ``base``, then delete ``deletions`` incrementally."""
+    graph = MutableGraph.from_edge_set(base, n, weight_fn=WF)
+    state = static_compute(graph, alg, source, track_parents=True)
+    graph.delete_batch(deletions)
+    src, dst = deletions.arrays()
+    trim_and_repair(
+        graph, alg, state, deletions, counters=counters, mode=mode,
+        tagging=tagging, deleted_weights=WF(src, dst),
+    )
+    return state.values
+
+
+class TestSimpleCases:
+    def test_delete_sole_path(self):
+        alg = get_algorithm("BFS")
+        base = EdgeSet.from_pairs([(0, 1), (1, 2)])
+        values = run_deletion(base, EdgeSet.from_pairs([(1, 2)]), 3, alg, 0)
+        assert values.tolist() == [0.0, 1.0, np.inf]
+
+    def test_delete_with_alternative_path(self):
+        alg = get_algorithm("BFS")
+        base = EdgeSet.from_pairs([(0, 1), (1, 2), (0, 3), (3, 2)])
+        values = run_deletion(base, EdgeSet.from_pairs([(1, 2)]), 4, alg, 0)
+        assert values[2] == 2.0  # rerouted via 3
+
+    def test_delete_causes_longer_path(self):
+        alg = get_algorithm("BFS")
+        base = EdgeSet.from_pairs([(0, 2), (0, 1), (1, 3), (3, 2)])
+        values = run_deletion(base, EdgeSet.from_pairs([(0, 2)]), 4, alg, 0)
+        assert values[2] == 3.0
+
+    @pytest.mark.parametrize("tagging", ["parent", "hybrid", "support"])
+    def test_delete_non_supporting_edge_is_cheap(self, tagging):
+        """Deleting an edge that does not support any value trims nothing
+        under either tagging policy (the support policy sees the deleted
+        edge's proposal does not match the target's value)."""
+        alg = get_algorithm("BFS")
+        base = EdgeSet.from_pairs([(0, 1), (0, 2), (1, 2)])
+        counters = EngineCounters()
+        values = run_deletion(
+            base, EdgeSet.from_pairs([(1, 2)]), 3, alg, 0,
+            counters=counters, tagging=tagging,
+        )
+        assert values.tolist() == [0.0, 1.0, 1.0]
+        assert counters.vertices_trimmed == 0
+
+    def test_support_tagging_over_approximates(self):
+        """A deleted edge that ties with the surviving support triggers a
+        trim under support tagging but not under exact parent tagging —
+        both repair to the same (correct) values."""
+        alg = get_algorithm("BFS")
+        # Two equal-length paths to 3; delete one of the final edges.
+        base = EdgeSet.from_pairs([(0, 1), (0, 2), (1, 3), (2, 3)])
+        deletions = EdgeSet.from_pairs([(2, 3)])
+        support_counters = EngineCounters()
+        support = run_deletion(
+            base, deletions, 4, alg, 0,
+            counters=support_counters, tagging="support",
+        )
+        assert support.tolist() == [0.0, 1.0, 1.0, 2.0]
+        assert support_counters.vertices_trimmed >= 1
+
+    def test_support_without_weights_tags_all_targets(self):
+        """With no deleted-edge weights, support tagging must stay safe by
+        tagging every deletion target."""
+        alg = get_algorithm("SSSP")
+        base = EdgeSet.from_pairs([(0, 1), (1, 2), (0, 2)])
+        deletions = EdgeSet.from_pairs([(1, 2)])
+        graph = MutableGraph.from_edge_set(base, 3, weight_fn=WF)
+        state = static_compute(graph, alg, 0, track_parents=True)
+        graph.delete_batch(deletions)
+        counters = EngineCounters()
+        trim_and_repair(graph, alg, state, deletions, counters=counters)
+        assert counters.vertices_trimmed == 1
+        want = reference_compute_edgeset(base - deletions, 3, alg, 0, WF)
+        assert_values_equal(state.values, want)
+
+    def test_cascade_down_a_chain(self):
+        """Deleting the chain head invalidates the whole tail."""
+        alg = get_algorithm("BFS")
+        chain = EdgeSet.from_pairs([(i, i + 1) for i in range(6)])
+        counters = EngineCounters()
+        values = run_deletion(
+            chain, EdgeSet.from_pairs([(0, 1)]), 7, alg, 0, counters=counters
+        )
+        assert values[0] == 0.0
+        assert np.all(np.isinf(values[1:]))
+        assert counters.vertices_trimmed == 6
+
+    def test_cycle_cannot_bootstrap(self):
+        """After trimming, a cycle must not feed itself stale values."""
+        alg = get_algorithm("BFS")
+        base = EdgeSet.from_pairs([(0, 1), (1, 2), (2, 3), (3, 1)])
+        values = run_deletion(base, EdgeSet.from_pairs([(0, 1)]), 4, alg, 0)
+        assert values[0] == 0.0
+        assert np.all(np.isinf(values[1:]))
+
+    def test_source_never_trimmed(self):
+        alg = get_algorithm("BFS")
+        base = EdgeSet.from_pairs([(0, 1), (1, 0)])
+        values = run_deletion(base, EdgeSet.from_pairs([(0, 1)]), 2, alg, 0)
+        assert values[0] == 0.0
+        assert np.isinf(values[1])
+
+    def test_parent_tagging_requires_parent_tracking(self):
+        alg = get_algorithm("BFS")
+        graph = MutableGraph.from_edge_set(
+            EdgeSet.from_pairs([(0, 1)]), 2, weight_fn=WF
+        )
+        state = static_compute(graph, alg, 0, track_parents=False)
+        with pytest.raises(EngineError):
+            trim_and_repair(
+                graph, alg, state, EdgeSet.from_pairs([(0, 1)]), tagging="parent"
+            )
+
+    def test_unknown_tagging_rejected(self):
+        alg = get_algorithm("BFS")
+        graph = MutableGraph.from_edge_set(
+            EdgeSet.from_pairs([(0, 1)]), 2, weight_fn=WF
+        )
+        state = static_compute(graph, alg, 0, track_parents=True)
+        with pytest.raises(EngineError, match="tagging"):
+            trim_and_repair(
+                graph, alg, state, EdgeSet.from_pairs([(0, 1)]), tagging="psychic"
+            )
+
+    def test_empty_deletion_batch(self, algorithm):
+        base = EdgeSet.from_pairs([(0, 1), (1, 2)])
+        values = run_deletion(base, EdgeSet.empty(), 3, algorithm, 0)
+        want = reference_compute_edgeset(base, 3, algorithm, 0, WF)
+        assert_values_equal(values, want)
+
+    def test_returns_trim_count(self):
+        alg = get_algorithm("BFS")
+        graph = MutableGraph.from_edge_set(
+            EdgeSet.from_pairs([(0, 1), (1, 2)]), 3, weight_fn=WF
+        )
+        state = static_compute(graph, alg, 0, track_parents=True)
+        deletions = EdgeSet.from_pairs([(0, 1)])
+        graph.delete_batch(deletions)
+        assert trim_and_repair(graph, alg, state, deletions) == 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(edge_pairs(max_edges=25), st.data())
+@pytest.mark.parametrize("tagging", ["hybrid", "support", "parent"])
+@pytest.mark.parametrize("name", ALL_ALGORITHMS)
+def test_deletion_equals_scratch_random(name, tagging, ab, data):
+    n, pairs = ab
+    alg = get_algorithm(name)
+    base = EdgeSet.from_pairs(pairs)
+    k = data.draw(st.integers(0, min(8, len(base))))
+    codes = base.codes
+    idx = data.draw(
+        st.lists(st.integers(0, len(base) - 1), min_size=k, max_size=k, unique=True)
+    ) if len(base) else []
+    deletions = EdgeSet(codes[np.asarray(idx, dtype=np.int64)]) if idx else EdgeSet.empty()
+    got = run_deletion(base, deletions, n, alg, 0, tagging=tagging)
+    want = reference_compute_edgeset(base - deletions, n, alg, 0, WF)
+    assert_values_equal(got, want, f"{name}/{tagging}")
+
+
+@settings(max_examples=15, deadline=None)
+@given(edge_pairs(max_edges=25), st.data())
+@pytest.mark.parametrize("mode", ["sync", "async"])
+def test_deletion_modes_agree(mode, ab, data):
+    n, pairs = ab
+    alg = get_algorithm("SSWP")
+    base = EdgeSet.from_pairs(pairs)
+    k = data.draw(st.integers(0, min(6, len(base))))
+    idx = data.draw(
+        st.lists(st.integers(0, len(base) - 1), min_size=k, max_size=k, unique=True)
+    ) if len(base) else []
+    deletions = EdgeSet(base.codes[np.asarray(idx, dtype=np.int64)]) if idx else EdgeSet.empty()
+    got = run_deletion(base, deletions, n, alg, 0, mode=mode)
+    want = reference_compute_edgeset(base - deletions, n, alg, 0, WF)
+    assert_values_equal(got, want, mode)
+
+
+def test_deletion_on_larger_graph(small_rmat, algorithm):
+    n = 256
+    rng = np.random.default_rng(1)
+    picks = rng.choice(small_rmat.codes.size, size=120, replace=False)
+    deletions = EdgeSet(small_rmat.codes[picks])
+    got = run_deletion(small_rmat, deletions, n, algorithm, 3)
+    want_graph = MutableGraph.from_edge_set(small_rmat - deletions, n, weight_fn=WF)
+    want = static_compute(want_graph, algorithm, 3).values
+    assert_values_equal(got, want, algorithm.name)

@@ -1,0 +1,182 @@
+"""Tests for the push engine (static computation, modes, counters)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.registry import get_algorithm
+from repro.errors import EngineError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.weights import HashWeights
+from repro.kickstarter.engine import (
+    EngineCounters,
+    VertexState,
+    push_until_stable,
+    seed_edges,
+    static_compute,
+)
+from tests.conftest import ALL_ALGORITHMS, assert_values_equal
+from tests.helpers import reference_compute_edgeset
+from tests.strategies import edge_pairs, sources_for
+
+WF = HashWeights(max_weight=8, seed=7)
+
+
+class TestStaticCompute:
+    def test_bfs_on_diamond(self, diamond_csr):
+        state = static_compute(diamond_csr, get_algorithm("BFS"), source=0)
+        assert state.values.tolist() == [0.0, 1.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_unreachable_vertices_stay_worst(self, diamond_csr):
+        alg = get_algorithm("SSSP")
+        state = static_compute(diamond_csr, alg, source=5)
+        assert state.values[5] == 0.0
+        assert np.all(np.isinf(state.values[:5]))
+
+    def test_matches_reference(self, diamond_edges, algorithm):
+        got = static_compute(
+            CSRGraph.from_edge_set(diamond_edges, 6, weight_fn=WF),
+            algorithm, source=0,
+        ).values
+        want = reference_compute_edgeset(diamond_edges, 6, algorithm, 0, WF)
+        assert_values_equal(got, want, algorithm.name)
+
+    def test_parent_tracking_consistency(self, diamond_csr):
+        alg = get_algorithm("SSSP")
+        state = static_compute(diamond_csr, alg, source=0, track_parents=True)
+        parents = state.parents
+        assert parents is not None
+        assert parents[0] == -1  # source has no parent
+        # Every reached non-source vertex's value is derivable from its
+        # parent via the edge function.
+        for v in range(1, 6):
+            if np.isinf(state.values[v]):
+                assert parents[v] == -1
+                continue
+            u = parents[v]
+            targets, weights = diamond_csr.neighbors(u)
+            idx = np.flatnonzero(targets == v)
+            assert idx.size == 1
+            prop = alg.proposals(
+                np.array([state.values[u]]), np.array([weights[idx[0]]])
+            )[0]
+            assert prop == state.values[v]
+
+    def test_counters_populated(self, diamond_csr):
+        counters = EngineCounters()
+        static_compute(diamond_csr, get_algorithm("BFS"), 0, counters=counters)
+        assert counters.edges_relaxed > 0
+        assert counters.iterations > 0
+        assert counters.vertices_updated >= 5
+
+    def test_cycle_convergence(self):
+        edges = EdgeSet.from_pairs([(0, 1), (1, 2), (2, 0), (2, 1)])
+        g = CSRGraph.from_edge_set(edges, 3, weight_fn=WF)
+        for name in ALL_ALGORITHMS:
+            alg = get_algorithm(name)
+            got = static_compute(g, alg, 0).values
+            want = reference_compute_edgeset(edges, 3, alg, 0, WF)
+            assert_values_equal(got, want, name)
+
+    def test_two_cycle_is_stable(self):
+        """A 2-cycle must converge, not ping-pong."""
+        g = CSRGraph.from_edge_set(EdgeSet.from_pairs([(0, 1), (1, 0)]), 2)
+        state = static_compute(g, get_algorithm("BFS"), 0)
+        assert state.values.tolist() == [0.0, 1.0]
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["sync", "async", "auto"])
+    def test_modes_agree(self, mode, algorithm, small_rmat):
+        g = CSRGraph.from_edge_set(small_rmat, 256, weight_fn=WF)
+        sync_state = static_compute(g, algorithm, 3, mode="sync")
+        other = static_compute(g, algorithm, 3, mode=mode)
+        assert_values_equal(other.values, sync_state.values, f"{algorithm.name}/{mode}")
+
+    def test_unknown_mode_rejected(self, diamond_csr):
+        state = VertexState.fresh(get_algorithm("BFS"), 6, 0)
+        with pytest.raises(EngineError):
+            push_until_stable(
+                diamond_csr, get_algorithm("BFS"), state,
+                np.array([0]), mode="warp",
+            )
+
+    def test_async_parent_tracking(self, diamond_csr):
+        alg = get_algorithm("SSSP")
+        sync = static_compute(diamond_csr, alg, 0, track_parents=True, mode="sync")
+        asy = static_compute(diamond_csr, alg, 0, track_parents=True, mode="async")
+        assert_values_equal(asy.values, sync.values, "async parents")
+        # Parents may differ on ties but must be valid (value-derivable).
+        for v in range(6):
+            if asy.parents[v] >= 0:
+                u = int(asy.parents[v])
+                targets, weights = diamond_csr.neighbors(u)
+                idx = np.flatnonzero(targets == v)
+                prop = alg.proposals(
+                    np.array([asy.values[u]]), np.array([weights[idx[0]]])
+                )[0]
+                assert prop == asy.values[v]
+
+
+class TestSeedEdges:
+    def test_seed_improves_and_reports(self):
+        alg = get_algorithm("SSSP")
+        g = CSRGraph.from_edge_set(EdgeSet.from_pairs([(0, 1)]), 3, weight_fn=WF)
+        state = static_compute(g, alg, 0)
+        # New edge (0, 2): seeding it should improve vertex 2.
+        changed = seed_edges(
+            alg, state, np.array([0]), np.array([2]), np.array([4.0])
+        )
+        assert changed.tolist() == [2]
+        assert state.values[2] == 4.0
+
+    def test_seed_no_improvement(self):
+        alg = get_algorithm("SSSP")
+        g = CSRGraph.from_edge_set(EdgeSet.from_pairs([(0, 1)]), 2, weight_fn=WF)
+        state = static_compute(g, alg, 0)
+        before = state.values.copy()
+        changed = seed_edges(
+            alg, state, np.array([1]), np.array([0]), np.array([5.0])
+        )
+        assert changed.size == 0
+        assert np.array_equal(state.values, before)
+
+    def test_seed_empty(self):
+        alg = get_algorithm("BFS")
+        state = VertexState.fresh(alg, 3, 0)
+        changed = seed_edges(
+            alg, state, np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64), np.array([]),
+        )
+        assert changed.size == 0
+
+
+class TestVertexState:
+    def test_fresh(self, algorithm):
+        state = VertexState.fresh(algorithm, 4, 1, track_parents=True)
+        assert state.values[1] == algorithm.source_value
+        assert state.parents.tolist() == [-1, -1, -1, -1]
+        assert state.source == 1
+
+    def test_copy_is_deep(self, algorithm):
+        state = VertexState.fresh(algorithm, 4, 0, track_parents=True)
+        clone = state.copy()
+        clone.values[2] = 42.0
+        clone.parents[2] = 1
+        assert state.values[2] == algorithm.worst
+        assert state.parents[2] == -1
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_pairs(max_edges=30), sources_for(12))
+@pytest.mark.parametrize("name", ALL_ALGORITHMS)
+def test_static_matches_reference_random(name, ab, source):
+    n, pairs = ab
+    source = source % n
+    edges = EdgeSet.from_pairs(pairs)
+    alg = get_algorithm(name)
+    g = CSRGraph.from_edge_set(edges, n, weight_fn=WF)
+    got = static_compute(g, alg, source, mode="auto").values
+    want = reference_compute_edgeset(edges, n, alg, source, WF)
+    assert_values_equal(got, want, name)

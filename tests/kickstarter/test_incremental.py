@@ -1,0 +1,117 @@
+"""Incremental additions must equal from-scratch recomputation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.registry import get_algorithm
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.mutable import MutableGraph
+from repro.graph.overlay import OverlayGraph
+from repro.graph.weights import HashWeights
+from repro.kickstarter.engine import incremental_additions, static_compute
+from tests.conftest import ALL_ALGORITHMS, assert_values_equal
+from tests.helpers import reference_compute_edgeset
+from tests.strategies import edge_pairs
+
+WF = HashWeights(max_weight=8, seed=7)
+
+
+def run_incremental(base, additions, n, alg, source, mode="auto", graph_kind="overlay"):
+    """Converge on ``base``, then add ``additions`` incrementally."""
+    base_csr = CSRGraph.from_edge_set(base, n, weight_fn=WF)
+    state = static_compute(base_csr, alg, source)
+    src, dst = additions.arrays()
+    weights = WF(src, dst)
+    if graph_kind == "overlay":
+        graph = OverlayGraph(base_csr, (CSRGraph.from_edge_set(additions, n, weight_fn=WF),))
+    elif graph_kind == "mutable":
+        graph = MutableGraph.from_edge_set(base, n, weight_fn=WF)
+        graph.add_batch(additions)
+    else:
+        graph = CSRGraph.from_edge_set(base | additions, n, weight_fn=WF)
+    incremental_additions(graph, alg, state, src, dst, weights, mode=mode)
+    return state.values
+
+
+class TestSimpleCases:
+    def test_addition_shortens_path(self):
+        alg = get_algorithm("BFS")
+        base = EdgeSet.from_pairs([(0, 1), (1, 2), (2, 3)])
+        add = EdgeSet.from_pairs([(0, 3)])
+        values = run_incremental(base, add, 4, alg, 0)
+        assert values.tolist() == [0.0, 1.0, 2.0, 1.0]
+
+    def test_addition_connects_unreached(self):
+        alg = get_algorithm("BFS")
+        base = EdgeSet.from_pairs([(0, 1)])
+        add = EdgeSet.from_pairs([(1, 2), (2, 3)])
+        values = run_incremental(base, add, 4, alg, 0)
+        assert values.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_useless_addition_changes_nothing(self):
+        alg = get_algorithm("BFS")
+        base = EdgeSet.from_pairs([(0, 1), (0, 2)])
+        add = EdgeSet.from_pairs([(1, 2)])  # longer route to 2
+        values = run_incremental(base, add, 3, alg, 0)
+        assert values.tolist() == [0.0, 1.0, 1.0]
+
+    def test_empty_addition_batch(self, algorithm):
+        base = EdgeSet.from_pairs([(0, 1), (1, 2)])
+        values = run_incremental(base, EdgeSet.empty(), 3, algorithm, 0)
+        want = reference_compute_edgeset(base, 3, algorithm, 0, WF)
+        assert_values_equal(values, want)
+
+    def test_addition_cascades_through_cycle(self):
+        alg = get_algorithm("SSSP")
+        base = EdgeSet.from_pairs([(1, 2), (2, 3), (3, 1)])
+        add = EdgeSet.from_pairs([(0, 1)])
+        values = run_incremental(base, add, 4, alg, 0)
+        want = reference_compute_edgeset(base | add, 4, alg, 0, WF)
+        assert_values_equal(values, want)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_pairs(max_edges=25), edge_pairs(max_edges=10))
+@pytest.mark.parametrize("name", ALL_ALGORITHMS)
+@pytest.mark.parametrize("graph_kind", ["overlay", "mutable", "flat"])
+def test_incremental_equals_scratch_random(name, graph_kind, ab, cd):
+    n1, base_pairs = ab
+    n2, add_pairs = cd
+    n = max(n1, n2)
+    alg = get_algorithm(name)
+    base = EdgeSet.from_pairs(base_pairs)
+    additions = EdgeSet.from_pairs(add_pairs) - base
+    got = run_incremental(base, additions, n, alg, 0, graph_kind=graph_kind)
+    want = reference_compute_edgeset(base | additions, n, alg, 0, WF)
+    assert_values_equal(got, want, f"{name}/{graph_kind}")
+
+
+@settings(max_examples=15, deadline=None)
+@given(edge_pairs(max_edges=25), edge_pairs(max_edges=10))
+@pytest.mark.parametrize("mode", ["sync", "async"])
+def test_incremental_modes_agree(mode, ab, cd):
+    n1, base_pairs = ab
+    n2, add_pairs = cd
+    n = max(n1, n2)
+    alg = get_algorithm("SSSP")
+    base = EdgeSet.from_pairs(base_pairs)
+    additions = EdgeSet.from_pairs(add_pairs) - base
+    got = run_incremental(base, additions, n, alg, 0, mode=mode)
+    want = reference_compute_edgeset(base | additions, n, alg, 0, WF)
+    assert_values_equal(got, want, mode)
+
+
+def test_incremental_on_larger_graph(small_rmat, algorithm):
+    """Integration-scale check against a vectorised from-scratch run."""
+    n = 256
+    rng = np.random.default_rng(0)
+    codes = small_rmat.codes
+    picks = rng.choice(codes.size, size=100, replace=False)
+    base = EdgeSet(np.delete(codes, picks))
+    additions = EdgeSet(codes[picks])
+    got = run_incremental(base, additions, n, algorithm, 3)
+    full = CSRGraph.from_edge_set(small_rmat, n, weight_fn=WF)
+    want = static_compute(full, algorithm, 3).values
+    assert_values_equal(got, want, algorithm.name)

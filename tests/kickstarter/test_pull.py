@@ -1,0 +1,124 @@
+"""Pull-based execution must agree with push everywhere."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.registry import get_algorithm
+from repro.errors import EngineError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.weights import HashWeights
+from repro.kickstarter.engine import (
+    EngineCounters,
+    VertexState,
+    seed_edges,
+    static_compute,
+)
+from repro.kickstarter.pull import (
+    DENSE_FRACTION,
+    pull_until_stable,
+    static_compute_pull,
+)
+from tests.conftest import ALL_ALGORITHMS, assert_values_equal
+from tests.strategies import edge_pairs, sources_for
+
+WF = HashWeights(max_weight=8, seed=7)
+
+
+class TestStaticPull:
+    def test_diamond(self, diamond_csr):
+        state = static_compute_pull(diamond_csr, get_algorithm("BFS"), 0)
+        assert state.values.tolist() == [0.0, 1.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_matches_push(self, diamond_csr, algorithm):
+        push = static_compute(diamond_csr, algorithm, 0)
+        pull = static_compute_pull(diamond_csr, algorithm, 0)
+        assert_values_equal(pull.values, push.values, algorithm.name)
+
+    def test_auto_direction(self, small_rmat, algorithm):
+        g = CSRGraph.from_edge_set(small_rmat, 256, weight_fn=WF)
+        push = static_compute(g, algorithm, 3)
+        auto = static_compute_pull(g, algorithm, 3, direction="auto")
+        assert_values_equal(auto.values, push.values, f"{algorithm.name}/auto")
+
+    def test_unknown_direction(self, diamond_csr):
+        with pytest.raises(EngineError):
+            static_compute_pull(diamond_csr, get_algorithm("BFS"), 0,
+                                direction="sideways")
+
+    def test_parent_tracking(self, diamond_csr):
+        alg = get_algorithm("SSSP")
+        state = static_compute_pull(diamond_csr, alg, 0, track_parents=True)
+        for v in range(6):
+            if state.parents[v] < 0:
+                continue
+            u = int(state.parents[v])
+            targets, weights = diamond_csr.neighbors(u)
+            idx = np.flatnonzero(targets == v)
+            prop = alg.proposals(
+                np.array([state.values[u]]), np.array([weights[idx[0]]])
+            )[0]
+            assert prop == state.values[v]
+
+    def test_counters(self, diamond_csr):
+        counters = EngineCounters()
+        static_compute_pull(diamond_csr, get_algorithm("BFS"), 0, counters=counters)
+        assert counters.edges_relaxed > 0
+        assert counters.iterations > 0
+
+    def test_reusing_precomputed_transpose(self, diamond_csr):
+        t = diamond_csr.transpose()
+        alg = get_algorithm("BFS")
+        a = static_compute_pull(diamond_csr, alg, 0, transpose=t)
+        b = static_compute_pull(diamond_csr, alg, 0)
+        assert_values_equal(a.values, b.values)
+
+
+class TestPullIncremental:
+    def test_pull_after_seed_matches_push(self, small_rmat):
+        """Seed an addition batch, then stabilise by pulling."""
+        alg = get_algorithm("SSSP")
+        n = 256
+        rng = np.random.default_rng(2)
+        picks = rng.choice(small_rmat.codes.size, size=80, replace=False)
+        base = EdgeSet(np.delete(small_rmat.codes, picks))
+        additions = EdgeSet(small_rmat.codes[picks])
+        full_csr = CSRGraph.from_edge_set(small_rmat, n, weight_fn=WF)
+
+        base_csr = CSRGraph.from_edge_set(base, n, weight_fn=WF)
+        state = static_compute(base_csr, alg, 3)
+        src, dst = additions.arrays()
+        frontier = seed_edges(alg, state, src, dst, WF(src, dst))
+        pull_until_stable(full_csr, alg, state, frontier)
+
+        want = static_compute(full_csr, alg, 3).values
+        assert_values_equal(state.values, want)
+
+    def test_empty_frontier_is_noop(self, diamond_csr):
+        alg = get_algorithm("BFS")
+        state = static_compute(diamond_csr, alg, 0)
+        before = state.values.copy()
+        pull_until_stable(
+            diamond_csr, alg, state, np.empty(0, dtype=np.int64)
+        )
+        assert np.array_equal(state.values, before)
+
+
+@settings(max_examples=25, deadline=None)
+@given(edge_pairs(max_edges=30), sources_for(12))
+@pytest.mark.parametrize("name", ALL_ALGORITHMS)
+def test_pull_matches_push_random(name, ab, source):
+    n, pairs = ab
+    source = source % n
+    alg = get_algorithm(name)
+    g = CSRGraph.from_edge_set(EdgeSet.from_pairs(pairs), n, weight_fn=WF)
+    push = static_compute(g, alg, source)
+    pull = static_compute_pull(g, alg, source)
+    auto = static_compute_pull(g, alg, source, direction="auto")
+    assert_values_equal(pull.values, push.values, f"{name}/pull")
+    assert_values_equal(auto.values, push.values, f"{name}/auto")
+
+
+def test_dense_fraction_is_sane():
+    assert 0.0 < DENSE_FRACTION < 1.0

@@ -1,0 +1,75 @@
+"""Tests for the KickStarter streaming session."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.algorithms.registry import get_algorithm
+from repro.graph.csr import CSRGraph
+from repro.graph.weights import HashWeights
+from repro.kickstarter.engine import static_compute
+from repro.kickstarter.streaming import StreamingSession
+from tests.conftest import assert_values_equal
+from tests.strategies import evolving_graphs
+
+WF = HashWeights(max_weight=8, seed=7)
+
+
+class TestStreamingSession:
+    def test_values_match_scratch_every_snapshot(self, small_evolving, algorithm):
+        session = StreamingSession(small_evolving, algorithm, source=3, weight_fn=WF)
+        result = session.run()
+        assert len(result.snapshot_values) == small_evolving.num_snapshots
+        for i in range(small_evolving.num_snapshots):
+            g = small_evolving.snapshot_csr(i, weight_fn=WF)
+            want = static_compute(g, algorithm, 3).values
+            assert_values_equal(
+                result.snapshot_values[i], want, f"{algorithm.name}@{i}"
+            )
+
+    def test_phase_timers_populated(self, small_evolving):
+        result = StreamingSession(
+            small_evolving, get_algorithm("SSSP"), source=3, weight_fn=WF
+        ).run()
+        phases = result.phase_seconds()
+        for name in (
+            "initial_compute", "mutation_del", "incremental_del",
+            "mutation_add", "incremental_add",
+        ):
+            assert name in phases
+            assert phases[name] >= 0.0
+        assert result.total_seconds == sum(phases.values())
+
+    def test_keep_values_false(self, small_evolving):
+        result = StreamingSession(
+            small_evolving, get_algorithm("BFS"), source=3,
+            weight_fn=WF, keep_values=False,
+        ).run()
+        assert result.snapshot_values == []
+        assert result.total_seconds > 0
+
+    def test_counters_accumulate(self, small_evolving):
+        result = StreamingSession(
+            small_evolving, get_algorithm("BFS"), source=3, weight_fn=WF
+        ).run()
+        assert result.counters.edges_relaxed > 0
+        assert result.counters.vertices_trimmed > 0  # deletions happened
+
+    def test_single_snapshot_stream(self, small_evolving):
+        from repro.evolving.snapshots import EvolvingGraph
+
+        single = EvolvingGraph(
+            small_evolving.num_vertices, small_evolving.snapshot_edges(0)
+        )
+        result = StreamingSession(single, get_algorithm("BFS"), 3, weight_fn=WF).run()
+        assert len(result.snapshot_values) == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(evolving_graphs(max_batches=3))
+def test_streaming_matches_scratch_random(eg):
+    alg = get_algorithm("SSNP")
+    result = StreamingSession(eg, alg, source=0, weight_fn=WF).run()
+    for i in range(eg.num_snapshots):
+        g = CSRGraph.from_edge_set(eg.snapshot_edges(i), eg.num_vertices, weight_fn=WF)
+        want = static_compute(g, alg, 0).values
+        assert_values_equal(result.snapshot_values[i], want, f"snapshot {i}")

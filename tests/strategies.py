@@ -1,0 +1,84 @@
+"""Hypothesis strategies for graphs, edge sets and evolving graphs."""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.snapshots import EvolvingGraph
+from repro.graph.edgeset import EdgeSet
+
+DEFAULT_MAX_VERTICES = 12
+
+
+@st.composite
+def edge_pairs(draw, max_vertices: int = DEFAULT_MAX_VERTICES, max_edges: int = 40):
+    """A list of distinct (u, v) pairs with u != v."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    count = draw(st.integers(min_value=0, max_value=min(max_edges, len(possible))))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(possible) - 1),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    return n, [possible[i] for i in indices]
+
+
+@st.composite
+def edge_sets(draw, max_vertices: int = DEFAULT_MAX_VERTICES, max_edges: int = 40):
+    """An (num_vertices, EdgeSet) pair."""
+    n, pairs = draw(edge_pairs(max_vertices=max_vertices, max_edges=max_edges))
+    return n, EdgeSet.from_pairs(pairs)
+
+
+@st.composite
+def evolving_graphs(
+    draw,
+    max_vertices: int = DEFAULT_MAX_VERTICES,
+    max_edges: int = 30,
+    max_batches: int = 4,
+    max_updates_per_batch: int = 6,
+):
+    """A small random evolving graph with a well-formed update stream.
+
+    Batches may re-add previously deleted edges, exercising the
+    structure the Triangular Grid shares.
+    """
+    n, pairs = draw(edge_pairs(max_vertices=max_vertices, max_edges=max_edges))
+    current: Set[Tuple[int, int]] = set(pairs)
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    num_batches = draw(st.integers(min_value=0, max_value=max_batches))
+    batches: List[DeltaBatch] = []
+    for _ in range(num_batches):
+        absent = sorted(set(possible) - current)
+        present = sorted(current)
+        n_add = draw(st.integers(0, min(max_updates_per_batch, len(absent))))
+        n_del = draw(st.integers(0, min(max_updates_per_batch, len(present))))
+        add_idx = draw(
+            st.lists(st.integers(0, len(absent) - 1), min_size=n_add,
+                     max_size=n_add, unique=True)
+        ) if n_add else []
+        del_idx = draw(
+            st.lists(st.integers(0, len(present) - 1), min_size=n_del,
+                     max_size=n_del, unique=True)
+        ) if n_del else []
+        additions = [absent[i] for i in add_idx]
+        deletions = [present[i] for i in del_idx]
+        batch = DeltaBatch(
+            additions=EdgeSet.from_pairs(additions),
+            deletions=EdgeSet.from_pairs(deletions),
+        )
+        batches.append(batch)
+        current = (current | set(additions)) - set(deletions)
+    base = EdgeSet.from_pairs(pairs)
+    return EvolvingGraph(n, base, batches)
+
+
+def sources_for(num_vertices: int):
+    """Strategy for a valid source vertex id."""
+    return st.integers(min_value=0, max_value=num_vertices - 1)

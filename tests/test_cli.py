@@ -1,0 +1,130 @@
+"""End-to-end tests of the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.evolving.store import SnapshotStore
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    path = tmp_path / "store"
+    code = main([
+        "generate", str(path), "--scale", "8", "--edges", "1500",
+        "--snapshots", "5", "--batch-size", "40", "--seed", "3",
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_store(self, store_dir):
+        store = SnapshotStore(store_dir)
+        assert store.num_snapshots == 5
+        assert store.num_vertices == 256
+
+    def test_named_dataset(self, tmp_path, capsys):
+        path = tmp_path / "lj"
+        code = main([
+            "generate", str(path), "--dataset", "LJ", "--edge-scale", "0.02",
+            "--snapshots", "3", "--batch-size", "10",
+        ])
+        assert code == 0
+        assert SnapshotStore(path).name == "LJ"
+
+
+class TestInfo:
+    def test_prints_summary(self, store_dir, capsys):
+        assert main(["info", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshots" in out
+        assert "common graph edges" in out
+        assert "direct-hop additions" in out
+
+
+class TestEvaluate:
+    def test_full_range(self, store_dir, capsys):
+        code = main([
+            "evaluate", str(store_dir), "--algorithm", "BFS", "--source", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BFS from 0 on versions 0..4" in out
+        assert "additions streamed" in out
+
+    def test_version_window_and_out(self, store_dir, tmp_path, capsys):
+        out_path = tmp_path / "values.npz"
+        code = main([
+            "evaluate", str(store_dir), "--algorithm", "SSSP",
+            "--first", "1", "--last", "3", "--strategy", "direct-hop",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        with np.load(out_path) as data:
+            assert set(data.files) == {"version_1", "version_2", "version_3"}
+            assert data["version_1"].shape == (256,)
+
+    def test_strategies_agree_via_cli(self, store_dir, tmp_path):
+        outs = []
+        for strategy in ("direct-hop", "work-sharing"):
+            out_path = tmp_path / f"{strategy}.npz"
+            main([
+                "evaluate", str(store_dir), "--algorithm", "SSWP",
+                "--strategy", strategy, "--out", str(out_path),
+            ])
+            with np.load(out_path) as data:
+                outs.append({k: data[k] for k in data.files})
+        assert outs[0].keys() == outs[1].keys()
+        for key in outs[0]:
+            assert np.array_equal(outs[0][key], outs[1][key])
+
+
+class TestInfoDetailed:
+    def test_structural_summary(self, store_dir, capsys):
+        assert main(["info", str(store_dir), "--detailed"]) == 0
+        out = capsys.readouterr().out
+        assert "base snapshot structure" in out
+        assert "weak components" in out
+        assert "degree histogram" in out
+
+
+class TestTrend:
+    def test_builtin_metrics(self, store_dir, capsys):
+        code = main([
+            "trend", str(store_dir), "--algorithm", "BFS",
+            "--metrics", "reach", "mean",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BFS trends" in out
+        assert "reach" in out and "mean" in out
+
+    def test_vertex_metric_and_chart(self, store_dir, capsys):
+        code = main([
+            "trend", str(store_dir), "--metrics", "vertex:3", "--chart",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vertex_3" in out
+        assert "* vertex_3" in out  # chart legend
+
+    def test_unknown_metric_errors(self, store_dir, capsys):
+        code = main(["trend", str(store_dir), "--metrics", "entropy"])
+        assert code == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_window(self, store_dir, capsys):
+        code = main([
+            "trend", str(store_dir), "--first", "1", "--last", "3",
+            "--metrics", "reach",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "\n1 " in out and "\n3 " in out
+        assert "\n0 " not in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,129 @@
+"""Model-based (stateful) tests.
+
+Hypothesis drives long random operation sequences against a trivially
+correct model:
+
+* :class:`MutableGraphMachine` — in-place add/delete batches against a
+  Python set-of-pairs model, checking the graph's edge set, degrees and
+  gathers after every step;
+* :class:`VersionControlMachine` — ``new_version``/``diff``/
+  ``get_version`` against a list-of-sets model, checking that the
+  common-graph decomposition stays consistent as history grows.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.evolving.snapshots import EvolvingGraph
+from repro.evolving.version_control import VersionController
+from repro.graph.edgeset import EdgeSet
+from repro.graph.mutable import MutableGraph
+from repro.graph.weights import HashWeights
+
+N = 8  # vertex count: small so collisions/re-adds are frequent
+ALL_PAIRS = [(u, v) for u in range(N) for v in range(N) if u != v]
+WF = HashWeights(max_weight=5, seed=3)
+
+pair_subsets = st.lists(
+    st.sampled_from(ALL_PAIRS), min_size=0, max_size=6, unique=True
+)
+
+
+class MutableGraphMachine(RuleBasedStateMachine):
+    """MutableGraph must behave exactly like a set of edges."""
+
+    @initialize(pairs=pair_subsets)
+    def setup(self, pairs):
+        self.model = set(pairs)
+        self.graph = MutableGraph.from_edge_set(
+            EdgeSet.from_pairs(pairs), N, weight_fn=WF
+        )
+
+    @rule(pairs=pair_subsets)
+    def add(self, pairs):
+        fresh = [p for p in pairs if p not in self.model]
+        self.graph.add_batch(EdgeSet.from_pairs(fresh))
+        self.model.update(fresh)
+
+    @rule(pairs=pair_subsets)
+    def delete(self, pairs):
+        present = [p for p in pairs if p in self.model]
+        self.graph.delete_batch(EdgeSet.from_pairs(present))
+        self.model.difference_update(present)
+
+    @invariant()
+    def edge_set_matches(self):
+        assert set(self.graph.edge_set()) == self.model
+        assert self.graph.num_edges == len(self.model)
+
+    @invariant()
+    def gather_matches(self):
+        src, dst, w = self.graph.gather(np.arange(N))
+        assert set(zip(src.tolist(), dst.tolist())) == self.model
+        # Weights always come from the deterministic function.
+        if src.size:
+            assert np.array_equal(w, WF(src, dst))
+
+    @invariant()
+    def in_edges_match(self):
+        origins, targets, _ = self.graph.gather_in(np.arange(N))
+        assert set(zip(origins.tolist(), targets.tolist())) == self.model
+
+
+class VersionControlMachine(RuleBasedStateMachine):
+    """VersionController must track history like a list of edge sets."""
+
+    @initialize(pairs=pair_subsets)
+    def setup(self, pairs):
+        base = EdgeSet.from_pairs(pairs)
+        self.history = [set(pairs)]
+        self.vc = VersionController(EvolvingGraph(N, base), weight_fn=WF)
+
+    @rule(adds=pair_subsets, dels=pair_subsets)
+    def new_version(self, adds, dels):
+        current = self.history[-1]
+        adds = [p for p in adds if p not in current]
+        dels = [p for p in dels if p in current and p not in adds]
+        index = self.vc.new_version(
+            additions=EdgeSet.from_pairs(adds),
+            deletions=EdgeSet.from_pairs(dels),
+        )
+        assert index == len(self.history)
+        self.history.append((current | set(adds)) - set(dels))
+
+    @rule(data=st.data())
+    def diff_between_versions(self, data):
+        a = data.draw(st.integers(0, len(self.history) - 1))
+        b = data.draw(st.integers(0, len(self.history) - 1))
+        diff = self.vc.diff(a, b)
+        got = diff.apply(EdgeSet.from_pairs(sorted(self.history[a])))
+        assert set(got) == self.history[b]
+
+    @invariant()
+    def versions_match_history(self):
+        assert self.vc.num_versions == len(self.history)
+        for index in (0, len(self.history) - 1):
+            overlay = self.vc.get_version(index)
+            assert set(overlay.edge_set()) == self.history[index]
+
+    @invariant()
+    def decomposition_is_consistent(self):
+        decomp = self.vc.decomposition
+        # Common graph is exactly the intersection of all versions.
+        expected_common = set.intersection(*self.history)
+        assert set(decomp.common) == expected_common
+        for index, edges in enumerate(self.history):
+            assert set(decomp.snapshot_edges(index)) == edges
+
+
+TestMutableGraphStateful = MutableGraphMachine.TestCase
+TestMutableGraphStateful.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)
+
+TestVersionControlStateful = VersionControlMachine.TestCase
+TestVersionControlStateful.settings = settings(
+    max_examples=20, stateful_step_count=10, deadline=None
+)

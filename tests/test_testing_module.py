@@ -1,0 +1,67 @@
+"""Tests for the public repro.testing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.algorithms.registry import get_algorithm
+from repro.graph.edgeset import EdgeSet
+from repro.graph.weights import HashWeights
+from repro.testing import (
+    assert_monotonic,
+    assert_values_equal,
+    reference_compute,
+    reference_compute_edgeset,
+)
+
+WF = HashWeights(max_weight=8, seed=7)
+
+
+class TestReferenceCompute:
+    def test_simple_chain(self):
+        values = reference_compute(
+            [(0, 1, 2.0), (1, 2, 3.0)], 3, get_algorithm("SSSP"), 0
+        )
+        assert values.tolist() == [0.0, 2.0, 5.0]
+
+    def test_edgeset_variant(self, diamond_edges):
+        a = reference_compute_edgeset(diamond_edges, 6, get_algorithm("BFS"), 0, WF)
+        src, dst = diamond_edges.arrays()
+        b = reference_compute(
+            zip(src.tolist(), dst.tolist(), WF(src, dst).tolist()),
+            6, get_algorithm("BFS"), 0,
+        )
+        assert np.array_equal(a, b)
+
+    def test_empty_edges(self, algorithm):
+        values = reference_compute([], 3, algorithm, 1)
+        assert values[1] == algorithm.source_value
+        assert values[0] == algorithm.worst
+
+
+class TestAssertValuesEqual:
+    def test_passes_on_equal(self):
+        assert_values_equal(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_fails_with_location(self):
+        with pytest.raises(AssertionError, match=r"ctx: values differ at \[1\]"):
+            assert_values_equal(np.array([1.0, 2.0]), np.array([1.0, 3.0]), "ctx")
+
+
+class TestAssertMonotonic:
+    def test_all_builtins_pass(self, algorithm):
+        assert_monotonic(algorithm)
+
+    def test_catches_violation(self):
+        class Broken(MonotonicAlgorithm):
+            name = "Broken"
+            direction = "min"
+            worst = np.inf
+            source_value = 0.0
+
+            def proposals(self, src_values, weights):
+                # Non-monotone: larger inputs give *smaller* proposals.
+                return weights - src_values
+
+        with pytest.raises(AssertionError, match="not monotonic"):
+            assert_monotonic(Broken())

@@ -1,0 +1,115 @@
+"""Tests for repro.utils."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import PhaseTimer, Stopwatch, concat_ranges
+
+
+class TestConcatRanges:
+    def test_single_range(self):
+        out = concat_ranges(np.array([2]), np.array([6]))
+        assert out.tolist() == [2, 3, 4, 5]
+
+    def test_multiple_ranges(self):
+        out = concat_ranges(np.array([0, 5, 10]), np.array([2, 8, 11]))
+        assert out.tolist() == [0, 1, 5, 6, 7, 10]
+
+    def test_empty_input(self):
+        out = concat_ranges(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert out.size == 0
+
+    def test_all_empty_ranges(self):
+        out = concat_ranges(np.array([3, 7]), np.array([3, 7]))
+        assert out.size == 0
+
+    def test_mixed_empty_and_nonempty(self):
+        out = concat_ranges(np.array([0, 4, 9]), np.array([0, 6, 9]))
+        assert out.tolist() == [4, 5]
+
+    def test_negative_length_treated_as_empty(self):
+        out = concat_ranges(np.array([5, 0]), np.array([2, 3]))
+        assert out.tolist() == [0, 1, 2]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            concat_ranges(np.array([0, 1]), np.array([2]))
+
+    def test_dtype_is_int64(self):
+        out = concat_ranges(np.array([0]), np.array([3]))
+        assert out.dtype == np.int64
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 12)),
+            min_size=0, max_size=10,
+        )
+    )
+    def test_matches_naive(self, ranges):
+        starts = np.array([a for a, _ in ranges], dtype=np.int64)
+        stops = np.array([a + l for a, l in ranges], dtype=np.int64)
+        expected = (
+            np.concatenate([np.arange(a, b) for a, b in zip(starts, stops)])
+            if len(ranges)
+            else np.empty(0, dtype=np.int64)
+        )
+        got = concat_ranges(starts, stops)
+        assert got.tolist() == expected.tolist()
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.002)
+        with sw:
+            time.sleep(0.002)
+        assert sw.seconds >= 0.004
+        assert sw.calls == 2
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.seconds == 0.0
+        assert sw.calls == 0
+
+
+class TestPhaseTimer:
+    def test_phase_accumulation(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            time.sleep(0.001)
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert timer.seconds("a") > 0
+        assert timer.phases["a"].calls == 2
+        assert set(timer.as_dict()) == {"a", "b"}
+
+    def test_unknown_phase_is_zero(self):
+        assert PhaseTimer().seconds("nope") == 0.0
+
+    def test_total(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            time.sleep(0.001)
+        assert timer.total() == pytest.approx(timer.seconds("a"))
+
+    def test_merge(self):
+        t1, t2 = PhaseTimer(), PhaseTimer()
+        with t1.phase("a"):
+            time.sleep(0.001)
+        with t2.phase("a"):
+            time.sleep(0.001)
+        with t2.phase("b"):
+            pass
+        before = t1.seconds("a")
+        t1.merge(t2)
+        assert t1.seconds("a") > before
+        assert "b" in t1.phases
