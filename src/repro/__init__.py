@@ -41,6 +41,7 @@ from repro.algorithms import (
     register_algorithm,
 )
 from repro.core import (
+    TaskOutcome,
     CommonGraphDecomposition,
     agglomerative_schedule,
     DirectHopEvaluator,
@@ -59,22 +60,30 @@ from repro.core import (
 )
 from repro.errors import (
     AlgorithmError,
+    DeadlineExceededError,
     DeltaError,
     EdgeSetError,
     EngineError,
     GraphError,
+    IntegrityError,
     ReproError,
+    ResilienceError,
+    RetryExhaustedError,
     ScheduleError,
     SnapshotError,
 )
 from repro.evolving import (
     DeltaBatch,
     EvolvingGraph,
+    RecoveryReport,
     SnapshotStore,
     UpdateStreamGenerator,
+    VerifyReport,
     VersionController,
     generate_evolving_graph,
 )
+from repro.faults import FaultPlan, InjectedFault, corrupt_bytes
+from repro.resilience import Deadline, RetryPolicy, retry_call, with_retries
 from repro.graph import (
     DATASETS,
     GraphStats,
@@ -183,6 +192,7 @@ __all__ = [
     "ParallelResult",
     "ParallelWorkSharing",
     "ParallelWorkSharingResult",
+    "TaskOutcome",
     "EvolvingQueryResult",
     # analysis
     "TrendTracker",
@@ -198,7 +208,21 @@ __all__ = [
     "EdgeSetError",
     "DeltaError",
     "SnapshotError",
+    "IntegrityError",
     "ScheduleError",
     "AlgorithmError",
     "EngineError",
+    "ResilienceError",
+    "RetryExhaustedError",
+    "DeadlineExceededError",
+    # resilience & fault injection
+    "RetryPolicy",
+    "Deadline",
+    "retry_call",
+    "with_retries",
+    "FaultPlan",
+    "InjectedFault",
+    "corrupt_bytes",
+    "VerifyReport",
+    "RecoveryReport",
 ]

@@ -15,6 +15,10 @@ Subcommands
 ``trend``
     Track metric series (reach, mean, extreme, best, or a vertex) for a
     query across snapshots, with change detection and an ASCII chart.
+``store verify`` / ``store recover``
+    Audit a store's integrity (checksums, torn appends, leftovers) and
+    deterministically repair it.  ``verify`` exits non-zero when the
+    store has problems, so it can gate pipelines.
 
 The benchmark harness has its own entry point, ``python -m repro.bench``.
 """
@@ -182,6 +186,48 @@ def _cmd_trend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    report = SnapshotStore.verify_store(args.store, deep=args.deep)
+    rows = [
+        ["format", f"v{report.format_version}" if report.format_version else "?"],
+        ["files checked", report.files_checked],
+        ["problems", len(report.problems)],
+        ["status", "ok" if report.ok else "CORRUPT"],
+    ]
+    print(render_table(["property", "value"], rows,
+                       title=f"verify {args.store}"))
+    for note in report.notes:
+        print(f"note: {note}")
+    for problem in report.problems:
+        print(f"problem: {problem}", file=sys.stderr)
+    if not report.ok:
+        print("run `python -m repro store recover` to repair",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_store_recover(args: argparse.Namespace) -> int:
+    from repro.errors import IntegrityError
+
+    try:
+        report = SnapshotStore.recover_store(args.store)
+    except IntegrityError as exc:
+        print(f"unrecoverable: {exc}", file=sys.stderr)
+        return 1
+    if report.actions:
+        for action in report.actions:
+            print(f"recovered: {action}")
+    else:
+        print("store is consistent; nothing to do")
+    check = SnapshotStore.verify_store(args.store, deep=args.deep)
+    print(f"post-recovery verify: "
+          f"{'ok' if check.ok else 'CORRUPT'} "
+          f"({report.num_batches} batches)")
+    for problem in check.problems:
+        print(f"problem: {problem}", file=sys.stderr)
+    return 0 if check.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -242,6 +288,19 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--weight-seed", type=int, default=0)
     ev.add_argument("--out", default=None, help="save raw values (.npz)")
     ev.set_defaults(func=_cmd_evaluate)
+
+    st = sub.add_parser("store", help="audit and repair a store")
+    st_sub = st.add_subparsers(dest="store_command", required=True)
+    sv = st_sub.add_parser("verify", help="check store integrity")
+    sv.add_argument("store")
+    sv.add_argument("--deep", action="store_true",
+                    help="also replay every batch and check the tip digest")
+    sv.set_defaults(func=_cmd_store_verify)
+    sr = st_sub.add_parser("recover", help="repair a damaged store")
+    sr.add_argument("store")
+    sr.add_argument("--deep", action="store_true",
+                    help="deep-verify after recovering")
+    sr.set_defaults(func=_cmd_store_recover)
     return parser
 
 

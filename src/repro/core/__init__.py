@@ -9,6 +9,7 @@ from repro.core.parallel import (
     ParallelResult,
     ParallelWorkSharing,
     ParallelWorkSharingResult,
+    TaskOutcome,
 )
 from repro.core.results import EvolvingQueryResult
 from repro.core.schedule import ScheduleTree
@@ -37,5 +38,6 @@ __all__ = [
     "ParallelResult",
     "ParallelWorkSharing",
     "ParallelWorkSharingResult",
+    "TaskOutcome",
     "EvolvingQueryResult",
 ]

@@ -15,6 +15,20 @@ the work-sharing variant can be parallelised too: sibling subtrees of
 the schedule are independent once their shared parent state exists, so
 the parallel time is bounded by the critical (heaviest root-to-leaf)
 path rather than the sum of all batches.
+
+Resilience
+----------
+
+A failed hop or schedule-edge task no longer crashes the whole run.
+Each unit executes under a :class:`~repro.resilience.RetryPolicy`; if
+the retries are exhausted, the unit is *recomputed sequentially from
+the last good parent state* (the converged base state for Direct-Hop,
+the parent node's state for Work-Sharing) outside the primary path.
+Every unit carries a :class:`TaskOutcome` record — ``ok`` / ``retried``
+/ ``degraded`` — so benchmark numbers stay honest: a run that needed
+recovery says so.  Fault-injection hooks (:mod:`repro.faults`) fire at
+the start of every primary execution; the recovery path is deliberately
+un-instrumented.
 """
 
 from __future__ import annotations
@@ -22,17 +36,20 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar, TYPE_CHECKING
 
 import numpy as np
 
+from repro import faults
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.common import CommonGraphDecomposition
 from repro.core.direct_hop import DirectHopEvaluator
+from repro.errors import ResilienceError
 from repro.graph.overlay import OverlayGraph
 from repro.graph.weights import WeightFn
 from repro.core.triangular_grid import Interval
 from repro.kickstarter.engine import incremental_additions
+from repro.resilience import RetryPolicy
 
 if TYPE_CHECKING:
     from repro.core.schedule import ScheduleTree
@@ -42,20 +59,99 @@ __all__ = [
     "ParallelResult",
     "ParallelWorkSharing",
     "ParallelWorkSharingResult",
+    "TaskOutcome",
+    "TASK_RETRY_POLICY",
 ]
+
+T = TypeVar("T")
+
+#: Default retry policy for parallel compute units.  Compute retries
+#: are immediate (no backoff): a transient fault either clears on
+#: re-execution or the unit degrades to the sequential recovery path.
+TASK_RETRY_POLICY = RetryPolicy(
+    max_attempts=2, base_delay=0.0, max_delay=0.0, retry_on=(Exception,),
+)
+
+_SEVERITY = {"ok": 0, "retried": 1, "degraded": 2}
+
+
+@dataclass
+class TaskOutcome:
+    """Execution record of one parallel unit (a hop or a schedule edge).
+
+    ``status`` is ``"ok"`` (first attempt succeeded), ``"retried"``
+    (a retry succeeded) or ``"degraded"`` (every primary attempt failed
+    and the value came from the sequential recovery path).  When a unit
+    is executed more than once (sequential measuring pass plus pooled
+    pass), the record keeps the *worst* status observed.  ``error``
+    preserves the last primary-path exception, if any.
+    """
+
+    label: str
+    status: str = "ok"
+    attempts: int = 0
+    error: Optional[str] = None
+
+    def escalate(self, status: str, attempts: int,
+                 error: Optional[BaseException]) -> None:
+        """Merge one pass's result, keeping the worst status seen."""
+        if _SEVERITY[status] > _SEVERITY[self.status]:
+            self.status = status
+            if error is not None:
+                self.error = repr(error)
+        self.attempts = max(self.attempts, attempts)
+
+
+def _run_resilient(
+    primary: Callable[[], T],
+    fallback: Callable[[], T],
+    outcome: TaskOutcome,
+    policy: RetryPolicy,
+) -> T:
+    """Run ``primary`` under ``policy``; degrade to ``fallback`` if spent.
+
+    ``fallback`` is the sequential recovery path and is allowed to
+    raise — a failure there is a real error, not an injected or
+    transient one.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            value = primary()
+        except policy.retry_on as exc:
+            last = exc
+            delay = policy.delay(attempt) if attempt < policy.max_attempts else 0
+            if delay > 0:
+                time.sleep(delay)
+            continue
+        outcome.escalate("ok" if attempt == 1 else "retried", attempt, last)
+        return value
+    value = fallback()
+    outcome.escalate("degraded", policy.max_attempts, last)
+    return value
+
+
+def _count_outcomes(outcomes) -> Dict[str, int]:
+    counts = {"ok": 0, "retried": 0, "degraded": 0}
+    for outcome in outcomes:
+        counts[outcome.status] += 1
+    return counts
 
 
 @dataclass
 class ParallelResult:
     """Timings of a parallel Direct-Hop evaluation."""
 
-    #: Sequential time of each hop, measured independently.
+    #: Sequential time of each hop, measured independently (includes
+    #: any retry/recovery time — check :attr:`outcomes` for honesty).
     per_hop_seconds: List[float] = field(default_factory=list)
     #: Time to converge the query on the common graph.
     initial_seconds: float = 0.0
     #: Wall time of the thread-pool execution (0 if not run).
     pool_wall_seconds: float = 0.0
     snapshot_values: List[np.ndarray] = field(default_factory=list)
+    #: Per-hop execution records (``ok`` / ``retried`` / ``degraded``).
+    outcomes: List[TaskOutcome] = field(default_factory=list)
 
     @property
     def critical_path_seconds(self) -> float:
@@ -65,6 +161,11 @@ class ParallelResult:
     @property
     def sequential_seconds(self) -> float:
         return sum(self.per_hop_seconds)
+
+    @property
+    def outcome_counts(self) -> Dict[str, int]:
+        """How many hops were ``ok`` / ``retried`` / ``degraded``."""
+        return _count_outcomes(self.outcomes)
 
 
 class ParallelDirectHop:
@@ -83,9 +184,19 @@ class ParallelDirectHop:
         )
 
     def run(
-        self, max_workers: Optional[int] = None, use_pool: bool = True
+        self,
+        max_workers: Optional[int] = None,
+        use_pool: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> ParallelResult:
-        """Measure per-hop times; optionally execute hops in a pool."""
+        """Measure per-hop times; optionally execute hops in a pool.
+
+        A hop that fails is retried per ``retry_policy`` (default
+        :data:`TASK_RETRY_POLICY`) and finally recomputed sequentially
+        from the converged base state; ``result.outcomes`` records the
+        status of every hop.
+        """
+        policy = retry_policy or TASK_RETRY_POLICY
         hopper = self._hopper
         decomp = hopper.decomposition
         result = ParallelResult()
@@ -95,7 +206,9 @@ class ParallelDirectHop:
         result.initial_seconds = time.perf_counter() - t0
         base_csr = decomp.common_csr(hopper.weight_fn)
 
-        def one_hop(index: int) -> np.ndarray:
+        def one_hop(index: int, hooked: bool = True) -> np.ndarray:
+            if hooked:
+                faults.task_check("hop", index)
             batch = decomp.direct_hop_batch(index)
             state = base_state.copy()
             delta_csr = decomp.delta_csr(batch, hopper.weight_fn)
@@ -108,17 +221,29 @@ class ParallelDirectHop:
             )
             return state.values
 
+        def resilient_hop(index: int, outcome: TaskOutcome) -> np.ndarray:
+            return _run_resilient(
+                lambda: one_hop(index),
+                lambda: one_hop(index, hooked=False),
+                outcome, policy,
+            )
+
         # Sequential pass for honest per-hop times (no pool interference).
         for index in range(decomp.num_snapshots):
+            outcome = TaskOutcome(label=f"hop:{index}")
             t0 = time.perf_counter()
-            values = one_hop(index)
+            values = resilient_hop(index, outcome)
             result.per_hop_seconds.append(time.perf_counter() - t0)
             result.snapshot_values.append(values)
+            result.outcomes.append(outcome)
 
         if use_pool:
             t0 = time.perf_counter()
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                list(pool.map(one_hop, range(decomp.num_snapshots)))
+                list(pool.map(
+                    lambda index: resilient_hop(index, result.outcomes[index]),
+                    range(decomp.num_snapshots),
+                ))
             result.pool_wall_seconds = time.perf_counter() - t0
         return result
 
@@ -134,10 +259,19 @@ class ParallelWorkSharingResult:
     snapshot_values: Dict[int, np.ndarray] = field(default_factory=dict)
     #: Heaviest root-to-leaf path: the sufficient-cores projection.
     critical_path_seconds: float = 0.0
+    #: Per-edge execution records (``ok`` / ``retried`` / ``degraded``).
+    edge_outcomes: Dict[Tuple[Interval, Interval], TaskOutcome] = field(
+        default_factory=dict
+    )
 
     @property
     def sequential_seconds(self) -> float:
         return sum(self.edge_seconds.values())
+
+    @property
+    def outcome_counts(self) -> Dict[str, int]:
+        """How many edges were ``ok`` / ``retried`` / ``degraded``."""
+        return _count_outcomes(self.edge_outcomes.values())
 
 
 class ParallelWorkSharing:
@@ -147,6 +281,10 @@ class ParallelWorkSharing:
     independent task; tasks fan out down the tree.  The sequential pass
     measures per-edge times to compute the critical-path projection,
     and ``use_pool=True`` re-executes the schedule on a thread pool.
+    A failed edge task is retried, then recomputed sequentially from
+    its parent's (still in hand) state, so one bad task can no longer
+    abandon in-flight siblings or lose already-computed snapshot
+    values.
     """
 
     def __init__(
@@ -194,14 +332,38 @@ class ParallelWorkSharing:
             edges[(parent, child)] = (delta_csr, src, dst, weights)
         return base_csr, root_state, children, edges, initial
 
+    @staticmethod
+    def _edge_label(parent: Interval, child: Interval) -> str:
+        return (f"edge:{parent[0]}-{parent[1]}->"
+                f"{child[0]}-{child[1]}")
+
     def run(
-        self, max_workers: Optional[int] = None, use_pool: bool = True
+        self,
+        max_workers: Optional[int] = None,
+        use_pool: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> ParallelWorkSharingResult:
-        """Measure per-edge times sequentially; optionally run pooled."""
+        """Measure per-edge times sequentially; optionally run pooled.
+
+        Edge tasks execute under ``retry_policy`` (default
+        :data:`TASK_RETRY_POLICY`) with sequential recomputation from
+        the parent state as the final fallback;
+        ``result.edge_outcomes`` records every edge's status.
+        """
+        policy = retry_policy or TASK_RETRY_POLICY
         base_csr, root_state, children, edges, initial = self._prepare()
         result = ParallelWorkSharingResult(initial_seconds=initial)
+        for parent, child in self.schedule.edges():
+            result.edge_outcomes[(parent, child)] = TaskOutcome(
+                label=self._edge_label(parent, child)
+            )
 
-        def apply_edge(parent_state, overlay, parent, child, collect):
+        def apply_edge(parent_state, overlay, parent, child, collect,
+                       hooked: bool = True):
+            if hooked:
+                faults.task_check(
+                    "edge", self._edge_label(parent, child)[len("edge:"):]
+                )
             delta_csr, src, dst, weights = edges[(parent, child)]
             child_state = parent_state.copy()
             child_overlay = overlay.with_delta(delta_csr)
@@ -218,12 +380,22 @@ class ParallelWorkSharing:
                 result.snapshot_values[lo] = child_state.values
             return child_state, child_overlay
 
+        def resilient_edge(parent_state, overlay, parent, child, collect):
+            outcome = result.edge_outcomes[(parent, child)]
+            return _run_resilient(
+                lambda: apply_edge(parent_state, overlay, parent, child,
+                                   collect),
+                lambda: apply_edge(parent_state, overlay, parent, child,
+                                   collect, hooked=False),
+                outcome, policy,
+            )
+
         # Sequential pass: depth-first, timing every edge.
         stack = [(self.schedule.root, root_state, OverlayGraph(base_csr))]
         while stack:
             node, state, overlay = stack.pop()
             for child in children.get(node, []):
-                child_state, child_overlay = apply_edge(
+                child_state, child_overlay = resilient_edge(
                     state, overlay, node, child, result.edge_seconds
                 )
                 if children.get(child):
@@ -255,16 +427,27 @@ class ParallelWorkSharing:
                         )
 
                 def task(parent, child, parent_state, overlay):
-                    child_state, child_overlay = apply_edge(
+                    child_state, child_overlay = resilient_edge(
                         parent_state, overlay, parent, child, None
                     )
                     launch(child, child_state, child_overlay)
 
                 launch(self.schedule.root, root_state, OverlayGraph(base_csr))
-                # Futures keep appearing as tasks fan out; drain until quiet.
+                # Futures keep appearing as tasks fan out; drain until
+                # quiet, *without* abandoning in-flight work when one
+                # task fails beyond recovery.
                 cursor = 0
+                failures: List[BaseException] = []
                 while cursor < len(futures):
-                    futures[cursor].result()
+                    try:
+                        futures[cursor].result()
+                    except Exception as exc:
+                        failures.append(exc)
                     cursor += 1
+                if failures:
+                    raise ResilienceError(
+                        f"{len(failures)} work-sharing task(s) failed beyond "
+                        f"recovery: {failures[0]!r}"
+                    ) from failures[0]
             result.pool_wall_seconds = time.perf_counter() - t0
         return result

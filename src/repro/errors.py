@@ -28,6 +28,29 @@ class SnapshotError(ReproError):
     """Snapshot index out of range or inconsistent snapshot state."""
 
 
+class IntegrityError(SnapshotError):
+    """Persisted data failed checksum or consistency verification.
+
+    Subclasses :class:`SnapshotError` so existing callers that guard
+    store access with ``except SnapshotError`` also catch corruption.
+    """
+
+
+class ResilienceError(ReproError):
+    """Failure of a resilience primitive (retries, deadlines, recovery)."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """An operation kept failing after every allowed retry attempt.
+
+    The final underlying exception is chained as ``__cause__``.
+    """
+
+
+class DeadlineExceededError(ResilienceError):
+    """A deadline expired before the operation completed."""
+
+
 class ScheduleError(ReproError):
     """Invalid query-evaluation schedule (not a tree, missing leaves, ...)."""
 

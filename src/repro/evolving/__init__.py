@@ -4,13 +4,15 @@ and version-control primitives."""
 from repro.evolving.delta import DeltaBatch
 from repro.evolving.generator import UpdateStreamGenerator, generate_evolving_graph
 from repro.evolving.snapshots import EvolvingGraph
-from repro.evolving.store import SnapshotStore
+from repro.evolving.store import RecoveryReport, SnapshotStore, VerifyReport
 from repro.evolving.version_control import VersionController
 
 __all__ = [
     "DeltaBatch",
     "EvolvingGraph",
     "SnapshotStore",
+    "VerifyReport",
+    "RecoveryReport",
     "UpdateStreamGenerator",
     "generate_evolving_graph",
     "VersionController",

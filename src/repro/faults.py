@@ -1,0 +1,237 @@
+"""Deterministic fault injection.
+
+Crash-recovery and graceful-degradation code is only trustworthy when
+its failure modes can be produced on demand.  This module lets tests
+(and brave users) declare a :class:`FaultPlan` — *fail the Nth matching
+I/O operation*, *skip the Nth fsync*, *raise inside the Nth hop/edge
+task*, *corrupt bytes of a named file* — and activate it for a scope.
+Everything is counter-based and seeded, so a failing run replays
+exactly.
+
+Instrumentation points live in the production code paths:
+
+* :mod:`repro.evolving.store` calls :func:`io_check` before every
+  read / write / fsync / replace, labelled ``"<op>:<filename>"``
+  (e.g. ``"write:batch_00003.npz"``, ``"fsync:manifest.json"``);
+* :mod:`repro.core.parallel` calls :func:`task_check` at the start of
+  every *primary* hop / schedule-edge execution, labelled
+  ``"hop:<index>"`` / ``"edge:<lo>-<hi>-><lo>-<hi>"``.  Degraded
+  (sequential-recovery) re-executions are deliberately un-instrumented:
+  they model the recovery path, which must not re-fail.
+
+With no plan active the hooks are a single ``None`` check — the
+production cost of the harness is negligible.
+
+Example::
+
+    plan = FaultPlan(seed=7)
+    plan.fail_io(index=2, times=99)        # every attempt at the 3rd I/O op
+    with plan.active():
+        store.append(batch)                # "crashes" mid-append
+    report = SnapshotStore.recover_store(store.directory)
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "corrupt_bytes",
+    "io_check",
+    "task_check",
+]
+
+
+class InjectedFault(OSError):
+    """The error raised by an injected fault.
+
+    Subclasses :class:`OSError` so retry policies and error handling
+    treat injected faults exactly like real I/O failures — the point of
+    the exercise.
+    """
+
+
+@dataclass
+class FaultRule:
+    """One trigger: affect matching operations ``index .. index+times-1``.
+
+    ``kind`` is ``"io"`` or ``"task"``; ``match`` is an
+    :mod:`fnmatch` pattern over the operation label; ``index`` is the
+    0-based ordinal *among operations this rule matches*; ``action`` is
+    ``"fail"`` (raise :class:`InjectedFault`) or ``"skip"`` (suppress
+    the operation — meaningful for fsync-style ops only).
+    """
+
+    kind: str
+    index: int
+    match: str = "*"
+    times: int = 1
+    action: str = "fail"
+    seen: int = 0
+    fired: int = 0
+
+    def applies(self, label: str) -> Optional[str]:
+        """Advance this rule past ``label``; return the action if it fires."""
+        if not fnmatch.fnmatchcase(label, self.match):
+            return None
+        ordinal = self.seen
+        self.seen += 1
+        if self.index <= ordinal < self.index + self.times:
+            self.fired += 1
+            return self.action
+        return None
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of faults.
+
+    Rules are added with :meth:`fail_io` / :meth:`skip_io` /
+    :meth:`fail_task`, then the plan is activated with :meth:`active`.
+    Counters advance per rule as matching operations occur;
+    :meth:`reset` rewinds them so the same plan replays identically.
+    The plan records every checked operation label in :attr:`events`,
+    which doubles as an I/O trace for tests that need to enumerate
+    crash points.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rules: List[FaultRule] = []
+        self.events: List[str] = []
+        self._lock = threading.Lock()
+
+    # -- declaring faults ---------------------------------------------------
+    def fail_io(self, index: int = 0, match: str = "*",
+                times: int = 1) -> "FaultPlan":
+        """Raise on the ``index``-th (0-based) matching I/O operation."""
+        self.rules.append(FaultRule("io", index, match, times, "fail"))
+        return self
+
+    def skip_io(self, index: int = 0, match: str = "*",
+                times: int = 1) -> "FaultPlan":
+        """Silently skip the matching I/O operation (e.g. a lost fsync)."""
+        self.rules.append(FaultRule("io", index, match, times, "skip"))
+        return self
+
+    def fail_task(self, index: int = 0, match: str = "*",
+                  times: int = 1) -> "FaultPlan":
+        """Raise inside the ``index``-th matching hop/edge task."""
+        self.rules.append(FaultRule("task", index, match, times, "fail"))
+        return self
+
+    def corrupt(self, path: Union[str, Path],
+                count: int = 1) -> List[Tuple[int, int, int]]:
+        """Corrupt ``count`` bytes of ``path`` now, seeded by the plan."""
+        return corrupt_bytes(path, seed=self.seed, count=count)
+
+    # -- lifecycle ----------------------------------------------------------
+    def reset(self) -> "FaultPlan":
+        """Rewind all counters so the plan replays from the start."""
+        with self._lock:
+            self.events.clear()
+            for rule in self.rules:
+                rule.seen = 0
+                rule.fired = 0
+        return self
+
+    def fired_rules(self) -> List[FaultRule]:
+        """The rules that have triggered at least once."""
+        return [rule for rule in self.rules if rule.fired]
+
+    @contextmanager
+    def active(self) -> Iterator["FaultPlan"]:
+        """Activate this plan for the duration of the ``with`` block."""
+        global _active
+        with _activation_lock:
+            previous, _active = _active, self
+        try:
+            yield self
+        finally:
+            with _activation_lock:
+                _active = previous
+
+    # -- hook implementation ------------------------------------------------
+    def _check(self, kind: str, label: str) -> bool:
+        with self._lock:
+            self.events.append(label)
+            action = None
+            for rule in self.rules:
+                if rule.kind != kind:
+                    continue
+                fired = rule.applies(label)
+                if fired is not None and action is None:
+                    action = fired
+        if action == "fail":
+            raise InjectedFault(f"injected fault at {label}")
+        return action != "skip"
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, rules={len(self.rules)}, "
+                f"events={len(self.events)})")
+
+
+_activation_lock = threading.Lock()
+_active: Optional[FaultPlan] = None
+
+
+@contextmanager
+def active_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Module-level alias for :meth:`FaultPlan.active`."""
+    with plan.active():
+        yield plan
+
+
+def io_check(op: str, name: str) -> bool:
+    """Fault hook before an I/O operation ``op`` on file ``name``.
+
+    Returns ``False`` if the operation should be silently skipped,
+    raises :class:`InjectedFault` if it should fail, ``True`` otherwise.
+    Production code calls this before every store read/write/fsync/
+    replace; with no active plan it is a single ``None`` check.
+    """
+    plan = _active
+    if plan is None:
+        return True
+    return plan._check("io", f"{op}:{name}")
+
+
+def task_check(kind: str, label: object) -> None:
+    """Fault hook at the start of a parallel task (hop or edge)."""
+    plan = _active
+    if plan is None:
+        return
+    plan._check("task", f"{kind}:{label}")
+
+
+def corrupt_bytes(path: Union[str, Path], *, seed: int = 0,
+                  count: int = 1) -> List[Tuple[int, int, int]]:
+    """Deterministically corrupt ``count`` bytes of ``path`` in place.
+
+    Offsets and replacement bytes derive from ``seed``; each mutation
+    is guaranteed to change the byte.  Returns the list of
+    ``(offset, old_byte, new_byte)`` mutations for test assertions.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    rng = random.Random(seed)
+    mutations: List[Tuple[int, int, int]] = []
+    for _ in range(count):
+        offset = rng.randrange(len(data))
+        old = data[offset]
+        new = old ^ rng.randrange(1, 256)
+        data[offset] = new
+        mutations.append((offset, old, new))
+    path.write_bytes(bytes(data))
+    return mutations

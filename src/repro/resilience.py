@@ -1,0 +1,187 @@
+"""Retry, backoff and deadline primitives.
+
+Persistent storage and parallel execution both need a uniform answer to
+"this operation failed, now what?".  This module provides it:
+
+* :class:`RetryPolicy` — how many attempts, which exceptions are
+  retryable, and an exponential-backoff delay schedule;
+* :class:`Deadline` — a monotonic-clock budget that can be threaded
+  through nested operations;
+* :func:`retry_call` / :func:`with_retries` — run a callable under a
+  policy, raising :class:`~repro.errors.RetryExhaustedError` (chaining
+  the final underlying exception) once the attempts are spent.
+
+Everything is deterministic and injectable: the sleep function and the
+clock are parameters, so tests never wait on real time, and the fault
+injection harness (:mod:`repro.faults`) composes naturally — an
+injected fault that fires once is healed by the first retry.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type, TypeVar
+
+from repro.errors import DeadlineExceededError, RetryExhaustedError
+
+__all__ = [
+    "RetryPolicy",
+    "Deadline",
+    "retry_call",
+    "with_retries",
+]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an operation is retried: attempts, backoff, retryable errors.
+
+    ``max_attempts`` counts the first try, so ``max_attempts=3`` means
+    "try, then retry at most twice".  The delay before retry *k*
+    (1-based) is ``min(base_delay * multiplier**(k-1), max_delay)``.
+    Only exceptions matching ``retry_on`` are retried; anything else
+    propagates immediately.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, retry_number: int) -> float:
+        """Backoff delay before the ``retry_number``-th retry (1-based)."""
+        if retry_number < 1:
+            raise ValueError("retry_number is 1-based")
+        return min(self.base_delay * self.multiplier ** (retry_number - 1),
+                   self.max_delay)
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule (``max_attempts - 1`` delays)."""
+        return (self.delay(k) for k in range(1, self.max_attempts))
+
+
+class Deadline:
+    """A wall-clock budget measured on a monotonic clock.
+
+    ``Deadline.after(2.0)`` expires two seconds from now;
+    ``Deadline.never()`` never expires.  The clock is injectable for
+    deterministic tests.
+    """
+
+    __slots__ = ("_clock", "_expires_at")
+
+    def __init__(self, seconds: Optional[float], *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._expires_at = None if seconds is None else clock() + seconds
+
+    @classmethod
+    def after(cls, seconds: float, *,
+              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(seconds, clock=clock)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(None)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (clamped at 0), or ``None`` if unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceededError(f"deadline expired before {what}")
+
+    def __repr__(self) -> str:
+        remaining = self.remaining()
+        budget = "unbounded" if remaining is None else f"{remaining:.3f}s left"
+        return f"Deadline({budget})"
+
+
+def retry_call(
+    fn: Callable[..., T],
+    *args,
+    policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    deadline: Optional[Deadline] = None,
+    label: Optional[str] = None,
+    **kwargs,
+) -> T:
+    """Call ``fn(*args, **kwargs)`` under a retry policy.
+
+    Raises :class:`RetryExhaustedError` (chaining the last underlying
+    exception) when every attempt failed, or
+    :class:`~repro.errors.DeadlineExceededError` if the deadline expires
+    between attempts.  Non-retryable exceptions propagate unchanged.
+    """
+    policy = policy or RetryPolicy()
+    what = label or getattr(fn, "__qualname__", repr(fn))
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if deadline is not None:
+            deadline.check(what)
+        try:
+            return fn(*args, **kwargs)
+        except policy.retry_on as exc:
+            last = exc
+            if attempt == policy.max_attempts:
+                break
+            delay = policy.delay(attempt)
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    delay = min(delay, remaining)
+            if delay > 0:
+                sleep(delay)
+    raise RetryExhaustedError(
+        f"{what} failed after {policy.max_attempts} attempts: {last!r}"
+    ) from last
+
+
+def with_retries(
+    policy: Optional[RetryPolicy] = None,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+    deadline: Optional[Deadline] = None,
+) -> Callable[[Callable[..., T]], Callable[..., T]]:
+    """Decorator form of :func:`retry_call`.
+
+    Example::
+
+        @with_retries(RetryPolicy(max_attempts=5, base_delay=0.1))
+        def flaky_write(path, data): ...
+    """
+
+    def decorate(fn: Callable[..., T]) -> Callable[..., T]:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return retry_call(
+                fn, *args, policy=policy, sleep=sleep, deadline=deadline,
+                label=getattr(fn, "__qualname__", None), **kwargs,
+            )
+
+        return wrapper
+
+    return decorate

@@ -13,15 +13,28 @@ Example::
     got = repro.static_compute(csr, MyAlgorithm(), source).values
     want = reference_compute_edgeset(edges, n, MyAlgorithm(), source, weight_fn)
     assert_values_equal(got, want, "MyAlgorithm")
+
+It also re-exports the deterministic fault-injection harness
+(:mod:`repro.faults`), so robustness tests against crashes, corruption
+and task failure read naturally::
+
+    from repro.testing import FaultPlan, fault_injection
+
+    plan = FaultPlan(seed=3).fail_io(match="write:manifest.json", times=99)
+    with fault_injection(plan):
+        ...  # store.append "crashes" mid-write
+    assert_recovers_clean(store.directory)
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
 
 import numpy as np
 
 from repro.algorithms.base import MonotonicAlgorithm
+from repro.faults import FaultPlan, InjectedFault, active_plan, corrupt_bytes
 from repro.graph.edgeset import EdgeSet
 from repro.graph.weights import WeightFn
 
@@ -30,7 +43,16 @@ __all__ = [
     "reference_compute_edgeset",
     "assert_values_equal",
     "assert_monotonic",
+    # fault-injection harness
+    "FaultPlan",
+    "InjectedFault",
+    "fault_injection",
+    "corrupt_bytes",
+    "assert_recovers_clean",
 ]
+
+#: Context manager activating a :class:`FaultPlan` for a scope.
+fault_injection = active_plan
 
 
 def reference_compute(
@@ -83,6 +105,24 @@ def assert_values_equal(a: np.ndarray, b: np.ndarray, context: str = "") -> None
         raise AssertionError(
             f"{context}: values differ at {diff[:10]} "
             f"(a={a[diff[:10]]}, b={b[diff[:10]]})"
+        )
+
+
+def assert_recovers_clean(directory: Union[str, Path]) -> None:
+    """Assert a (possibly torn) store recovers to a verify-clean state.
+
+    Runs :meth:`SnapshotStore.recover_store` then a deep
+    :meth:`SnapshotStore.verify_store`, raising ``AssertionError`` with
+    the surviving problems if recovery was insufficient.
+    """
+    __tracebackhide__ = True
+    from repro.evolving.store import SnapshotStore
+
+    SnapshotStore.recover_store(directory)
+    report = SnapshotStore.verify_store(directory, deep=True)
+    if not report.ok:
+        raise AssertionError(
+            f"{directory}: store not clean after recovery: {report.problems}"
         )
 
 

@@ -1,0 +1,137 @@
+"""Tests for the retry/backoff/deadline primitives."""
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    ResilienceError,
+    RetryExhaustedError,
+)
+from repro.resilience import Deadline, RetryPolicy, retry_call, with_retries
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then returns ``value``."""
+
+    def __init__(self, failures, value="done", exc=OSError):
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"boom #{self.calls}")
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.3)
+        assert list(policy.delays()) == [0.1, 0.2, 0.3]
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.5)
+        assert policy.delay(3) == 2.5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"multiplier": 0.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryCall:
+    def test_success_after_retries(self):
+        fn = Flaky(2)
+        slept = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, multiplier=2.0)
+        assert retry_call(fn, policy=policy, sleep=slept.append) == "done"
+        assert fn.calls == 3
+        assert slept == [0.5, 1.0]
+
+    def test_exhaustion_raises_and_chains(self):
+        fn = Flaky(10)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        with pytest.raises(RetryExhaustedError) as info:
+            retry_call(fn, policy=policy, sleep=lambda _: None)
+        assert fn.calls == 3
+        assert isinstance(info.value.__cause__, OSError)
+        assert isinstance(info.value, ResilienceError)
+
+    def test_non_retryable_propagates_immediately(self):
+        fn = Flaky(1, exc=ValueError)
+        policy = RetryPolicy(max_attempts=5, retry_on=(OSError,))
+        with pytest.raises(ValueError):
+            retry_call(fn, policy=policy, sleep=lambda _: None)
+        assert fn.calls == 1
+
+    def test_deadline_stops_retry_loop(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        fn = Flaky(10)
+
+        def sleep(seconds):
+            clock.advance(2.0)  # each backoff blows the budget
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1)
+        with pytest.raises(DeadlineExceededError):
+            retry_call(fn, policy=policy, sleep=sleep, deadline=deadline)
+        assert fn.calls == 1
+
+    def test_arguments_are_forwarded(self):
+        policy = RetryPolicy(max_attempts=1)
+        assert retry_call(
+            lambda a, b=0: a + b, 2, policy=policy, b=3
+        ) == 5
+
+
+class TestDeadline:
+    def test_never_expires(self):
+        deadline = Deadline.never()
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        deadline.check()  # no raise
+
+    def test_expiry_with_fake_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(3.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError, match="flush"):
+            deadline.check("flush")
+
+
+class TestWithRetries:
+    def test_decorator_retries(self):
+        attempts = []
+
+        @with_retries(RetryPolicy(max_attempts=3, base_delay=0.0),
+                      sleep=lambda _: None)
+        def op(x):
+            attempts.append(x)
+            if len(attempts) < 2:
+                raise OSError("transient")
+            return x * 2
+
+        assert op(21) == 42
+        assert attempts == [21, 21]
+        assert op.__name__ == "op"
