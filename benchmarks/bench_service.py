@@ -1,0 +1,161 @@
+"""Benchmarks for the live query service (``repro.service``).
+
+Three questions, answered at bench scale and recorded in
+``BENCH_service.json`` next to the repository root so successive PRs
+can track the trajectory:
+
+* **throughput** — queries/second through the full TCP + planner stack,
+  for a mixed plan (distinct and repeated queries) and for a fully
+  cached plan;
+* **cache effectiveness** — result-cache and node-cache hit rates after
+  the mixed plan;
+* **ingest latency** — extending the decomposition by one snapshot
+  incrementally (``CommonGraphDecomposition.extended``, what the
+  service does) vs rebuilding it from scratch from all snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+import pytest
+
+from repro.core.common import CommonGraphDecomposition
+from repro.evolving.store import SnapshotStore
+from repro.graph.edgeset import EdgeSet
+from repro.service import ServiceClient, ServiceRunner, ServiceState
+
+from conftest import BENCH_SPEC, WF
+
+ROUNDS = 3
+RESULTS: Dict[str, Any] = {}
+
+#: The mixed query plan: algorithm, source offset, range (None = window).
+MIXED_PLAN = (
+    ("BFS", 0, None, None),
+    ("SSSP", 0, None, None),
+    ("BFS", 0, None, None),      # repeat -> result-cache hit
+    ("SSSP", 0, 2, 8),           # overlap -> node-cache reuse
+    ("BFS", 1, None, None),
+    ("SSSP", 0, None, None),     # repeat -> result-cache hit
+)
+
+
+@pytest.fixture(scope="module")
+def service_store(tmp_path_factory, workload):
+    path = tmp_path_factory.mktemp("bench-service") / "store"
+    return SnapshotStore.create(path, workload.evolving)
+
+
+@pytest.fixture(scope="module")
+def running(service_store):
+    state = ServiceState(service_store, weight_fn=WF)
+    with ServiceRunner(state) as runner:
+        yield runner
+    state.close()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_results():
+    """Write the accumulated metrics once the module's benches ran."""
+    yield
+    if RESULTS:
+        RESULTS["spec"] = {
+            "dataset": BENCH_SPEC.dataset,
+            "num_snapshots": BENCH_SPEC.num_snapshots,
+            "batch_size": BENCH_SPEC.batch_size,
+            "edge_scale": BENCH_SPEC.edge_scale,
+            "seed": BENCH_SPEC.seed,
+        }
+        out = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+        out.write_text(json.dumps(RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def run_plan(port, workload):
+    with ServiceClient(port=port) as client:
+        for algorithm, offset, first, last in MIXED_PLAN:
+            client.query(algorithm, workload.source + offset, first, last)
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_mixed_query_throughput(benchmark, running, workload):
+    """The mixed plan, cold caches only on the very first round."""
+    benchmark.pedantic(run_plan, args=(running.port, workload),
+                       rounds=ROUNDS, iterations=1, warmup_rounds=0)
+    qps = len(MIXED_PLAN) / benchmark.stats.stats.mean
+    benchmark.extra_info["queries_per_second"] = round(qps, 2)
+    RESULTS["mixed_queries_per_second"] = round(qps, 2)
+    with ServiceClient(port=running.port) as client:
+        status = client.status()
+    RESULTS["result_cache_hit_rate"] = status["result_cache"]["hit_rate"]
+    RESULTS["node_cache_hit_rate"] = status["node_cache"]["hit_rate"]
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_cached_query_throughput(benchmark, running, workload):
+    """One fully memoised query, round-tripped through the protocol."""
+    with ServiceClient(port=running.port) as client:
+        client.query("BFS", workload.source)  # ensure it is cached
+
+        def run():
+            response = client.query("BFS", workload.source)
+            assert response["from_cache"]
+
+        benchmark.pedantic(run, rounds=ROUNDS, iterations=5)
+    qps = 1.0 / benchmark.stats.stats.mean
+    benchmark.extra_info["queries_per_second"] = round(qps, 2)
+    RESULTS["cached_queries_per_second"] = round(qps, 2)
+
+
+def _next_snapshot(evolving):
+    """The tip perturbed by one synthetic batch (adds + drops)."""
+    tip = evolving.snapshot_edges(evolving.num_snapshots - 1)
+    dropped = EdgeSet(tip.codes[:BENCH_SPEC.batch_size // 2])
+    base = evolving.snapshot_edges(0)
+    returned = EdgeSet((base - tip).codes[:BENCH_SPEC.batch_size // 2])
+    return (tip - dropped) | returned
+
+
+@pytest.mark.benchmark(group="service-ingest")
+def test_incremental_extension(benchmark, workload, decomposition):
+    """What the service pays per ingest: one ``extended`` call."""
+    new_edges = _next_snapshot(workload.evolving)
+    n = decomposition.num_snapshots
+    for i in range(n):  # the live cache a long-running service carries
+        decomposition.interval_surplus(i, n - 1)
+
+    def run():
+        decomposition.extended(new_edges)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=3)
+    RESULTS["ingest_incremental_ms"] = round(
+        benchmark.stats.stats.mean * 1000, 3
+    )
+
+
+@pytest.mark.benchmark(group="service-ingest")
+def test_from_scratch_rebuild(benchmark, workload):
+    """The alternative: re-decomposing every snapshot on each ingest."""
+    evolving = workload.evolving
+    snapshots = [
+        evolving.snapshot_edges(i) for i in range(evolving.num_snapshots)
+    ]
+    snapshots.append(_next_snapshot(evolving))
+
+    def run():
+        CommonGraphDecomposition.from_snapshots(
+            evolving.num_vertices, snapshots
+        )
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=3)
+    RESULTS["ingest_rebuild_ms"] = round(
+        benchmark.stats.stats.mean * 1000, 3
+    )
+    if "ingest_incremental_ms" in RESULTS:
+        RESULTS["ingest_speedup"] = round(
+            RESULTS["ingest_rebuild_ms"]
+            / max(RESULTS["ingest_incremental_ms"], 1e-9), 2
+        )

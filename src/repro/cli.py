@@ -8,6 +8,11 @@ Subcommands
     RMAT specification) plus a synthetic update stream.
 ``info``
     Summarise a store: sizes, batch statistics, common-graph share.
+    ``--json`` prints the machine-readable summary; with ``--connect``
+    it is fetched from a live ``serve`` instance (health check).
+``serve`` / ``query``
+    Run the live query service over a store, and query it.  See
+    ``docs/service.md`` for the wire protocol.
 ``evaluate``
     Answer a query over a store's snapshots (optionally a version
     range) with a chosen strategy, printing per-snapshot summaries or
@@ -34,6 +39,7 @@ import numpy as np
 from repro.algorithms.registry import algorithm_names, get_algorithm
 from repro.bench.reporting import render_table
 from repro.core.common import CommonGraphDecomposition
+from repro.errors import ServiceError
 from repro.evolving.generator import generate_evolving_graph
 from repro.evolving.store import SnapshotStore
 from repro.evolving.version_control import VersionController
@@ -68,9 +74,35 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    import json
+
+    if args.connect:
+        from repro.service.client import ServiceClient
+
+        host, _, port = args.connect.rpartition(":")
+        try:
+            with ServiceClient(host or "127.0.0.1", int(port)) as client:
+                payload = client.status()
+        except (ServiceError, OSError) as exc:
+            print(f"info: {exc}", file=sys.stderr)
+            return 2
+        payload.pop("id", None)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.store is None:
+        print("info: a store directory (or --connect) is required",
+              file=sys.stderr)
+        return 2
     store = SnapshotStore(args.store)
     evolving = store.load()
     decomp = CommonGraphDecomposition.from_evolving(evolving)
+    if args.json:
+        from repro.service.status import store_summary
+
+        payload = store_summary(store, evolving=evolving,
+                                decomposition=decomp)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     base_size = len(evolving.snapshot_edges(0))
     batch_sizes = [batch.size for batch in evolving.batches]
     rows = [
@@ -186,6 +218,92 @@ def _cmd_trend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.resilience import RetryPolicy
+    from repro.service.server import GraphService, ServiceConfig
+    from repro.service.state import ServiceState
+
+    store = SnapshotStore(args.store)
+    weight_fn = HashWeights(max_weight=args.max_weight, seed=args.weight_seed)
+    state = ServiceState(
+        store,
+        weight_fn=weight_fn,
+        window=args.window,
+        result_cache_entries=args.result_cache,
+        node_cache_entries=args.node_cache,
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+        retry=RetryPolicy(max_attempts=args.retries + 1, base_delay=0.005,
+                          multiplier=2.0, max_delay=0.1, retry_on=(OSError,)),
+    )
+    service = GraphService(state, config)
+
+    async def _serve() -> None:
+        await service.start()
+        print(f"serving {store.name or args.store} on "
+              f"{config.host}:{service.port} "
+              f"(window={args.window or 'all'}, epoch={state.epoch})")
+        await service.wait_closed()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        state.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    host, _, port = args.connect.rpartition(":")
+    try:
+        with ServiceClient(host or "127.0.0.1", int(port),
+                           timeout=args.timeout) as client:
+            response = client.query(
+                args.algorithm, args.source, first=args.first, last=args.last
+            )
+    except (ServiceError, OSError) as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 2
+    values = response["values"]
+    if args.json:
+        response["values"] = [
+            [None if np.isinf(v) else float(v) for v in vec]
+            for vec in values
+        ]
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for k, vec in enumerate(values):
+        finite = vec[np.isfinite(vec)]
+        rows.append([
+            response["first"] + k,
+            int(finite.size),
+            round(float(finite.mean()), 3) if finite.size else "-",
+            round(float(finite.max()), 3) if finite.size else "-",
+        ])
+    print(render_table(
+        ["version", "reached", "mean", "max"], rows,
+        title=(
+            f"{response['algorithm']} from {response['source']} on versions "
+            f"{response['first']}..{response['last']} "
+            f"(epoch {response['epoch']}, "
+            f"{'cache hit' if response['from_cache'] else 'computed'}, "
+            f"outcome {response['outcome']})"
+        ),
+    ))
+    return 0
+
+
 def _cmd_store_verify(args: argparse.Namespace) -> int:
     report = SnapshotStore.verify_store(args.store, deep=args.deep)
     rows = [
@@ -254,10 +372,47 @@ def build_parser() -> argparse.ArgumentParser:
     gen.set_defaults(func=_cmd_generate)
 
     info = sub.add_parser("info", help="summarise a store")
-    info.add_argument("store")
+    info.add_argument("store", nargs="?", default=None)
     info.add_argument("--detailed", action="store_true",
                       help="include structural stats and degree histogram")
+    info.add_argument("--json", action="store_true",
+                      help="machine-readable summary (JSON)")
+    info.add_argument("--connect", default=None, metavar="HOST:PORT",
+                      help="fetch live status from a running serve "
+                           "instance (implies --json)")
     info.set_defaults(func=_cmd_info)
+
+    serve = sub.add_parser("serve", help="run the live query service")
+    serve.add_argument("store")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--window", type=int, default=None,
+                       help="serve only the last W snapshots")
+    serve.add_argument("--result-cache", type=int, default=256,
+                       help="max memoised query results")
+    serve.add_argument("--node-cache", type=int, default=1024,
+                       help="max memoised interior-ICG states")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-request deadline in seconds")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="primary-path retries before degrading")
+    serve.add_argument("--max-weight", type=int, default=64)
+    serve.add_argument("--weight-seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser("query", help="query a running service")
+    query.add_argument("--connect", default="127.0.0.1:7421",
+                       metavar="HOST:PORT")
+    query.add_argument("--algorithm", default="SSSP",
+                       help=f"one of {algorithm_names()}")
+    query.add_argument("--source", type=int, default=0)
+    query.add_argument("--first", type=int, default=None)
+    query.add_argument("--last", type=int, default=None)
+    query.add_argument("--timeout", type=float, default=30.0)
+    query.add_argument("--json", action="store_true",
+                       help="print the raw response as JSON")
+    query.set_defaults(func=_cmd_query)
 
     trend = sub.add_parser("trend", help="track metric trends over snapshots")
     trend.add_argument("store")

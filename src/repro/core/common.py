@@ -84,6 +84,47 @@ class CommonGraphDecomposition:
         ]
         return cls(evolving.num_vertices, common, surpluses)
 
+    # -- incremental growth -------------------------------------------------
+    def extended(self, new_edges: EdgeSet) -> "CommonGraphDecomposition":
+        """Decomposition with one more snapshot appended, built incrementally.
+
+        Per §4.1, the new common graph is ``old Gc ∩ new snapshot``; the
+        edges that leave the common graph were present in *every* old
+        snapshot, so they move into every old surplus unchanged.  The
+        result's interval-surplus memo (= the Triangular Grid's interior
+        nodes) is carried over from this decomposition — old ICG edge
+        sets are unchanged by the append, their surpluses merely absorb
+        the departed common edges — and the new TG column
+        ``(i, n)`` is derived by intersecting down the new surplus, so
+        extension never recomputes the existing grid.
+        """
+        if new_edges.max_vertex() >= self.num_vertices:
+            raise SnapshotError("new snapshot references vertex out of range")
+        n = self.num_snapshots
+        new_common = self.common & new_edges
+        departed = self.common - new_common
+        if departed:
+            surpluses = [s | departed for s in self.surpluses]
+        else:
+            surpluses = list(self.surpluses)
+        new_surplus = new_edges - new_common
+        surpluses.append(new_surplus)
+        result = CommonGraphDecomposition(self.num_vertices, new_common, surpluses)
+        # ICG(i, j) is unchanged for j < n, so every memoised interval
+        # surplus is still valid once it absorbs the departed edges.
+        for key, surplus in self._interval_cache.items():
+            result._interval_cache[key] = (
+                surplus | departed if departed else surplus
+            )
+        # New column: interval_surplus(i, n) = surplus_i ∩ ... ∩ surplus_n,
+        # built by one shrinking intersection pass over the leaf surpluses.
+        column = new_surplus
+        result._interval_cache[(n, n)] = new_surplus
+        for i in range(n - 1, -1, -1):
+            column = surpluses[i] & column
+            result._interval_cache[(i, n)] = column
+        return result
+
     # -- shape ------------------------------------------------------------
     @property
     def num_snapshots(self) -> int:
@@ -139,7 +180,17 @@ class CommonGraphDecomposition:
         surpluses = [
             self.surpluses[t] - range_surplus for t in range(first, last + 1)
         ]
-        return CommonGraphDecomposition(self.num_vertices, common, surpluses)
+        result = CommonGraphDecomposition(self.num_vertices, common, surpluses)
+        # Re-use memoised interval surpluses that fall inside the window:
+        # for [i, j] ⊆ [first, last] the restricted interval surplus is
+        # the global one minus the window surplus (the common graphs
+        # cancel), so the restricted grid starts pre-populated.
+        for (i, j), surplus in self._interval_cache.items():
+            if first <= i and j <= last:
+                result._interval_cache[(i - first, j - first)] = (
+                    surplus - range_surplus
+                )
+        return result
 
     # -- materialisation -----------------------------------------------------
     def common_csr(self, weight_fn: Optional[WeightFn] = None) -> CSRGraph:

@@ -51,6 +51,14 @@ class DeadlineExceededError(ResilienceError):
     """A deadline expired before the operation completed."""
 
 
+class ServiceError(ReproError):
+    """Failure inside the live query service (bad request, bad state)."""
+
+
+class ProtocolError(ServiceError):
+    """Malformed service request or response (framing, fields, types)."""
+
+
 class ScheduleError(ReproError):
     """Invalid query-evaluation schedule (not a tree, missing leaves, ...)."""
 

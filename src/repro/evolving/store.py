@@ -51,9 +51,15 @@ import io
 import json
 import os
 import shutil
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+try:  # advisory append locking (POSIX only; a no-op elsewhere)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -75,6 +81,7 @@ _FORMAT_V1 = "repro-snapshot-store-v1"
 _FORMAT_V2 = "repro-snapshot-store-v2"
 _MANIFEST = "manifest.json"
 _MANIFEST_BAK = "manifest.json.bak"
+_LOCK_FILE = "store.lock"
 _V2_KEYS = ("format", "name", "num_vertices", "num_batches", "checksums",
             "tip_edge_count", "tip_checksum")
 
@@ -239,6 +246,11 @@ class SnapshotStore:
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
+        # Survives re-initialisation (recover / stale refresh re-run
+        # __init__ on the live instance).
+        self._listeners: List[Callable[[int, DeltaBatch], None]] = getattr(
+            self, "_listeners", []
+        )
         if not (self.directory / _MANIFEST).is_file():
             raise SnapshotError(f"{self.directory} is not a snapshot store")
         payload = _parse_manifest(
@@ -252,6 +264,7 @@ class SnapshotStore:
         self._tip_edge_count: Optional[int] = payload.get("tip_edge_count")
         self._tip_checksum: Optional[str] = payload.get("tip_checksum")
         self._tip_cache: Optional[EdgeSet] = None
+        self._manifest_stat = self._stat_manifest()
 
     # -- creation -----------------------------------------------------------
     @classmethod
@@ -422,7 +435,91 @@ class SnapshotStore:
             name=self.name,
         )
 
+    # -- change notifications ---------------------------------------------------
+    def subscribe(
+        self, callback: Callable[[int, DeltaBatch], None]
+    ) -> Callable[[], None]:
+        """Call ``callback(index, batch)`` after every successful append.
+
+        Notifications fire only for appends made *through this handle*
+        (the lock serialises cross-process appends, but cannot push
+        events into another process).  Returns an unsubscribe callable.
+        Listener exceptions propagate to the appender: the store is
+        already durable at that point, so a failing listener reports a
+        subscriber problem, not a lost append.
+        """
+        self._listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
     # -- appending ------------------------------------------------------------
+    @contextmanager
+    def _append_lock(self) -> Iterator[None]:
+        """Advisory cross-process exclusive lock for appends.
+
+        Two writers to the same directory (say an ingesting service and
+        a CLI) must not interleave the batch-file / manifest write pair,
+        or the second writer clobbers the first's batch and the tip
+        digest no longer matches the data.  ``flock`` on a dedicated
+        lock file serialises them; on platforms without ``fcntl`` the
+        lock degrades to a no-op (single-writer discipline applies).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield
+            return
+        fd = os.open(self.directory / _LOCK_FILE,
+                     os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def _stat_manifest(self) -> Optional[Tuple[int, int, int]]:
+        """The manifest's change signature (inode, size, mtime_ns).
+
+        Atomic manifest replacement creates a new inode, so any write by
+        any handle — this one or another process's — changes the
+        signature.
+        """
+        try:
+            stat = os.stat(self.directory / _MANIFEST)
+        except OSError:
+            return None
+        return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
+    def _refresh_if_stale(self) -> None:
+        """Re-read the manifest if another handle appended since we did.
+
+        Called under the append lock: a second process may have advanced
+        the store while this handle's in-memory state (batch count, tip
+        cache) still reflects the old manifest.  Appending from stale
+        state would overwrite the newest batch file, so resynchronise
+        first.  Gated on the manifest's stat signature, so the
+        single-writer fast path stays read-free (appends remain
+        O(batch), not O(history)).
+        """
+        if self._stat_manifest() == self._manifest_stat:
+            return
+        try:
+            payload = _parse_manifest(
+                _read_file(self.directory / _MANIFEST), str(self.directory)
+            )
+        except ReproError:
+            return  # damaged manifest: let the normal append path raise
+        if (int(payload["num_batches"]) != self._num_batches
+                or payload.get("tip_checksum") != self._tip_checksum):
+            self.__init__(self.directory)
+        else:
+            self._manifest_stat = self._stat_manifest()
+
     def _tip(self) -> EdgeSet:
         """The newest snapshot's edge set, cached after first use.
 
@@ -455,7 +552,21 @@ class SnapshotStore:
         :meth:`recover` resolves deterministically.  Appending to a v1
         store upgrades its manifest to v2 (checksums are computed for
         the existing files first).
+
+        Appends are serialised across processes by an advisory file
+        lock, and the handle resynchronises with the on-disk manifest
+        before writing, so two handles on the same directory cannot
+        interleave appends or clobber each other's batches.  Subscribed
+        listeners are notified once the append is durable.
         """
+        with self._append_lock():
+            index = self._append_locked(batch)
+        for callback in list(self._listeners):
+            callback(index, batch)
+        return index
+
+    def _append_locked(self, batch: DeltaBatch) -> int:
+        self._refresh_if_stale()
         tip = self._tip()
         new_tip = batch.apply(tip, strict=True)  # raises DeltaError if malformed
         if batch.additions.max_vertex() >= self.num_vertices or (
@@ -482,6 +593,7 @@ class SnapshotStore:
         self._write_manifest(self.directory, payload,
                              backup_current=(self.directory / _MANIFEST).is_file())
         # Commit in-memory state only after both writes have succeeded.
+        self._manifest_stat = self._stat_manifest()
         self._checksums = checksums
         self._num_batches = index + 1
         self._tip_cache = new_tip

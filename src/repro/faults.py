@@ -48,6 +48,7 @@ __all__ = [
     "active_plan",
     "corrupt_bytes",
     "io_check",
+    "service_check",
     "task_check",
 ]
 
@@ -127,6 +128,17 @@ class FaultPlan:
                   times: int = 1) -> "FaultPlan":
         """Raise inside the ``index``-th matching hop/edge task."""
         self.rules.append(FaultRule("task", index, match, times, "fail"))
+        return self
+
+    def fail_service(self, index: int = 0, match: str = "*",
+                     times: int = 1) -> "FaultPlan":
+        """Raise inside the ``index``-th matching service operation.
+
+        Labels are ``"query:<key>"`` / ``"ingest:<version>"`` — the
+        query service's primary execution paths (see
+        :func:`service_check`).
+        """
+        self.rules.append(FaultRule("service", index, match, times, "fail"))
         return self
 
     def corrupt(self, path: Union[str, Path],
@@ -211,6 +223,19 @@ def task_check(kind: str, label: object) -> None:
     if plan is None:
         return
     plan._check("task", f"{kind}:{label}")
+
+
+def service_check(op: str, label: object) -> None:
+    """Fault hook at the start of a service operation (query or ingest).
+
+    The query server calls this on its *primary* execution path only;
+    the degraded fallback (a plain offline evaluation) is deliberately
+    un-instrumented, mirroring the parallel evaluators' recovery paths.
+    """
+    plan = _active
+    if plan is None:
+        return
+    plan._check("service", f"{op}:{label}")
 
 
 def corrupt_bytes(path: Union[str, Path], *, seed: int = 0,

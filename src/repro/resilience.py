@@ -19,10 +19,11 @@ injected fault that fires once is healed by the first retry.
 
 from __future__ import annotations
 
+import asyncio
 import functools
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Tuple, Type, TypeVar
+from typing import Awaitable, Callable, Iterator, Optional, Tuple, Type, TypeVar
 
 from repro.errors import DeadlineExceededError, RetryExhaustedError
 
@@ -30,6 +31,7 @@ __all__ = [
     "RetryPolicy",
     "Deadline",
     "retry_call",
+    "retry_call_async",
     "with_retries",
 ]
 
@@ -155,6 +157,49 @@ def retry_call(
                     delay = min(delay, remaining)
             if delay > 0:
                 sleep(delay)
+    raise RetryExhaustedError(
+        f"{what} failed after {policy.max_attempts} attempts: {last!r}"
+    ) from last
+
+
+async def retry_call_async(
+    fn: Callable[..., Awaitable[T]],
+    *args,
+    policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    deadline: Optional[Deadline] = None,
+    label: Optional[str] = None,
+    **kwargs,
+) -> T:
+    """Asyncio counterpart of :func:`retry_call`.
+
+    Awaits ``fn(*args, **kwargs)`` under the policy, backing off with
+    ``await sleep(delay)`` so the event loop keeps serving other work
+    between attempts.  The query service uses this around its executor
+    dispatch.  Cancellation is never swallowed: a ``CancelledError``
+    propagates immediately regardless of the policy.
+    """
+    policy = policy or RetryPolicy()
+    what = label or getattr(fn, "__qualname__", repr(fn))
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if deadline is not None:
+            deadline.check(what)
+        try:
+            return await fn(*args, **kwargs)
+        except asyncio.CancelledError:
+            raise
+        except policy.retry_on as exc:
+            last = exc
+            if attempt == policy.max_attempts:
+                break
+            delay = policy.delay(attempt)
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    delay = min(delay, remaining)
+            if delay > 0:
+                await sleep(delay)
     raise RetryExhaustedError(
         f"{what} failed after {policy.max_attempts} attempts: {last!r}"
     ) from last

@@ -1,0 +1,40 @@
+"""Live evolving-graph query service.
+
+A long-lived serving layer over a :class:`~repro.evolving.store.SnapshotStore`:
+
+* :mod:`repro.service.state` — :class:`ServiceState`: ingestion with
+  *incremental* CommonGraph/Triangular-Grid maintenance, a sliding
+  window over the last W snapshots, and epoch bookkeeping;
+* :mod:`repro.service.cache` — bounded LRU caches for full query
+  results and per-ICG-node converged states;
+* :mod:`repro.service.planner` — the memoizing work-sharing planner
+  that shares interior-ICG states across queries;
+* :mod:`repro.service.server` — the asyncio JSON-lines front end
+  (request coalescing, deadlines, graceful degradation);
+* :mod:`repro.service.client` — a small blocking client;
+* :mod:`repro.service.status` — the machine-readable store/service
+  summary shared with ``python -m repro info --json``.
+
+See ``docs/service.md`` for the protocol and the cache/epoch semantics.
+"""
+
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.client import ServiceClient
+from repro.service.planner import MemoizingPlanner, PlannedAnswer
+from repro.service.server import GraphService, ServiceConfig, ServiceRunner
+from repro.service.state import QueryAnswer, ServiceState
+from repro.service.status import store_summary
+
+__all__ = [
+    "CacheStats",
+    "GraphService",
+    "LRUCache",
+    "MemoizingPlanner",
+    "PlannedAnswer",
+    "QueryAnswer",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceRunner",
+    "ServiceState",
+    "store_summary",
+]

@@ -1,0 +1,133 @@
+"""A small blocking client for the query service.
+
+Used by the ``python -m repro query`` subcommand, the tests and the
+benchmarks.  One socket, JSON lines both ways; every request blocks for
+its response (the server supports pipelining, the client keeps it
+simple).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service import protocol
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking JSON-lines client; usable as a context manager."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7421,
+                 timeout: Optional[float] = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection -----------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- raw requests -----------------------------------------------------------
+    def request(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request, return its (raw) response document."""
+        self.connect()
+        assert self._file is not None
+        self._file.write(protocol.encode_line(doc))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("connection closed by server")
+        return protocol.decode_line(line)
+
+    def request_ok(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Like :meth:`request`, raising :class:`ServiceError` on errors."""
+        response = self.request(doc)
+        if not response.get("ok"):
+            raise ServiceError(
+                f"{response.get('error_type', 'error')}: "
+                f"{response.get('error', 'unknown service error')}"
+            )
+        return response
+
+    # -- typed operations ---------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request_ok({"op": "ping"}).get("ok"))
+
+    def status(self) -> Dict[str, Any]:
+        return self.request_ok({"op": "status"})
+
+    def shutdown(self) -> None:
+        self.request_ok({"op": "shutdown"})
+        self.close()
+
+    def query(
+        self,
+        algorithm: str,
+        source: int,
+        first: Optional[int] = None,
+        last: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Run a range query; ``values`` is decoded to float64 arrays."""
+        doc: Dict[str, Any] = {
+            "op": "query", "algorithm": algorithm, "source": source,
+        }
+        if first is not None:
+            doc["first"] = first
+        if last is not None:
+            doc["last"] = last
+        response = self.request_ok(doc)
+        response["values"] = self.decode_values(response.get("values", []))
+        return response
+
+    def ingest(
+        self,
+        additions: Optional[List[List[int]]] = None,
+        deletions: Optional[List[List[int]]] = None,
+    ) -> Dict[str, Any]:
+        return self.request_ok({
+            "op": "ingest",
+            "additions": additions or [],
+            "deletions": deletions or [],
+        })
+
+    @staticmethod
+    def decode_values(encoded: Any) -> List[np.ndarray]:
+        if not isinstance(encoded, list):
+            raise ProtocolError("query response carries no value vectors")
+        return protocol.decode_values(encoded)
+
+    def __repr__(self) -> str:
+        state = "connected" if self._sock is not None else "disconnected"
+        return f"ServiceClient({self.host}:{self.port}, {state})"

@@ -1,0 +1,173 @@
+"""The memoizing query planner: work-sharing with cross-query reuse.
+
+The offline :class:`~repro.core.engine.WorkSharingEvaluator` shares
+interior-ICG states *within* one query.  The planner extends that
+sharing *across* queries: the converged :class:`VertexState` at every
+Triangular-Grid node visited by a schedule is cached, keyed by
+``(algorithm, source, epoch, node)`` in window coordinates, so a later
+query whose schedule passes through a cached node resumes from it —
+no static recompute at the window root, no re-streaming of the path
+above the node.
+
+Correctness rests on the same fixpoint property as the paper's
+evaluators: for a monotonic algorithm, the converged state on
+``ICG(i, j)`` from a given source is *unique*, regardless of which
+ancestor state the incremental computation started from.  A resumed
+walk therefore produces values bit-identical to a cold one (the
+service's end-to-end test asserts exactly this against the offline
+evaluator).
+
+The overlay used to push from a cached node is rebuilt as
+``common CSR + one Δ CSR of the node's interval surplus`` — the same
+edge set the offline evaluator reaches through its accumulated Δ chain,
+each edge appearing exactly once either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import MonotonicAlgorithm
+from repro.core.common import CommonGraphDecomposition
+from repro.core.steiner import build_schedule
+from repro.core.triangular_grid import Interval, TriangularGrid
+from repro.graph.overlay import OverlayGraph
+from repro.graph.weights import UnitWeights, WeightFn
+from repro.kickstarter.engine import (
+    VertexState,
+    incremental_additions,
+    static_compute,
+)
+from repro.service.cache import LRUCache
+
+__all__ = ["MemoizingPlanner", "PlannedAnswer"]
+
+#: Cache key of a converged state at a TG node, in window coordinates.
+NodeKey = Tuple[str, int, int, Interval]
+
+
+@dataclass
+class PlannedAnswer:
+    """One planned evaluation: per-snapshot values plus reuse accounting."""
+
+    values: List[np.ndarray] = field(default_factory=list)
+    additions_processed: int = 0
+    stabilisations: int = 0
+    node_hits: int = 0
+    node_misses: int = 0
+    #: The node the walk actually started from ((first, last)-relative).
+    start_node: Optional[Interval] = None
+
+
+class MemoizingPlanner:
+    """Plans and executes range queries against a node-state cache.
+
+    The planner itself is stateless between calls apart from the shared
+    ``node_cache``; the caller (the service state) owns epochs and the
+    full-result cache.
+    """
+
+    def __init__(
+        self,
+        node_cache: LRUCache,
+        weight_fn: Optional[WeightFn] = None,
+    ) -> None:
+        self.node_cache = node_cache
+        self.weight_fn: WeightFn = (
+            weight_fn if weight_fn is not None else UnitWeights()
+        )
+
+    # -- key helpers --------------------------------------------------------
+    @staticmethod
+    def node_key(
+        algorithm: str, source: int, epoch: int, node: Interval
+    ) -> NodeKey:
+        return (algorithm, source, epoch, node)
+
+    # -- execution ----------------------------------------------------------
+    def evaluate(
+        self,
+        decomposition: CommonGraphDecomposition,
+        algorithm: MonotonicAlgorithm,
+        source: int,
+        first: int,
+        last: int,
+        epoch: int,
+    ) -> PlannedAnswer:
+        """Answer ``algorithm`` from ``source`` on snapshots ``first..last``.
+
+        ``first``/``last`` are indices into ``decomposition`` (the
+        service window); cache keys carry the same coordinates plus the
+        epoch, so entries die with the decomposition that produced them.
+        """
+        window = decomposition.restrict(first, last)
+        grid = TriangularGrid(window)
+        schedule = build_schedule(grid, "work-sharing")
+        answer = PlannedAnswer()
+        alg_name = algorithm.name
+
+        def key(node: Interval) -> NodeKey:
+            return self.node_key(
+                alg_name, source, epoch,
+                (first + node[0], first + node[1]),
+            )
+
+        base_csr = window.common_csr(self.weight_fn)
+
+        def overlay_for(node: Interval) -> OverlayGraph:
+            surplus = window.interval_surplus(*node)
+            if not surplus:
+                return OverlayGraph(base_csr)
+            return OverlayGraph(
+                base_csr, (window.delta_csr(surplus, self.weight_fn),)
+            )
+
+        # Root state: cached, or one static compute on the window's ICG.
+        root = schedule.root
+        root_state = self.node_cache.get(key(root))
+        if root_state is None:
+            answer.node_misses += 1
+            root_state = static_compute(base_csr, algorithm, source,
+                                        mode="sync")
+            self.node_cache.put(key(root), root_state)
+        else:
+            answer.node_hits += 1
+        answer.start_node = (first + root[0], first + root[1])
+
+        values_by_snapshot: Dict[int, np.ndarray] = {}
+        states: Dict[Interval, VertexState] = {root: root_state}
+        lo, hi = root
+        if lo == hi:
+            values_by_snapshot[lo] = root_state.values
+
+        # schedule.edges() yields parents before children, so a state is
+        # always available (computed or cached) when its child streams.
+        for parent, child in schedule.edges():
+            cached = self.node_cache.get(key(child))
+            if cached is not None:
+                answer.node_hits += 1
+                states[child] = cached
+            else:
+                answer.node_misses += 1
+                batch = grid.label(parent, child)
+                state = states[parent].copy()
+                src, dst = batch.arrays()
+                incremental_additions(
+                    overlay_for(child), algorithm, state,
+                    src, dst, self.weight_fn(src, dst),
+                )
+                answer.additions_processed += len(batch)
+                answer.stabilisations += 1
+                self.node_cache.put(key(child), state)
+                states[child] = state
+            lo, hi = child
+            if lo == hi:
+                values_by_snapshot[lo] = states[child].values
+
+        answer.values = [
+            values_by_snapshot[i].copy() for i in range(window.num_snapshots)
+        ]
+        return answer

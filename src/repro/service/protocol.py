@@ -1,0 +1,174 @@
+"""The service wire protocol: JSON lines over a byte stream.
+
+One request per line, one response per line, UTF-8 JSON with no
+embedded newlines — trivially debuggable with ``nc`` and stdlib-only on
+both ends.  Requests carry an ``op`` plus op-specific fields and an
+optional client-chosen ``id`` that is echoed back, so a client may
+pipeline requests and match responses.
+
+Operations::
+
+    {"op": "ping"}
+    {"op": "status"}
+    {"op": "query", "algorithm": "SSSP", "source": 3,
+     "first": 2, "last": 5}            # first/last optional => window
+    {"op": "ingest", "additions": [[u, v], ...],
+     "deletions": [[u, v], ...]}
+    {"op": "shutdown"}
+
+Responses are ``{"ok": true, ...payload}`` or ``{"ok": false,
+"error": "...", "error_type": "..."}``; query responses additionally
+carry ``outcome`` (``"ok"`` / ``"retried"`` / ``"degraded"``) following
+the :class:`~repro.core.parallel.TaskOutcome` vocabulary, and
+``values`` as one list of per-vertex floats per snapshot
+(non-finite values are encoded as strings ``"inf"`` / ``"-inf"`` since
+JSON has no infinities).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.evolving.delta import DeltaBatch
+from repro.graph.edgeset import EdgeSet
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "OPS",
+    "decode_line",
+    "decode_values",
+    "encode_line",
+    "encode_values",
+    "parse_edge_pairs",
+    "parse_ingest_batch",
+    "validate_request",
+]
+
+#: Hard cap on one protocol line; a longer line is a malformed request.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+OPS = ("ping", "status", "query", "ingest", "shutdown")
+
+_QUERY_FIELDS = {"op", "id", "algorithm", "source", "first", "last"}
+_INGEST_FIELDS = {"op", "id", "additions", "deletions"}
+
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One JSON-lines frame (compact separators, trailing newline)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one frame; raises :class:`ProtocolError` on malformed input."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"malformed JSON line: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError("request must be a JSON object")
+    return doc
+
+
+def _require_int(doc: Dict[str, Any], field: str,
+                 optional: bool = False) -> Optional[int]:
+    value = doc.get(field)
+    if value is None:
+        if optional:
+            return None
+        raise ProtocolError(f"missing required field {field!r}")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"field {field!r} must be an integer")
+    return value
+
+
+def validate_request(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Check shape and types of a request; returns it unchanged.
+
+    Field semantics (ranges, algorithm names) are validated by the
+    service state — this layer only rejects structurally bad frames.
+    """
+    op = doc.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    if op == "query":
+        unknown = set(doc) - _QUERY_FIELDS
+        if unknown:
+            raise ProtocolError(f"unknown query fields {sorted(unknown)}")
+        if not isinstance(doc.get("algorithm"), str):
+            raise ProtocolError("field 'algorithm' must be a string")
+        _require_int(doc, "source")
+        _require_int(doc, "first", optional=True)
+        _require_int(doc, "last", optional=True)
+    elif op == "ingest":
+        unknown = set(doc) - _INGEST_FIELDS
+        if unknown:
+            raise ProtocolError(f"unknown ingest fields {sorted(unknown)}")
+    return doc
+
+
+def parse_edge_pairs(pairs: Any, field: str) -> EdgeSet:
+    """``[[u, v], ...]`` from the wire into an :class:`EdgeSet`."""
+    if pairs is None:
+        return EdgeSet.empty()
+    if not isinstance(pairs, list):
+        raise ProtocolError(f"field {field!r} must be a list of [u, v] pairs")
+    for pair in pairs:
+        if (not isinstance(pair, (list, tuple)) or len(pair) != 2
+                or not all(isinstance(x, int) and not isinstance(x, bool)
+                           and x >= 0 for x in pair)):
+            raise ProtocolError(
+                f"field {field!r} must contain [u, v] pairs of "
+                f"non-negative integers"
+            )
+    return EdgeSet.from_pairs(tuple(map(tuple, pairs)))
+
+
+def parse_ingest_batch(doc: Dict[str, Any]) -> DeltaBatch:
+    """The Δ batch of an ``ingest`` request (additions/deletions pairs)."""
+    from repro.errors import DeltaError
+
+    additions = parse_edge_pairs(doc.get("additions"), "additions")
+    deletions = parse_edge_pairs(doc.get("deletions"), "deletions")
+    if not additions and not deletions:
+        raise ProtocolError("ingest batch is empty")
+    try:
+        return DeltaBatch(additions=additions, deletions=deletions)
+    except DeltaError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def encode_values(values: Sequence[np.ndarray]) -> List[List[Any]]:
+    """Per-snapshot value vectors as JSON-safe lists.
+
+    Infinities (the unreached-vertex markers of SSSP and friends) are
+    mapped to the strings ``"inf"`` / ``"-inf"``; everything else stays
+    a float.  The mapping round-trips exactly through
+    :func:`decode_values`.
+    """
+    encoded: List[List[Any]] = []
+    for vector in values:
+        row: List[Any] = []
+        for value in map(float, vector):
+            if math.isinf(value):
+                row.append("inf" if value > 0 else "-inf")
+            else:
+                row.append(value)
+        encoded.append(row)
+    return encoded
+
+
+def decode_values(encoded: Sequence[Sequence[Any]]) -> List[np.ndarray]:
+    """Inverse of :func:`encode_values`, back to float64 arrays."""
+    decoded: List[np.ndarray] = []
+    for row in encoded:
+        decoded.append(np.asarray(
+            [float(value) for value in row], dtype=np.float64
+        ))
+    return decoded

@@ -1,0 +1,396 @@
+"""The asyncio front end: JSON-lines over TCP.
+
+Request lifecycle::
+
+    client line ──> validate (protocol) ──> dispatch
+        query  ──> coalesce identical in-flight ──> executor thread
+                   (fault hook + memoizing planner) under retry/deadline
+                   ──> degraded fallback (offline evaluator) if the
+                   primary path is exhausted
+        ingest ──> serialised, executor thread (fault hook + store
+                   append + incremental decomposition extension)
+        status ──> store/window/epoch/cache payload (health check)
+
+Design points, mirroring the rest of the codebase:
+
+* **Coalescing** — concurrent identical queries (same algorithm,
+  source, range) share one execution; followers await the leader's
+  future and receive the same response payload.
+* **Deadlines / retries** — every query carries a
+  :class:`~repro.resilience.Deadline`; primary attempts run under
+  :func:`~repro.resilience.retry_call_async` with an I/O-style policy,
+  so an injected or transient fault is healed by a retry
+  (``outcome: "retried"``).
+* **Graceful degradation** — when retries are spent the server answers
+  from the plain offline evaluator, bypassing planner and caches
+  (``outcome: "degraded"``), consistent with the parallel evaluators'
+  :class:`~repro.core.parallel.TaskOutcome` model.  Client errors (bad
+  range, unknown algorithm, malformed batch) are never retried.
+* **Fault hooks** — the primary query/ingest paths call
+  :func:`repro.faults.service_check`, so tests inject failures
+  deterministically; the degraded path is un-instrumented.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro import faults
+from repro.errors import (
+    DeadlineExceededError,
+    ProtocolError,
+    ReproError,
+    RetryExhaustedError,
+    ServiceError,
+)
+from repro.resilience import Deadline, RetryPolicy, retry_call_async
+from repro.service import protocol
+from repro.service.state import ServiceState
+
+__all__ = ["GraphService", "ServiceConfig", "ServiceRunner"]
+
+#: Coalescing key of a query: algorithm, source, first, last (as sent).
+QueryKey = Tuple[str, int, Optional[int], Optional[int]]
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick an ephemeral port
+    #: Per-request wall-clock budget in seconds (``None`` = unbounded).
+    request_timeout: Optional[float] = 30.0
+    #: Retry policy for the primary query/ingest paths.
+    retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(
+        max_attempts=3, base_delay=0.005, multiplier=2.0, max_delay=0.1,
+        retry_on=(OSError,),
+    ))
+
+
+class GraphService:
+    """One serving instance: a :class:`ServiceState` behind a TCP listener."""
+
+    def __init__(self, state: ServiceState, config: Optional[ServiceConfig] = None) -> None:
+        self.state = state
+        self.config = config or ServiceConfig()
+        self.port: Optional[int] = None
+        self.counters: Dict[str, int] = {
+            "connections": 0, "requests": 0, "queries": 0, "coalesced": 0,
+            "ingests": 0, "retried": 0, "degraded": 0, "errors": 0,
+        }
+        self._inflight: Dict[QueryKey, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._ingest_lock: Optional[asyncio.Lock] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        self._ingest_lock = asyncio.Lock()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_stop(self) -> None:
+        """Stop accepting and drop open connections (idempotent)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    async def wait_closed(self) -> None:
+        """Block until :meth:`request_stop`, then tear the listener down."""
+        assert self._stop is not None and self._server is not None
+        await self._stop.wait()
+        self._server.close()
+        for writer in list(self._writers):
+            writer.close()
+        await self._server.wait_closed()
+
+    async def run(self) -> None:
+        """Start and serve until stopped (the CLI entry point)."""
+        await self.start()
+        await self.wait_closed()
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.counters["connections"] += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, self._error_response(
+                        None, ProtocolError("request line too long")))
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                await self._send(writer, response)
+                if response.get("op") == "shutdown" and response.get("ok"):
+                    self.request_stop()
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    response: Dict[str, Any]) -> None:
+        writer.write(protocol.encode_line(response))
+        await writer.drain()
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        self.counters["requests"] += 1
+        request_id = None
+        try:
+            doc = protocol.decode_line(line)
+            request_id = doc.get("id")
+            protocol.validate_request(doc)
+            response = await self._dispatch(doc)
+        except ReproError as exc:
+            response = self._error_response(request_id, exc)
+        except Exception as exc:  # never let a handler kill the server
+            response = self._error_response(request_id, exc)
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    def _error_response(self, request_id: Optional[Any],
+                        exc: BaseException) -> Dict[str, Any]:
+        self.counters["errors"] += 1
+        response = {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+        }
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # -- dispatch ------------------------------------------------------------
+    async def _dispatch(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        op = doc["op"]
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        if op == "status":
+            return await self._handle_status()
+        if op == "ingest":
+            return await self._handle_ingest(doc)
+        return await self._handle_query(doc)
+
+    async def _handle_status(self) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(None, self.state.status)
+        payload.update({"ok": True, "op": "status",
+                        "server": dict(self.counters)})
+        return payload
+
+    async def _handle_ingest(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        batch = protocol.parse_ingest_batch(doc)
+        loop = asyncio.get_running_loop()
+        assert self._ingest_lock is not None
+
+        def primary() -> Dict[str, Any]:
+            faults.service_check("ingest", self.state.num_versions)
+            return self.state.ingest(batch)
+
+        async def attempt() -> Dict[str, Any]:
+            return await loop.run_in_executor(None, primary)
+
+        async with self._ingest_lock:
+            receipt = await retry_call_async(
+                attempt, policy=self.config.retry, label="ingest",
+            )
+        self.counters["ingests"] += 1
+        receipt.update({"ok": True, "op": "ingest",
+                        "batch_size": batch.size})
+        return receipt
+
+    async def _handle_query(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        key: QueryKey = (
+            doc["algorithm"].lower(), doc["source"],
+            doc.get("first"), doc.get("last"),
+        )
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # Identical query already running: share its outcome.
+            self.counters["coalesced"] += 1
+            shared = await inflight
+            response = dict(shared)
+            response["coalesced"] = True
+            return response
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._inflight[key] = future
+        try:
+            response = await self._run_query(doc)
+        except BaseException as exc:
+            # Resolve followers with an error payload, then re-raise for
+            # this request's own error path.
+            future.set_result(self._error_response(None, exc))
+            raise
+        else:
+            future.set_result(response)
+            return response
+        finally:
+            del self._inflight[key]
+
+    async def _run_query(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        self.counters["queries"] += 1
+        algorithm = doc["algorithm"]
+        source = doc["source"]
+        first, last = doc.get("first"), doc.get("last")
+        timeout = self.config.request_timeout
+        deadline = (Deadline.after(timeout) if timeout is not None
+                    else Deadline.never())
+        loop = asyncio.get_running_loop()
+        attempts = [0]
+        label = f"{algorithm}:{source}:{first}:{last}"
+
+        def primary():
+            attempts[0] += 1
+            faults.service_check("query", label)
+            return self.state.query(algorithm, source, first, last)
+
+        async def attempt():
+            deadline.check("query")
+            return await asyncio.wait_for(
+                loop.run_in_executor(None, primary),
+                timeout=deadline.remaining(),
+            )
+
+        outcome = "ok"
+        try:
+            answer = await retry_call_async(
+                attempt, policy=self.config.retry, deadline=deadline,
+                label=f"query {label}",
+            )
+            if attempts[0] > 1:
+                outcome = "retried"
+                self.counters["retried"] += 1
+        except RetryExhaustedError:
+            # Primary path spent: degrade to the offline evaluator.
+            # Client errors (bad range, unknown algorithm) are not
+            # retryable, so they never reach this branch — they
+            # propagate straight to the error response.
+            answer = await self._degraded_query(doc, deadline)
+            outcome = "degraded"
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                f"query {label} exceeded its {timeout}s deadline"
+            ) from None
+        return {
+            "ok": True,
+            "op": "query",
+            "algorithm": answer.algorithm,
+            "source": answer.source,
+            "first": answer.first,
+            "last": answer.last,
+            "epoch": answer.epoch,
+            "from_cache": answer.from_cache,
+            "node_hits": answer.node_hits,
+            "node_misses": answer.node_misses,
+            "outcome": outcome,
+            "values": protocol.encode_values(answer.values),
+        }
+
+    async def _degraded_query(self, doc: Dict[str, Any],
+                              deadline: Deadline):
+        """The recovery path: no planner, no caches, no fault hooks."""
+        self.counters["degraded"] += 1
+        deadline.check("degraded query")
+        loop = asyncio.get_running_loop()
+        state = self.state
+        with state._lock:
+            base = state.base_version
+            latest = base + state.decomposition.num_snapshots - 1
+        first = doc.get("first")
+        last = doc.get("last")
+        return await asyncio.wait_for(
+            loop.run_in_executor(
+                None, state.offline_answer,
+                doc["algorithm"], doc["source"],
+                base if first is None else first,
+                latest if last is None else last,
+            ),
+            timeout=deadline.remaining(),
+        )
+
+
+class ServiceRunner:
+    """Run a :class:`GraphService` on a background thread.
+
+    For tests, benchmarks and embedding: the caller's thread stays free,
+    the service gets its own event loop, and ``stop()`` (or the context
+    manager exit) tears everything down.  ``port`` is available once the
+    context is entered.
+    """
+
+    def __init__(self, state: ServiceState,
+                 config: Optional[ServiceConfig] = None) -> None:
+        self.state = state
+        self.config = config or ServiceConfig()
+        self.service: Optional[GraphService] = None
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServiceRunner":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ServiceError("service failed to start within 30s")
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"service failed to start: {self._startup_error!r}"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self.service is not None:
+            self._loop.call_soon_threadsafe(self.service.request_stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures
+            if not self._started.is_set():
+                self._startup_error = exc
+                self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.service = GraphService(self.state, self.config)
+        try:
+            await self.service.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self.port = self.service.port
+        self._started.set()
+        await self.service.wait_closed()
+
+    def __enter__(self) -> "ServiceRunner":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,267 @@
+"""Service state: a store, its live decomposition, and the caches.
+
+:class:`ServiceState` is the single mutable object behind the server.
+It owns:
+
+* the :class:`~repro.evolving.store.SnapshotStore` (durability);
+* a :class:`~repro.core.common.CommonGraphDecomposition` over the
+  current window, maintained **incrementally**: an ingested batch
+  extends the decomposition and its Triangular Grid by one column
+  (:meth:`CommonGraphDecomposition.extended`) instead of recomputing
+  from scratch, and a full window slides forward via ``restrict``;
+* the **epoch** counter: bumped on every ingest/slide, embedded in
+  every cache key, so no cache entry can outlive the decomposition
+  that produced it;
+* the result cache (full answers) and node-state cache (interior-ICG
+  states shared across queries) plus the
+  :class:`~repro.service.planner.MemoizingPlanner` that uses them.
+
+Versions are *absolute*: snapshot numbers keep counting up as batches
+arrive, even after old snapshots slide out of the window.  A query for
+a version outside the window is refused with a clear error rather than
+silently answered from the wrong graph.
+
+Thread model: ``ingest`` mutates under a lock; queries capture
+``(decomposition, epoch, base_version)`` atomically at entry and then
+run lock-free on that immutable snapshot of the state — an ingest that
+lands mid-query swaps in a *new* decomposition object, it never mutates
+the one an in-flight query holds.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.common import CommonGraphDecomposition
+from repro.errors import ServiceError, SnapshotError
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.store import SnapshotStore
+from repro.graph.weights import UnitWeights, WeightFn
+from repro.kickstarter.engine import VertexState
+from repro.service.cache import LRUCache
+from repro.service.planner import MemoizingPlanner
+from repro.service.status import store_summary
+
+__all__ = ["QueryAnswer", "ServiceState"]
+
+
+@dataclass
+class QueryAnswer:
+    """A served query: values plus provenance for the response payload."""
+
+    algorithm: str
+    source: int
+    first: int
+    last: int
+    epoch: int
+    values: List[np.ndarray] = field(default_factory=list)
+    from_cache: bool = False
+    node_hits: int = 0
+    node_misses: int = 0
+    additions_processed: int = 0
+
+    def key(self) -> Tuple[str, int, int, int, int]:
+        return (self.algorithm, self.source, self.first, self.last,
+                self.epoch)
+
+
+class ServiceState:
+    """Mutable service core: ingestion, window, epochs, caches, queries."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        weight_fn: Optional[WeightFn] = None,
+        window: Optional[int] = None,
+        result_cache_entries: int = 256,
+        node_cache_entries: int = 1024,
+    ) -> None:
+        if window is not None and window < 1:
+            raise ServiceError("window must be >= 1 snapshot")
+        self.store = store
+        self.weight_fn: WeightFn = (
+            weight_fn if weight_fn is not None else UnitWeights()
+        )
+        self.window = window
+        self.epoch = 0
+        self.ingests = 0
+        self._lock = threading.Lock()
+        self.result_cache = LRUCache(result_cache_entries)
+        self.node_cache = LRUCache(
+            node_cache_entries,
+            copy_in=VertexState.copy,
+            copy_out=VertexState.copy,
+        )
+        self.planner = MemoizingPlanner(self.node_cache, self.weight_fn)
+        evolving = store.load()
+        decomposition = CommonGraphDecomposition.from_evolving(evolving)
+        #: Absolute version number of the window's first snapshot.
+        self.base_version = 0
+        n = decomposition.num_snapshots
+        if window is not None and n > window:
+            self.base_version = n - window
+            decomposition = decomposition.restrict(self.base_version, n - 1)
+        self.decomposition = decomposition
+        # Appends made through the store handle (by us or any other
+        # same-process caller) keep the decomposition in sync.
+        self._unsubscribe = store.subscribe(self._on_append)
+
+    # -- shape ----------------------------------------------------------------
+    @property
+    def num_versions(self) -> int:
+        """Total versions ever ingested (window start + window length)."""
+        return self.base_version + self.decomposition.num_snapshots
+
+    @property
+    def latest_version(self) -> int:
+        return self.num_versions - 1
+
+    def close(self) -> None:
+        self._unsubscribe()
+
+    # -- ingestion ------------------------------------------------------------
+    def ingest(self, batch: DeltaBatch) -> Dict[str, Any]:
+        """Append one batch; the store notification updates the state.
+
+        Returns a small receipt (new version, epoch, window bounds) for
+        the service response.
+        """
+        self.store.append(batch)  # -> _on_append under the hood
+        return {
+            "version": self.latest_version,
+            "epoch": self.epoch,
+            "window_first": self.base_version,
+            "window_last": self.latest_version,
+        }
+
+    def _on_append(self, index: int, batch: DeltaBatch) -> None:
+        """Store-change notification: extend incrementally, slide, re-epoch."""
+        with self._lock:
+            decomp = self.decomposition
+            tip = decomp.snapshot_edges(decomp.num_snapshots - 1)
+            new_edges = batch.apply(tip, strict=False)
+            decomp = decomp.extended(new_edges)
+            n = decomp.num_snapshots
+            if self.window is not None and n > self.window:
+                excess = n - self.window
+                decomp = decomp.restrict(excess, n - 1)
+                self.base_version += excess
+            self.decomposition = decomp
+            self.epoch += 1
+            self.ingests += 1
+            epoch = self.epoch
+        # Entries keyed with older epochs can never hit again; free them.
+        self.result_cache.purge(lambda key: key[-1] != epoch)
+        self.node_cache.purge(lambda key: key[2] != epoch)
+
+    # -- queries ------------------------------------------------------------
+    def query(
+        self,
+        algorithm: str,
+        source: int,
+        first: Optional[int] = None,
+        last: Optional[int] = None,
+    ) -> QueryAnswer:
+        """Answer a range query, memoizing whole results and node states."""
+        with self._lock:
+            decomposition = self.decomposition
+            epoch = self.epoch
+            base = self.base_version
+        latest = base + decomposition.num_snapshots - 1
+        if first is None:
+            first = base
+        if last is None:
+            last = latest
+        alg = get_algorithm(algorithm)  # raises AlgorithmError if unknown
+        if not 0 <= source < decomposition.num_vertices:
+            raise ServiceError(
+                f"source {source} out of range "
+                f"[0, {decomposition.num_vertices})"
+            )
+        if not base <= first <= last <= latest:
+            raise ServiceError(
+                f"version range [{first}, {last}] outside the window "
+                f"[{base}, {latest}]"
+            )
+        answer = QueryAnswer(
+            algorithm=alg.name, source=source, first=first, last=last,
+            epoch=epoch,
+        )
+        cached = self.result_cache.get(answer.key())
+        if cached is not None:
+            answer.values = [values.copy() for values in cached]
+            answer.from_cache = True
+            return answer
+        planned = self.planner.evaluate(
+            decomposition, alg, source,
+            first - base, last - base, epoch,
+        )
+        answer.values = planned.values
+        answer.node_hits = planned.node_hits
+        answer.node_misses = planned.node_misses
+        answer.additions_processed = planned.additions_processed
+        self.result_cache.put(
+            answer.key(), [values.copy() for values in answer.values]
+        )
+        return answer
+
+    def offline_answer(
+        self, algorithm: str, source: int, first: int, last: int
+    ) -> QueryAnswer:
+        """Cache-free fallback: a plain offline work-sharing evaluation.
+
+        The server's degraded path — no planner, no caches, just the
+        stock evaluator on the restricted window.  Values are identical
+        to :meth:`query`'s; only the reuse accounting is absent.
+        """
+        from repro.core.engine import WorkSharingEvaluator
+
+        with self._lock:
+            decomposition = self.decomposition
+            epoch = self.epoch
+            base = self.base_version
+        window = decomposition.restrict(first - base, last - base)
+        result = WorkSharingEvaluator(
+            window, get_algorithm(algorithm), source,
+            weight_fn=self.weight_fn,
+        ).run()
+        return QueryAnswer(
+            algorithm=get_algorithm(algorithm).name, source=source,
+            first=first, last=last, epoch=epoch,
+            values=list(result.snapshot_values),
+        )
+
+    # -- status ------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The health/status payload (superset of ``repro info --json``)."""
+        with self._lock:
+            decomposition = self.decomposition
+            epoch = self.epoch
+            base = self.base_version
+            ingests = self.ingests
+        payload = store_summary(self.store, decomposition=decomposition)
+        payload.update({
+            "serving": True,
+            "epoch": epoch,
+            "ingests": ingests,
+            "window": self.window,
+            "window_first": base,
+            "window_last": base + decomposition.num_snapshots - 1,
+            "window_common_edges": len(decomposition.common),
+            "result_cache": {
+                "entries": len(self.result_cache),
+                "max_entries": self.result_cache.max_entries,
+                **self.result_cache.stats.as_dict(),
+            },
+            "node_cache": {
+                "entries": len(self.node_cache),
+                "max_entries": self.node_cache.max_entries,
+                **self.node_cache.stats.as_dict(),
+            },
+        })
+        return payload

@@ -1,0 +1,142 @@
+"""Equivalence laws behind the service's incremental maintenance.
+
+Two properties keep the live decomposition honest:
+
+* ``restrict(i, j)`` must behave exactly like decomposing the snapshot
+  slice ``i..j`` from scratch (``from_snapshots``) — same common graph,
+  same surpluses, same interval surpluses everywhere;
+* ``extended(new_edges)`` (one Triangular-Grid column appended
+  incrementally) must be indistinguishable from rebuilding the whole
+  decomposition from all snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.common import CommonGraphDecomposition
+from repro.errors import SnapshotError
+from repro.graph.edgeset import EdgeSet
+
+from tests.strategies import evolving_graphs
+
+
+def all_snapshots(evolving):
+    return [evolving.snapshot_edges(i) for i in range(evolving.num_snapshots)]
+
+
+def assert_decompositions_equal(a, b, context=""):
+    __tracebackhide__ = True
+    assert a.num_vertices == b.num_vertices, context
+    assert a.num_snapshots == b.num_snapshots, context
+    assert a.common == b.common, f"{context}: common graphs differ"
+    for index, (sa, sb) in enumerate(zip(a.surpluses, b.surpluses)):
+        assert sa == sb, f"{context}: surplus {index} differs"
+    n = a.num_snapshots
+    for i in range(n):
+        for j in range(i, n):
+            assert a.interval_surplus(i, j) == b.interval_surplus(i, j), (
+                f"{context}: interval surplus ({i}, {j}) differs"
+            )
+
+
+class TestRestrictEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(evolving_graphs(), st.data())
+    def test_restrict_equals_from_snapshots_on_slice(self, evolving, data):
+        """``restrict(i, j)`` ≡ ``from_snapshots(snapshots[i..j])``."""
+        decomposition = CommonGraphDecomposition.from_evolving(evolving)
+        n = decomposition.num_snapshots
+        first = data.draw(st.integers(0, n - 1), label="first")
+        last = data.draw(st.integers(first, n - 1), label="last")
+        snapshots = all_snapshots(evolving)
+        direct = CommonGraphDecomposition.from_snapshots(
+            evolving.num_vertices, snapshots[first:last + 1]
+        )
+        assert_decompositions_equal(
+            decomposition.restrict(first, last), direct,
+            f"restrict({first}, {last})",
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(evolving_graphs(), st.data())
+    def test_restrict_with_warm_interval_cache(self, evolving, data):
+        """A warmed parent cache (seeded into the child) changes nothing."""
+        decomposition = CommonGraphDecomposition.from_evolving(evolving)
+        n = decomposition.num_snapshots
+        # Touch every interval so restrict() has a full cache to seed from.
+        for i in range(n):
+            for j in range(i, n):
+                decomposition.interval_surplus(i, j)
+        first = data.draw(st.integers(0, n - 1), label="first")
+        last = data.draw(st.integers(first, n - 1), label="last")
+        snapshots = all_snapshots(evolving)
+        direct = CommonGraphDecomposition.from_snapshots(
+            evolving.num_vertices, snapshots[first:last + 1]
+        )
+        assert_decompositions_equal(
+            decomposition.restrict(first, last), direct, "warm restrict"
+        )
+
+
+class TestExtendedEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(evolving_graphs(max_batches=4))
+    def test_extension_matches_from_scratch_rebuild(self, evolving):
+        """Growing one column at a time ≡ decomposing all snapshots."""
+        snapshots = all_snapshots(evolving)
+        live = CommonGraphDecomposition.from_snapshots(
+            evolving.num_vertices, snapshots[:1]
+        )
+        for count in range(2, len(snapshots) + 1):
+            live = live.extended(snapshots[count - 1])
+            rebuilt = CommonGraphDecomposition.from_snapshots(
+                evolving.num_vertices, snapshots[:count]
+            )
+            assert_decompositions_equal(live, rebuilt,
+                                        f"after snapshot {count - 1}")
+
+    @settings(max_examples=30, deadline=None)
+    @given(evolving_graphs(max_batches=3))
+    def test_extension_with_warm_interval_cache(self, evolving):
+        """Cache entries carried over by ``extended`` stay correct."""
+        snapshots = all_snapshots(evolving)
+        live = CommonGraphDecomposition.from_snapshots(
+            evolving.num_vertices, snapshots[:1]
+        )
+        for count in range(2, len(snapshots) + 1):
+            # Warm every interval *before* extending, so carried-over
+            # entries (not recomputations) are what gets checked.
+            n = live.num_snapshots
+            for i in range(n):
+                for j in range(i, n):
+                    live.interval_surplus(i, j)
+            live = live.extended(snapshots[count - 1])
+            rebuilt = CommonGraphDecomposition.from_snapshots(
+                evolving.num_vertices, snapshots[:count]
+            )
+            assert_decompositions_equal(live, rebuilt,
+                                        f"warm, after snapshot {count - 1}")
+
+    def test_extension_rejects_out_of_range_vertices(self):
+        decomposition = CommonGraphDecomposition.from_snapshots(
+            4, [EdgeSet.from_pairs([(0, 1), (1, 2)])]
+        )
+        with pytest.raises(SnapshotError):
+            decomposition.extended(EdgeSet.from_pairs([(0, 7)]))
+
+    def test_extension_handles_total_turnover(self):
+        """A new snapshot sharing no edges empties the common graph."""
+        decomposition = CommonGraphDecomposition.from_snapshots(
+            4, [EdgeSet.from_pairs([(0, 1), (1, 2)])]
+        )
+        extended = decomposition.extended(EdgeSet.from_pairs([(2, 3)]))
+        rebuilt = CommonGraphDecomposition.from_snapshots(
+            4,
+            [EdgeSet.from_pairs([(0, 1), (1, 2)]),
+             EdgeSet.from_pairs([(2, 3)])],
+        )
+        assert_decompositions_equal(extended, rebuilt, "total turnover")
+        assert not extended.common

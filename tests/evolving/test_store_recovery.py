@@ -314,7 +314,10 @@ class TestCorruptionProperty:
         with tempfile.TemporaryDirectory() as scratch:
             target = Path(scratch) / "s"
             shutil.copytree(pristine_store, target)
-            files = sorted(p for p in target.iterdir() if p.is_file())
+            # store.lock is an empty advisory-lock artifact, not data —
+            # there is nothing in it to corrupt or checksum.
+            files = sorted(p for p in target.iterdir()
+                           if p.is_file() and p.name != "store.lock")
             victim = files[file_choice % len(files)]
             data = bytearray(victim.read_bytes())
             offset = offset_choice % len(data)

@@ -1,0 +1,71 @@
+"""Fixtures for the query-service tests: a small store and a live state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evolving.delta import DeltaBatch
+from repro.evolving.generator import generate_evolving_graph
+from repro.evolving.store import SnapshotStore
+from repro.graph.edgeset import EdgeSet, decode_edges
+from repro.graph.generators import rmat_edges
+from repro.graph.weights import HashWeights
+from repro.service import ServiceState
+
+
+def valid_batch(store, n_add: int = 2, n_del: int = 1) -> DeltaBatch:
+    """A batch that is well-formed against the store's current tip.
+
+    ``append`` is strict — additions must be absent from the tip and
+    deletions present — so tests derive their edges from the tip
+    instead of hard-coding pairs.
+    """
+    evolving = store.load()
+    tip = evolving.snapshot_edges(evolving.num_snapshots - 1)
+    present = set(zip(*(arr.tolist() for arr in decode_edges(tip.codes))))
+    num_vertices = store.num_vertices
+    additions = []
+    for u in range(num_vertices):
+        for v in range(num_vertices):
+            if len(additions) == n_add:
+                break
+            if u != v and (u, v) not in present:
+                additions.append((u, v))
+        if len(additions) == n_add:
+            break
+    deletions = sorted(present)[:n_del]
+    return DeltaBatch(
+        additions=EdgeSet.from_pairs(additions),
+        deletions=EdgeSet.from_pairs(deletions),
+    )
+
+
+@pytest.fixture(scope="session")
+def service_evolving():
+    """A 5-snapshot evolving graph, small enough for per-test rebuilds."""
+    return generate_evolving_graph(
+        num_vertices=64,
+        base=rmat_edges(scale=6, num_edges=240, seed=5),
+        num_snapshots=5,
+        batch_size=16,
+        readd_fraction=0.5,
+        seed=11,
+        name="svc",
+    )
+
+
+@pytest.fixture
+def service_store(tmp_path, service_evolving):
+    return SnapshotStore.create(tmp_path / "store", service_evolving)
+
+
+@pytest.fixture
+def service_weights():
+    return HashWeights(max_weight=8, seed=7)
+
+
+@pytest.fixture
+def service_state(service_store, service_weights):
+    state = ServiceState(service_store, weight_fn=service_weights)
+    yield state
+    state.close()

@@ -1,0 +1,90 @@
+"""Unit tests for the service's LRU cache and its statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import CacheStats, LRUCache
+
+
+class TestCacheStats:
+    def test_empty_hit_rate_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_as_dict_keys(self):
+        d = CacheStats(hits=1, misses=1).as_dict()
+        assert set(d) == {
+            "hits", "misses", "evictions", "invalidations", "hit_rate",
+        }
+        assert d["hit_rate"] == pytest.approx(0.5)
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = LRUCache(4)
+        assert cache.get("missing") is None
+        assert cache.stats.misses == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_overwrites_in_place(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+    def test_purge_by_predicate(self):
+        cache = LRUCache(8)
+        for epoch in (0, 0, 1):
+            cache.put(("k", epoch, len(cache)), epoch)
+        dropped = cache.purge(lambda key: key[1] == 0)
+        assert dropped == 2
+        assert len(cache) == 1
+        assert cache.stats.invalidations == 2
+        assert all(key[1] == 1 for key in cache.keys())
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_copy_in_protects_cache_from_caller_mutation(self):
+        cache = LRUCache(4, copy_in=np.copy, copy_out=np.copy)
+        values = np.array([1.0, 2.0])
+        cache.put("v", values)
+        values[0] = 99.0
+        assert cache.get("v")[0] == 1.0
+
+    def test_copy_out_protects_cache_from_reader_mutation(self):
+        cache = LRUCache(4, copy_in=np.copy, copy_out=np.copy)
+        cache.put("v", np.array([1.0, 2.0]))
+        cache.get("v")[0] = 99.0
+        assert cache.get("v")[0] == 1.0

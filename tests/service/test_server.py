@@ -1,0 +1,339 @@
+"""End-to-end tests of the live query service over its TCP protocol.
+
+The acceptance smoke test mirrors the paper's offline evaluation: every
+vector a live server returns must be bit-identical to what the offline
+``WorkSharingEvaluator`` computes on the same snapshots, across
+concurrent clients, cache hits, coalesced requests and epoch changes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.algorithms.registry import get_algorithm
+from repro.cli import main
+from repro.core.common import CommonGraphDecomposition
+from repro.core.engine import WorkSharingEvaluator
+from repro.resilience import RetryPolicy
+from repro.service import ServiceClient, ServiceConfig, ServiceRunner
+
+from tests.conftest import assert_values_equal
+from tests.service.conftest import valid_batch
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture
+def runner(service_state):
+    with ServiceRunner(service_state) as running:
+        yield running
+
+
+@pytest.fixture
+def client(runner):
+    with ServiceClient(port=runner.port) as connected:
+        yield connected
+
+
+def offline_values(store, weight_fn, algorithm, source, first, last):
+    """The reference answer: a from-scratch offline evaluation."""
+    decomposition = CommonGraphDecomposition.from_evolving(store.load())
+    window = decomposition.restrict(first, last)
+    result = WorkSharingEvaluator(
+        window, get_algorithm(algorithm), source, weight_fn=weight_fn
+    ).run()
+    return result.snapshot_values
+
+
+def info_json(port):
+    """The health payload as ``repro info --json --connect`` reports it."""
+    import io
+    from contextlib import redirect_stdout
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["info", "--json", "--connect", f"127.0.0.1:{port}"])
+    assert code == 0
+    return json.loads(buffer.getvalue())
+
+
+class TestBasicOps:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_status_payload(self, client):
+        status = client.status()
+        assert status["serving"] is True
+        assert status["epoch"] == 0
+        assert status["num_snapshots"] == 5
+        assert set(status["server"]) >= {
+            "connections", "requests", "queries", "coalesced", "ingests",
+            "retried", "degraded", "errors",
+        }
+
+    def test_request_id_echoed(self, client):
+        response = client.request({"op": "ping", "id": 42})
+        assert response["id"] == 42
+
+    def test_shutdown_stops_server(self, service_state):
+        runner = ServiceRunner(service_state).start()
+        with ServiceClient(port=runner.port) as client:
+            client.shutdown()
+        runner._thread.join(timeout=10)
+        assert not runner._thread.is_alive()
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", runner.port), timeout=1)
+
+
+class TestErrors:
+    def test_malformed_json_line(self, runner):
+        with socket.create_connection(("127.0.0.1", runner.port)) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b"{broken\n")
+            handle.flush()
+            response = json.loads(handle.readline())
+        assert response["ok"] is False
+        assert response["error_type"] == "ProtocolError"
+
+    def test_unknown_op(self, client):
+        response = client.request({"op": "explode"})
+        assert response["ok"] is False
+        assert response["error_type"] == "ProtocolError"
+
+    def test_unknown_algorithm(self, client):
+        response = client.request({"op": "query", "algorithm": "Nope",
+                                   "source": 0})
+        assert response["ok"] is False
+        assert response["error_type"] == "AlgorithmError"
+
+    def test_range_outside_window(self, client):
+        response = client.request({"op": "query", "algorithm": "BFS",
+                                   "source": 0, "first": 0, "last": 99})
+        assert response["ok"] is False
+        assert response["error_type"] == "ServiceError"
+        assert "outside the window" in response["error"]
+
+    def test_empty_ingest(self, client):
+        response = client.request({"op": "ingest", "additions": [],
+                                   "deletions": []})
+        assert response["ok"] is False
+        assert response["error_type"] == "ProtocolError"
+
+    def test_errors_do_not_kill_the_connection(self, client):
+        client.request({"op": "explode"})
+        assert client.ping()
+
+
+class TestEndToEnd:
+    def test_acceptance_smoke(self, service_store, service_state, runner,
+                              service_weights):
+        """The PR's acceptance scenario, in order: ingest, concurrent
+        range queries bit-identical to the offline evaluator, a cache
+        hit observable through ``repro info --json``, and an ingest
+        that bumps the epoch and invalidates the cache."""
+        endpoint = runner.port
+
+        # -- ingest one batch through the wire ---------------------------
+        batch = valid_batch(service_store, n_add=3, n_del=2)
+        with ServiceClient(port=endpoint) as client:
+            receipt = client.ingest(
+                additions=[[int(u), int(v)]
+                           for u, v in zip(*batch.additions.arrays())],
+                deletions=[[int(u), int(v)]
+                           for u, v in zip(*batch.deletions.arrays())],
+            )
+        assert receipt["version"] == 5
+        assert receipt["epoch"] == 1
+
+        # -- concurrent range queries ------------------------------------
+        queries = [
+            ("BFS", 0, 0, 5), ("SSSP", 0, 1, 4), ("SSWP", 3, 2, 5),
+            ("SSSP", 1, 0, 3), ("BFS", 2, 3, 5),
+        ]
+        responses = [None] * len(queries)
+        errors = []
+
+        def issue(slot, algorithm, source, first, last):
+            try:
+                with ServiceClient(port=endpoint) as local:
+                    responses[slot] = local.query(algorithm, source,
+                                                  first, last)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=issue, args=(slot, *query))
+            for slot, query in enumerate(queries)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        for (algorithm, source, first, last), response in zip(queries,
+                                                              responses):
+            assert response is not None
+            assert response["ok"] and response["outcome"] == "ok"
+            expected = offline_values(service_store, service_weights,
+                                      algorithm, source, first, last)
+            assert len(response["values"]) == last - first + 1
+            for version, (got, want) in enumerate(
+                zip(response["values"], expected)
+            ):
+                assert_values_equal(
+                    got, want,
+                    f"{algorithm} from {source} on {first}..{last} "
+                    f"v{first + version}",
+                )
+
+        # -- a repeat query is served from the result cache ---------------
+        hits_before = info_json(endpoint)["result_cache"]["hits"]
+        with ServiceClient(port=endpoint) as client:
+            repeat = client.query("BFS", 0, 0, 5)
+        assert repeat["from_cache"] is True
+        expected = offline_values(service_store, service_weights,
+                                  "BFS", 0, 0, 5)
+        for got, want in zip(repeat["values"], expected):
+            assert_values_equal(got, want, "cached BFS")
+        health = info_json(endpoint)
+        assert health["result_cache"]["hits"] == hits_before + 1
+        assert health["epoch"] == 1
+
+        # -- ingest bumps the epoch and invalidates the cache -------------
+        batch = valid_batch(service_store, n_add=2, n_del=1)
+        with ServiceClient(port=endpoint) as client:
+            receipt = client.ingest(
+                additions=[[int(u), int(v)]
+                           for u, v in zip(*batch.additions.arrays())],
+                deletions=[[int(u), int(v)]
+                           for u, v in zip(*batch.deletions.arrays())],
+            )
+            assert receipt["epoch"] == 2
+            fresh = client.query("BFS", 0, 0, 5)
+        assert fresh["from_cache"] is False
+        assert fresh["epoch"] == 2
+        expected = offline_values(service_store, service_weights,
+                                  "BFS", 0, 0, 5)
+        for got, want in zip(fresh["values"], expected):
+            assert_values_equal(got, want, "post-ingest BFS")
+        assert info_json(endpoint)["result_cache"]["invalidations"] > 0
+
+
+class TestCoalescing:
+    def test_identical_inflight_queries_share_one_execution(
+        self, service_state, monkeypatch
+    ):
+        """Concurrent identical queries run the planner once; followers
+        receive the leader's payload flagged ``coalesced``."""
+        calls = []
+        original = service_state.query
+
+        def slow_query(*args, **kwargs):
+            calls.append(args)
+            time.sleep(0.4)  # hold the leader so followers pile up
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(service_state, "query", slow_query)
+        with ServiceRunner(service_state) as runner:
+            responses = []
+
+            def issue():
+                with ServiceClient(port=runner.port) as client:
+                    responses.append(client.query("SSSP", 0, 0, 4))
+
+            threads = [threading.Thread(target=issue) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            counters = dict(runner.service.counters)
+        assert len(responses) == 4
+        assert len(calls) == 1, "identical in-flight queries must coalesce"
+        assert counters["coalesced"] == 3
+        assert sum(bool(r.get("coalesced")) for r in responses) == 3
+        reference = responses[0]["values"]
+        for response in responses[1:]:
+            for got, want in zip(response["values"], reference):
+                assert_values_equal(got, want, "coalesced answer")
+
+
+class TestResilience:
+    def test_transient_fault_is_retried(self, service_state):
+        plan = faults.FaultPlan().fail_service(match="query:*", times=1)
+        with plan.active(), ServiceRunner(service_state) as runner:
+            with ServiceClient(port=runner.port) as client:
+                response = client.query("BFS", 0)
+            counters = dict(runner.service.counters)
+        assert response["ok"] and response["outcome"] == "retried"
+        assert counters["retried"] == 1
+        assert counters["degraded"] == 0
+        offline = service_state.offline_answer("BFS", 0, 0, 4)
+        for got, want in zip(response["values"], offline.values):
+            assert_values_equal(got, want, "retried BFS")
+
+    def test_persistent_fault_degrades_to_offline_answer(self,
+                                                         service_state):
+        config = ServiceConfig(retry=RetryPolicy(
+            max_attempts=2, base_delay=0.001, multiplier=2.0,
+            max_delay=0.01, retry_on=(OSError,),
+        ))
+        plan = faults.FaultPlan().fail_service(match="query:*", times=100)
+        with plan.active(), ServiceRunner(service_state, config) as runner:
+            with ServiceClient(port=runner.port) as client:
+                response = client.query("SSSP", 0)
+            counters = dict(runner.service.counters)
+        assert response["ok"] and response["outcome"] == "degraded"
+        assert counters["degraded"] == 1
+        offline = service_state.offline_answer("SSSP", 0, 0, 4)
+        for got, want in zip(response["values"], offline.values):
+            assert_values_equal(got, want, "degraded SSSP")
+
+    def test_ingest_fault_is_retried(self, service_store, service_state):
+        plan = faults.FaultPlan().fail_service(match="ingest:*", times=1)
+        batch = valid_batch(service_store)
+        with plan.active(), ServiceRunner(service_state) as runner:
+            with ServiceClient(port=runner.port) as client:
+                receipt = client.ingest(
+                    additions=[[int(u), int(v)]
+                               for u, v in zip(*batch.additions.arrays())],
+                    deletions=[[int(u), int(v)]
+                               for u, v in zip(*batch.deletions.arrays())],
+                )
+        assert receipt["ok"] and receipt["version"] == 5
+        assert service_state.epoch == 1
+
+
+class TestCLIAgainstLiveServer:
+    def test_query_command_renders_table(self, runner, capsys):
+        code = main([
+            "query", "--connect", f"127.0.0.1:{runner.port}",
+            "--algorithm", "BFS", "--source", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BFS from 0" in out
+        assert "version" in out
+
+    def test_query_command_json(self, runner, capsys):
+        code = main([
+            "query", "--connect", f"127.0.0.1:{runner.port}",
+            "--algorithm", "SSSP", "--source", "1", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["algorithm"] == "SSSP"
+        assert len(payload["values"]) == 5
+
+    def test_query_command_reports_server_errors(self, runner, capsys):
+        code = main([
+            "query", "--connect", f"127.0.0.1:{runner.port}",
+            "--algorithm", "Nope", "--source", "0",
+        ])
+        assert code != 0

@@ -1,0 +1,195 @@
+"""ServiceState: incremental ingestion, window sliding, epochs, caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.common import CommonGraphDecomposition
+from repro.errors import AlgorithmError, ServiceError
+from repro.service import ServiceState
+
+from tests.conftest import assert_values_equal
+from tests.service.conftest import valid_batch
+
+
+def assert_decompositions_equal(a, b, context=""):
+    __tracebackhide__ = True
+    assert a.num_vertices == b.num_vertices, context
+    assert a.num_snapshots == b.num_snapshots, context
+    assert a.common == b.common, f"{context}: common graphs differ"
+    for index, (sa, sb) in enumerate(zip(a.surpluses, b.surpluses)):
+        assert sa == sb, f"{context}: surplus {index} differs"
+    n = a.num_snapshots
+    for i in range(n):
+        for j in range(i, n):
+            assert a.interval_surplus(i, j) == b.interval_surplus(i, j), (
+                f"{context}: interval surplus ({i}, {j}) differs"
+            )
+
+
+class TestIncrementalIngestion:
+    def test_ingest_matches_from_scratch_rebuild(self, service_state):
+        """After each ingest the incrementally-extended decomposition is
+        indistinguishable from one rebuilt from the whole store."""
+        for round_no in range(2):
+            service_state.ingest(
+                valid_batch(service_state.store, n_add=3, n_del=2)
+            )
+            rebuilt = CommonGraphDecomposition.from_evolving(
+                service_state.store.load()
+            )
+            assert_decompositions_equal(
+                service_state.decomposition, rebuilt,
+                f"after ingest {round_no}",
+            )
+
+    def test_ingest_receipt(self, service_state):
+        before = service_state.latest_version
+        receipt = service_state.ingest(valid_batch(service_state.store))
+        assert receipt["version"] == before + 1
+        assert receipt["epoch"] == 1
+        assert receipt["window_last"] == before + 1
+
+    def test_epoch_bumps_per_ingest(self, service_state):
+        assert service_state.epoch == 0
+        service_state.ingest(valid_batch(service_state.store))
+        service_state.ingest(valid_batch(service_state.store))
+        assert service_state.epoch == 2
+        assert service_state.ingests == 2
+
+    def test_external_append_through_store_is_observed(self, service_state):
+        """Any append on the store handle (not just ``ingest``) updates
+        the decomposition, via the subscription."""
+        before = service_state.decomposition.num_snapshots
+        service_state.store.append(valid_batch(service_state.store))
+        assert service_state.decomposition.num_snapshots == before + 1
+        assert service_state.epoch == 1
+
+
+class TestWindow:
+    def test_window_restricts_initial_decomposition(self, service_store,
+                                                    service_weights):
+        state = ServiceState(service_store, weight_fn=service_weights,
+                             window=3)
+        try:
+            assert state.decomposition.num_snapshots == 3
+            assert state.base_version == 2
+            assert state.latest_version == 4
+            rebuilt = CommonGraphDecomposition.from_evolving(
+                service_store.load()
+            ).restrict(2, 4)
+            assert_decompositions_equal(state.decomposition, rebuilt)
+        finally:
+            state.close()
+
+    def test_window_slides_on_ingest(self, service_store, service_weights):
+        state = ServiceState(service_store, weight_fn=service_weights,
+                             window=3)
+        try:
+            state.ingest(valid_batch(service_store))
+            assert state.decomposition.num_snapshots == 3
+            assert state.base_version == 3
+            assert state.latest_version == 5
+            rebuilt = CommonGraphDecomposition.from_evolving(
+                service_store.load()
+            ).restrict(3, 5)
+            assert_decompositions_equal(state.decomposition, rebuilt,
+                                        "slid window")
+        finally:
+            state.close()
+
+    def test_query_outside_window_refused(self, service_store,
+                                          service_weights):
+        state = ServiceState(service_store, weight_fn=service_weights,
+                             window=3)
+        try:
+            with pytest.raises(ServiceError, match="outside the window"):
+                state.query("BFS", 0, first=0, last=1)
+            # Absolute versions inside the window still work.
+            answer = state.query("BFS", 0, first=3, last=4)
+            assert (answer.first, answer.last) == (3, 4)
+        finally:
+            state.close()
+
+    def test_window_must_be_positive(self, service_store):
+        with pytest.raises(ServiceError):
+            ServiceState(service_store, window=0)
+
+
+class TestQueries:
+    def test_values_match_offline_answer(self, service_state, algorithm):
+        answer = service_state.query(algorithm.name, 0)
+        offline = service_state.offline_answer(
+            algorithm.name, 0, answer.first, answer.last
+        )
+        assert len(answer.values) == len(offline.values)
+        for version, (got, want) in enumerate(
+            zip(answer.values, offline.values)
+        ):
+            assert_values_equal(got, want, f"{algorithm.name} v{version}")
+
+    def test_second_query_served_from_result_cache(self, service_state):
+        cold = service_state.query("SSSP", 0)
+        warm = service_state.query("SSSP", 0)
+        assert not cold.from_cache
+        assert warm.from_cache
+        assert warm.node_hits == warm.node_misses == 0
+        for got, want in zip(warm.values, cold.values):
+            assert_values_equal(got, want, "cached answer")
+        assert service_state.result_cache.stats.hits == 1
+
+    def test_cached_answer_is_a_defensive_copy(self, service_state):
+        first = service_state.query("SSSP", 0)
+        first.values[0][:] = -1.0
+        again = service_state.query("SSSP", 0)
+        assert not (again.values[0] == -1.0).all()
+
+    def test_overlapping_query_reuses_node_states(self, service_state):
+        service_state.query("SSSP", 0, first=0, last=3)
+        warm = service_state.query("SSSP", 0, first=1, last=3)
+        assert not warm.from_cache
+        assert warm.node_hits > 0
+
+    def test_ingest_invalidates_result_cache(self, service_state):
+        service_state.query("SSSP", 0, first=0, last=2)
+        service_state.ingest(valid_batch(service_state.store))
+        answer = service_state.query("SSSP", 0, first=0, last=2)
+        assert not answer.from_cache
+        assert answer.epoch == 1
+        # The old-epoch entries were purged eagerly, not just shadowed.
+        assert all(key[-1] == 1 for key in service_state.result_cache.keys())
+        assert all(key[2] == 1 for key in service_state.node_cache.keys())
+
+    def test_unknown_algorithm(self, service_state):
+        with pytest.raises(AlgorithmError):
+            service_state.query("NotAnAlgorithm", 0)
+
+    def test_source_out_of_range(self, service_state):
+        with pytest.raises(ServiceError, match="source"):
+            service_state.query("BFS", 10_000)
+
+    def test_invalid_range(self, service_state):
+        with pytest.raises(ServiceError, match="outside the window"):
+            service_state.query("BFS", 0, first=3, last=1)
+        with pytest.raises(ServiceError, match="outside the window"):
+            service_state.query("BFS", 0, first=0, last=99)
+
+
+class TestStatus:
+    def test_status_payload(self, service_state):
+        service_state.query("BFS", 0)
+        service_state.query("BFS", 0)
+        payload = service_state.status()
+        assert payload["serving"] is True
+        assert payload["epoch"] == 0
+        assert payload["window_first"] == 0
+        assert payload["window_last"] == 4
+        assert payload["num_snapshots"] == 5
+        assert payload["result_cache"]["hits"] == 1
+        assert payload["result_cache"]["entries"] == 1
+        assert payload["node_cache"]["entries"] > 0
+        assert 0.0 <= payload["result_cache"]["hit_rate"] <= 1.0
+
+    def test_versions(self, service_state):
+        assert service_state.num_versions == 5
+        assert service_state.latest_version == 4

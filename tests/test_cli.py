@@ -128,3 +128,21 @@ class TestTrend:
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestInfoJson:
+    def test_machine_readable_summary(self, store_dir, capsys):
+        import json
+
+        assert main(["info", str(store_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_snapshots"] == 5
+        assert payload["num_vertices"] == 256
+        assert payload["common_edges"] > 0
+        assert 0.0 <= payload["common_share_of_base"] <= 1.0
+        assert payload["direct_hop_additions"] >= 0
+        assert payload["storage_edges"] <= payload["snapshot_storage_edges"]
+
+    def test_requires_store_or_connect(self, capsys):
+        assert main(["info"]) == 2
+        assert "required" in capsys.readouterr().err
