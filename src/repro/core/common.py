@@ -16,6 +16,7 @@ the *small* surplus sets, never on full edge sets.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SnapshotError
@@ -33,6 +34,12 @@ class CommonGraphDecomposition:
     """Common graph + per-snapshot surplus edge sets.
 
     Build with :meth:`from_evolving` or :meth:`from_snapshots`.
+
+    The interval-surplus memo is guarded by a lock, so a decomposition
+    may be shared by concurrent readers (``interval_surplus`` /
+    ``restrict`` / ``extended`` from several threads); the common graph
+    and the surplus lists themselves are never mutated after
+    construction.
     """
 
     def __init__(
@@ -50,6 +57,10 @@ class CommonGraphDecomposition:
         self.common = common
         self.surpluses: List[EdgeSet] = list(surpluses)
         self._interval_cache: Dict[Tuple[int, int], EdgeSet] = {}
+        # Guards _interval_cache only: lazy memo inserts race with the
+        # snapshot-iterations in extended()/restrict() when queries and
+        # ingest share one decomposition.  Never held while computing.
+        self._cache_lock = threading.Lock()
 
     # -- construction -----------------------------------------------------
     @classmethod
@@ -112,7 +123,9 @@ class CommonGraphDecomposition:
         result = CommonGraphDecomposition(self.num_vertices, new_common, surpluses)
         # ICG(i, j) is unchanged for j < n, so every memoised interval
         # surplus is still valid once it absorbs the departed edges.
-        for key, surplus in self._interval_cache.items():
+        with self._cache_lock:
+            carried = list(self._interval_cache.items())
+        for key, surplus in carried:
             result._interval_cache[key] = (
                 surplus | departed if departed else surplus
             )
@@ -146,7 +159,8 @@ class CommonGraphDecomposition:
         if not 0 <= i <= j < n:
             raise SnapshotError(f"invalid interval ({i}, {j}) for {n} snapshots")
         key = (i, j)
-        cached = self._interval_cache.get(key)
+        with self._cache_lock:
+            cached = self._interval_cache.get(key)
         if cached is not None:
             return cached
         if i == j:
@@ -155,7 +169,10 @@ class CommonGraphDecomposition:
             # Split anywhere; halving keeps the memo reusable.
             mid = (i + j) // 2
             result = self.interval_surplus(i, mid) & self.interval_surplus(mid + 1, j)
-        self._interval_cache[key] = result
+        # A concurrent thread may have raced us to the same key; both
+        # computed the same immutable value, so last-write-wins is fine.
+        with self._cache_lock:
+            self._interval_cache[key] = result
         return result
 
     def interval_edges(self, i: int, j: int) -> EdgeSet:
@@ -185,7 +202,9 @@ class CommonGraphDecomposition:
         # for [i, j] ⊆ [first, last] the restricted interval surplus is
         # the global one minus the window surplus (the common graphs
         # cancel), so the restricted grid starts pre-populated.
-        for (i, j), surplus in self._interval_cache.items():
+        with self._cache_lock:
+            memo = list(self._interval_cache.items())
+        for (i, j), surplus in memo:
             if first <= i and j <= last:
                 result._interval_cache[(i - first, j - first)] = (
                     surplus - range_surplus

@@ -165,9 +165,9 @@ class GraphService:
             response["id"] = request_id
         return response
 
-    def _error_response(self, request_id: Optional[Any],
-                        exc: BaseException) -> Dict[str, Any]:
-        self.counters["errors"] += 1
+    def _error_payload(self, request_id: Optional[Any],
+                       exc: BaseException) -> Dict[str, Any]:
+        """Build an error response without touching the counters."""
         response = {
             "ok": False,
             "error": str(exc),
@@ -176,6 +176,11 @@ class GraphService:
         if request_id is not None:
             response["id"] = request_id
         return response
+
+    def _error_response(self, request_id: Optional[Any],
+                        exc: BaseException) -> Dict[str, Any]:
+        self.counters["errors"] += 1
+        return self._error_payload(request_id, exc)
 
     # -- dispatch ------------------------------------------------------------
     async def _dispatch(self, doc: Dict[str, Any]) -> Dict[str, Any]:
@@ -238,8 +243,10 @@ class GraphService:
             response = await self._run_query(doc)
         except BaseException as exc:
             # Resolve followers with an error payload, then re-raise for
-            # this request's own error path.
-            future.set_result(self._error_response(None, exc))
+            # this request's own error path.  The payload builder does
+            # not bump the "errors" counter — _handle_line counts the
+            # failure exactly once when the re-raised exception lands.
+            future.set_result(self._error_payload(None, exc))
             raise
         else:
             future.set_result(response)
@@ -266,10 +273,19 @@ class GraphService:
 
         async def attempt():
             deadline.check("query")
-            return await asyncio.wait_for(
-                loop.run_in_executor(None, primary),
-                timeout=deadline.remaining(),
-            )
+            try:
+                return await asyncio.wait_for(
+                    loop.run_in_executor(None, primary),
+                    timeout=deadline.remaining(),
+                )
+            except asyncio.TimeoutError:
+                # Convert before the retry policy sees it: TimeoutError
+                # is an OSError subclass on Python 3.11+, and retrying a
+                # deadline expiry would race a duplicate attempt against
+                # the still-running executor task.
+                raise DeadlineExceededError(
+                    f"query {label} exceeded its {timeout}s deadline"
+                ) from None
 
         outcome = "ok"
         try:
@@ -287,10 +303,6 @@ class GraphService:
             # propagate straight to the error response.
             answer = await self._degraded_query(doc, deadline)
             outcome = "degraded"
-        except asyncio.TimeoutError:
-            raise DeadlineExceededError(
-                f"query {label} exceeded its {timeout}s deadline"
-            ) from None
         return {
             "ok": True,
             "op": "query",
@@ -318,15 +330,20 @@ class GraphService:
             latest = base + state.decomposition.num_snapshots - 1
         first = doc.get("first")
         last = doc.get("last")
-        return await asyncio.wait_for(
-            loop.run_in_executor(
-                None, state.offline_answer,
-                doc["algorithm"], doc["source"],
-                base if first is None else first,
-                latest if last is None else last,
-            ),
-            timeout=deadline.remaining(),
-        )
+        try:
+            return await asyncio.wait_for(
+                loop.run_in_executor(
+                    None, state.offline_answer,
+                    doc["algorithm"], doc["source"],
+                    base if first is None else first,
+                    latest if last is None else last,
+                ),
+                timeout=deadline.remaining(),
+            )
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                "degraded query exceeded its deadline"
+            ) from None
 
 
 class ServiceRunner:

@@ -25,7 +25,17 @@ Thread model: ``ingest`` mutates under a lock; queries capture
 ``(decomposition, epoch, base_version)`` atomically at entry and then
 run lock-free on that immutable snapshot of the state — an ingest that
 lands mid-query swaps in a *new* decomposition object, it never mutates
-the one an in-flight query holds.
+the one an in-flight query holds.  (The decomposition's lazy
+interval-surplus memo is internally locked, so sharing one
+decomposition between in-flight queries and an extension is safe.)
+
+Failure model: the store notifies *after* an append is durable, so the
+state must never silently fall behind it.  If the incremental extension
+fails, ``_on_append`` resynchronises with a full rebuild from the store
+(counted in ``resyncs``); if even that fails, the state is *poisoned* —
+queries raise :class:`~repro.errors.ServiceError` loudly until a later
+notification rebuilds successfully — rather than answering from a graph
+that no longer matches the store.
 """
 
 from __future__ import annotations
@@ -90,6 +100,11 @@ class ServiceState:
         self.window = window
         self.epoch = 0
         self.ingests = 0
+        #: Recoveries from a failed incremental extension (full rebuilds).
+        self.resyncs = 0
+        #: Set when the state could not be resynchronised with the
+        #: store; queries fail loudly rather than serve a stale graph.
+        self._poisoned: Optional[BaseException] = None
         self._lock = threading.Lock()
         self.result_cache = LRUCache(result_cache_entries)
         self.node_cache = LRUCache(
@@ -98,18 +113,33 @@ class ServiceState:
             copy_out=VertexState.copy,
         )
         self.planner = MemoizingPlanner(self.node_cache, self.weight_fn)
-        evolving = store.load()
-        decomposition = CommonGraphDecomposition.from_evolving(evolving)
+        decomposition, base = self._state_from_store()
         #: Absolute version number of the window's first snapshot.
-        self.base_version = 0
-        n = decomposition.num_snapshots
-        if window is not None and n > window:
-            self.base_version = n - window
-            decomposition = decomposition.restrict(self.base_version, n - 1)
+        self.base_version = base
         self.decomposition = decomposition
         # Appends made through the store handle (by us or any other
         # same-process caller) keep the decomposition in sync.
         self._unsubscribe = store.subscribe(self._on_append)
+
+    def _state_from_store(self) -> Tuple[CommonGraphDecomposition, int]:
+        """Rebuild ``(decomposition, base_version)`` from the store."""
+        evolving = self.store.load()
+        decomposition = CommonGraphDecomposition.from_evolving(evolving)
+        base = 0
+        n = decomposition.num_snapshots
+        if self.window is not None and n > self.window:
+            base = n - self.window
+            decomposition = decomposition.restrict(base, n - 1)
+        return decomposition, base
+
+    def _check_serviceable(self) -> None:
+        """Raise loudly if the state has diverged from the store."""
+        if self._poisoned is not None:
+            raise ServiceError(
+                "service state out of sync with the store "
+                f"(last resync failed: {self._poisoned!r}); "
+                "refusing to answer from a stale graph"
+            )
 
     # -- shape ----------------------------------------------------------------
     @property
@@ -140,18 +170,45 @@ class ServiceState:
         }
 
     def _on_append(self, index: int, batch: DeltaBatch) -> None:
-        """Store-change notification: extend incrementally, slide, re-epoch."""
+        """Store-change notification: extend incrementally, slide, re-epoch.
+
+        The store notifies *after* the append is durable, so this must
+        not leave the state behind the store.  If the incremental path
+        fails (or the state was already poisoned), resynchronise with a
+        full rebuild from the store; if even that fails, poison the
+        state so queries fail loudly instead of answering from a stale
+        graph, and re-raise to the appender.
+        """
         with self._lock:
-            decomp = self.decomposition
-            tip = decomp.snapshot_edges(decomp.num_snapshots - 1)
-            new_edges = batch.apply(tip, strict=False)
-            decomp = decomp.extended(new_edges)
-            n = decomp.num_snapshots
-            if self.window is not None and n > self.window:
-                excess = n - self.window
-                decomp = decomp.restrict(excess, n - 1)
-                self.base_version += excess
+            decomp: Optional[CommonGraphDecomposition] = None
+            base = self.base_version
+            if self._poisoned is None:
+                try:
+                    current = self.decomposition
+                    tip = current.snapshot_edges(current.num_snapshots - 1)
+                    # strict=True: the store validated the batch against
+                    # its own tip, so a DeltaError here means *our* tip
+                    # is stale — fall through to the rebuild below
+                    # rather than silently extending the wrong graph.
+                    new_edges = batch.apply(tip, strict=True)
+                    decomp = current.extended(new_edges)
+                    n = decomp.num_snapshots
+                    if self.window is not None and n > self.window:
+                        excess = n - self.window
+                        decomp = decomp.restrict(excess, n - 1)
+                        base += excess
+                except Exception:
+                    decomp = None
+            if decomp is None:
+                try:
+                    decomp, base = self._state_from_store()
+                except Exception as exc:
+                    self._poisoned = exc
+                    raise
+                self.resyncs += 1
+            self._poisoned = None
             self.decomposition = decomp
+            self.base_version = base
             self.epoch += 1
             self.ingests += 1
             epoch = self.epoch
@@ -169,6 +226,7 @@ class ServiceState:
     ) -> QueryAnswer:
         """Answer a range query, memoizing whole results and node states."""
         with self._lock:
+            self._check_serviceable()
             decomposition = self.decomposition
             epoch = self.epoch
             base = self.base_version
@@ -222,6 +280,7 @@ class ServiceState:
         from repro.core.engine import WorkSharingEvaluator
 
         with self._lock:
+            self._check_serviceable()
             decomposition = self.decomposition
             epoch = self.epoch
             base = self.base_version
@@ -244,11 +303,15 @@ class ServiceState:
             epoch = self.epoch
             base = self.base_version
             ingests = self.ingests
+            resyncs = self.resyncs
+            poisoned = self._poisoned is not None
         payload = store_summary(self.store, decomposition=decomposition)
         payload.update({
-            "serving": True,
+            "serving": not poisoned,
+            "poisoned": poisoned,
             "epoch": epoch,
             "ingests": ingests,
+            "resyncs": resyncs,
             "window": self.window,
             "window_first": base,
             "window_last": base + decomposition.num_snapshots - 1,

@@ -1,5 +1,8 @@
 """Tests for the CommonGraph decomposition."""
 
+import random
+import threading
+
 import pytest
 from hypothesis import given, settings
 
@@ -128,3 +131,67 @@ def test_decomposition_invariants_random(eg):
         eg.num_vertices, eg.all_snapshot_edges()
     )
     assert other.common == decomp.common
+
+
+class TestConcurrentMemoUse:
+    """The interval-surplus memo is shared by lock-free readers.
+
+    The query service publishes one decomposition to many evaluator
+    threads while an ingest extends/restricts it; lazy memo inserts
+    (``interval_surplus``) must never race the memo iterations in
+    ``extended``/``restrict`` into a ``RuntimeError: dictionary changed
+    size during iteration``.
+    """
+
+    def test_concurrent_queries_extension_and_restriction(self):
+        rng = random.Random(7)
+        num_vertices = 24
+        universe = [
+            (u, v)
+            for u in range(num_vertices)
+            for v in range(num_vertices)
+            if u != v
+        ]
+
+        def snapshot():
+            return EdgeSet.from_pairs(rng.sample(universe, 80))
+
+        for _ in range(5):  # fresh cold memo each round
+            decomp = CommonGraphDecomposition.from_snapshots(
+                num_vertices, [snapshot() for _ in range(10)]
+            )
+            n = decomp.num_snapshots
+            new_edges = snapshot()
+            errors = []
+
+            def fill_memo():
+                for i in range(n):
+                    for j in range(i, n):
+                        decomp.interval_surplus(i, j)
+
+            def restrict_loop():
+                for first in range(n - 1):
+                    decomp.restrict(first, n - 1)
+
+            def extend_loop():
+                for _ in range(3):
+                    decomp.extended(new_edges)
+
+            jobs = (fill_memo, fill_memo, restrict_loop, extend_loop)
+            start = threading.Barrier(len(jobs))
+
+            def run(job):
+                try:
+                    start.wait()
+                    job()
+                except Exception as exc:  # pragma: no cover - regression
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(job,)) for job in jobs
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, errors

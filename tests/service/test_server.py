@@ -129,6 +129,14 @@ class TestErrors:
         client.request({"op": "explode"})
         assert client.ping()
 
+    def test_failed_query_counts_one_error(self, runner, client):
+        """A failing query is one failure: the coalescing leader's
+        shared error payload must not bump the counter a second time."""
+        response = client.request({"op": "query", "algorithm": "Nope",
+                                   "source": 0})
+        assert response["ok"] is False
+        assert runner.service.counters["errors"] == 1
+
 
 class TestEndToEnd:
     def test_acceptance_smoke(self, service_store, service_state, runner,
@@ -293,6 +301,34 @@ class TestResilience:
         offline = service_state.offline_answer("SSSP", 0, 0, 4)
         for got, want in zip(response["values"], offline.values):
             assert_values_equal(got, want, "degraded SSSP")
+
+    def test_deadline_expiry_is_not_retried(self, service_state,
+                                            monkeypatch):
+        """A wait_for timeout must surface as DeadlineExceededError, not
+        feed the retry policy (TimeoutError is an OSError subclass on
+        3.11+) — retrying would race a duplicate attempt against the
+        still-running executor task."""
+        calls = []
+        original = service_state.query
+
+        def slow_query(*args, **kwargs):
+            calls.append(args)
+            time.sleep(0.5)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(service_state, "query", slow_query)
+        config = ServiceConfig(request_timeout=0.1)
+        with ServiceRunner(service_state, config) as runner:
+            with ServiceClient(port=runner.port) as client:
+                response = client.request({"op": "query",
+                                           "algorithm": "BFS",
+                                           "source": 0})
+            counters = dict(runner.service.counters)
+        assert response["ok"] is False
+        assert response["error_type"] == "DeadlineExceededError"
+        assert counters["retried"] == 0
+        assert counters["degraded"] == 0
+        assert len(calls) == 1, "deadline expiry must not spawn duplicates"
 
     def test_ingest_fault_is_retried(self, service_store, service_state):
         plan = faults.FaultPlan().fail_service(match="ingest:*", times=1)

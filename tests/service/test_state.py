@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.common import CommonGraphDecomposition
 from repro.errors import AlgorithmError, ServiceError
+from repro.evolving.store import SnapshotStore
 from repro.service import ServiceState
 
 from tests.conftest import assert_values_equal
@@ -114,6 +115,76 @@ class TestWindow:
     def test_window_must_be_positive(self, service_store):
         with pytest.raises(ServiceError):
             ServiceState(service_store, window=0)
+
+
+class TestResync:
+    def test_failed_incremental_extension_resyncs_from_store(
+        self, service_state, monkeypatch
+    ):
+        """The store notifies *after* the append is durable, so a
+        failing incremental extension must not leave the state silently
+        behind the store — it rebuilds from the store instead."""
+
+        def boom(self, new_edges):
+            raise RuntimeError("injected extension failure")
+
+        monkeypatch.setattr(CommonGraphDecomposition, "extended", boom)
+        receipt = service_state.ingest(valid_batch(service_state.store))
+        monkeypatch.undo()
+        assert service_state.resyncs == 1
+        assert receipt["epoch"] == 1
+        assert receipt["version"] == 5
+        rebuilt = CommonGraphDecomposition.from_evolving(
+            service_state.store.load()
+        )
+        assert_decompositions_equal(
+            service_state.decomposition, rebuilt, "after resync"
+        )
+        answer = service_state.query("BFS", 0)
+        offline = service_state.offline_answer(
+            "BFS", 0, answer.first, answer.last
+        )
+        for got, want in zip(answer.values, offline.values):
+            assert_values_equal(got, want, "post-resync answer")
+
+    def test_unresyncable_state_poisons_queries_until_recovery(
+        self, service_state, monkeypatch
+    ):
+        """If even the rebuild fails, queries must fail loudly rather
+        than answer from a graph that no longer matches the store."""
+        batch = valid_batch(service_state.store)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(CommonGraphDecomposition, "extended", boom)
+        monkeypatch.setattr(SnapshotStore, "load", boom)
+        with pytest.raises(RuntimeError):
+            service_state.ingest(batch)  # durable, but the state can't follow
+        with pytest.raises(ServiceError, match="out of sync"):
+            service_state.query("BFS", 0)
+        with pytest.raises(ServiceError, match="out of sync"):
+            service_state.offline_answer("BFS", 0, 0, 1)
+        monkeypatch.undo()
+        payload = service_state.status()
+        assert payload["poisoned"] is True
+        assert payload["serving"] is False
+        # The next successful notification resynchronises and recovers.
+        service_state.ingest(valid_batch(service_state.store))
+        assert service_state.resyncs == 1
+        assert service_state.status()["poisoned"] is False
+        rebuilt = CommonGraphDecomposition.from_evolving(
+            service_state.store.load()
+        )
+        assert_decompositions_equal(
+            service_state.decomposition, rebuilt, "after recovery"
+        )
+        answer = service_state.query("BFS", 0)
+        offline = service_state.offline_answer(
+            "BFS", 0, answer.first, answer.last
+        )
+        for got, want in zip(answer.values, offline.values):
+            assert_values_equal(got, want, "post-recovery answer")
 
 
 class TestQueries:
