@@ -24,6 +24,12 @@ Subcommands
     Audit a store's integrity (checksums, torn appends, leftovers) and
     deterministically repair it.  ``verify`` exits non-zero when the
     store has problems, so it can gate pipelines.
+``lint``
+    Run the project-invariant static analyzer (``repro.lint``) over
+    the package — lock discipline, async-safety, frozen-graph
+    immutability, error taxonomy, determinism.  Exits non-zero on any
+    non-baselined finding, so it gates CI.  See
+    ``docs/static-analysis.md``.
 
 The benchmark harness has its own entry point, ``python -m repro.bench``.
 """
@@ -346,6 +352,77 @@ def _cmd_store_recover(args: argparse.Namespace) -> int:
     return 0 if check.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import lint
+    from repro.errors import LintError
+
+    root = Path(args.root) if args.root else lint.package_root()
+    engine = lint.LintEngine(root)
+    if args.list_rules:
+        for rule in engine.rules:
+            print(f"{rule.name}: {rule.title}")
+        return 0
+    paths = [Path(p) for p in args.paths] if args.paths else [root / "repro"]
+    try:
+        result = engine.run(paths)
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else _default_baseline_path(root)
+    )
+    entries: list = []
+    stale: list = []
+    baselined: list = []
+    try:
+        if args.update_baseline:
+            previous = (
+                lint.load_baseline(baseline_path)
+                if baseline_path.is_file() else []
+            )
+            entries = lint.write_baseline(
+                baseline_path, result.findings, previous
+            )
+            print(f"wrote {len(entries)} entr(ies) to {baseline_path}")
+            placeholders = sum(
+                1 for entry in entries
+                if entry.justification == lint.baseline.PLACEHOLDER_JUSTIFICATION
+            )
+            if placeholders:
+                print(
+                    f"{placeholders} new entr(ies) need a justification "
+                    "before the baseline will load",
+                    file=sys.stderr,
+                )
+            return 0
+        if not args.no_baseline and baseline_path.is_file():
+            entries = lint.load_baseline(baseline_path)
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    active, baselined, stale = lint.apply_baseline(result.findings, entries)
+    result.findings = active
+    if args.json:
+        print(lint.render_json(result, baselined, stale))
+    else:
+        print(lint.render_text(result, baselined, stale))
+    return 0 if result.ok else 1
+
+
+def _default_baseline_path(root):
+    """``lint-baseline.json`` at the project root (beside pyproject.toml)."""
+    from pathlib import Path
+
+    for candidate in (root, *Path(root).resolve().parents):
+        if (Path(candidate) / "pyproject.toml").is_file():
+            return Path(candidate) / "lint-baseline.json"
+    return Path(root) / "lint-baseline.json"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -443,6 +520,39 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--weight-seed", type=int, default=0)
     ev.add_argument("--out", default=None, help="save raw values (.npz)")
     ev.set_defaults(func=_cmd_evaluate)
+
+    lint_parser = sub.add_parser(
+        "lint", help="run the project-invariant static analyzer"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    lint_parser.add_argument(
+        "--root", default=None,
+        help="source root anchoring relative paths (default: auto-detect)",
+    )
+    lint_parser.add_argument("--json", action="store_true",
+                             help="machine-readable report")
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file (default: lint-baseline.json at the "
+             "project root)",
+    )
+    lint_parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline and report every finding",
+    )
+    lint_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings "
+             "(preserving existing justifications)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
 
     st = sub.add_parser("store", help="audit and repair a store")
     st_sub = st.add_subparsers(dest="store_command", required=True)

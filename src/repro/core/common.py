@@ -56,7 +56,7 @@ class CommonGraphDecomposition:
         self.num_vertices = int(num_vertices)
         self.common = common
         self.surpluses: List[EdgeSet] = list(surpluses)
-        self._interval_cache: Dict[Tuple[int, int], EdgeSet] = {}
+        self._interval_cache: Dict[Tuple[int, int], EdgeSet] = {}  # guarded-by: _cache_lock
         # Guards _interval_cache only: lazy memo inserts race with the
         # snapshot-iterations in extended()/restrict() when queries and
         # ingest share one decomposition.  Never held while computing.

@@ -34,9 +34,18 @@ un-instrumented.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, TypeVar, TYPE_CHECKING
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    TYPE_CHECKING,
+)
 
 import numpy as np
 
@@ -45,14 +54,19 @@ from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.common import CommonGraphDecomposition
 from repro.core.direct_hop import DirectHopEvaluator
 from repro.errors import ResilienceError
+from repro.graph.csr import CSRGraph
 from repro.graph.overlay import OverlayGraph
 from repro.graph.weights import WeightFn
 from repro.core.triangular_grid import Interval
-from repro.kickstarter.engine import incremental_additions
+from repro.kickstarter.engine import VertexState, incremental_additions
 from repro.resilience import RetryPolicy
 
 if TYPE_CHECKING:
     from repro.core.schedule import ScheduleTree
+
+#: Materialised data of one schedule edge: the Δ CSR plus the batch's
+#: flat (sources, targets, weights) arrays.
+EdgeData = Tuple[CSRGraph, np.ndarray, np.ndarray, np.ndarray]
 
 __all__ = [
     "ParallelDirectHop",
@@ -131,7 +145,7 @@ def _run_resilient(
     return value
 
 
-def _count_outcomes(outcomes) -> Dict[str, int]:
+def _count_outcomes(outcomes: Iterable[TaskOutcome]) -> Dict[str, int]:
     counts = {"ok": 0, "retried": 0, "degraded": 0}
     for outcome in outcomes:
         counts[outcome.status] += 1
@@ -310,7 +324,15 @@ class ParallelWorkSharing:
         schedule.validate(self.grid)
         self.schedule = schedule
 
-    def _prepare(self):
+    def _prepare(
+        self,
+    ) -> Tuple[
+        CSRGraph,
+        VertexState,
+        Dict[Interval, List[Interval]],
+        Dict[Tuple[Interval, Interval], EdgeData],
+        float,
+    ]:
         """Converged root state plus per-edge batch materialisation."""
         from repro.kickstarter.engine import static_compute
 
@@ -320,7 +342,7 @@ class ParallelWorkSharing:
         root_state = static_compute(base_csr, self.algorithm, self.source)
         initial = time.perf_counter() - t0
         children = self.schedule.children_map()
-        edges = {}
+        edges: Dict[Tuple[Interval, Interval], EdgeData] = {}
         for parent, child in self.schedule.edges():
             batch = self.grid.label(parent, child)
             delta_csr = self.decomposition.delta_csr(batch, weight_fn)
@@ -358,8 +380,14 @@ class ParallelWorkSharing:
                 label=self._edge_label(parent, child)
             )
 
-        def apply_edge(parent_state, overlay, parent, child, collect,
-                       hooked: bool = True):
+        def apply_edge(
+            parent_state: VertexState,
+            overlay: OverlayGraph,
+            parent: Interval,
+            child: Interval,
+            collect: Optional[Dict[Tuple[Interval, Interval], float]],
+            hooked: bool = True,
+        ) -> Tuple[VertexState, OverlayGraph]:
             if hooked:
                 faults.task_check(
                     "edge", self._edge_label(parent, child)[len("edge:"):]
@@ -380,7 +408,13 @@ class ParallelWorkSharing:
                 result.snapshot_values[lo] = child_state.values
             return child_state, child_overlay
 
-        def resilient_edge(parent_state, overlay, parent, child, collect):
+        def resilient_edge(
+            parent_state: VertexState,
+            overlay: OverlayGraph,
+            parent: Interval,
+            child: Interval,
+            collect: Optional[Dict[Tuple[Interval, Interval], float]],
+        ) -> Tuple[VertexState, OverlayGraph]:
             outcome = result.edge_outcomes[(parent, child)]
             return _run_resilient(
                 lambda: apply_edge(parent_state, overlay, parent, child,
@@ -404,7 +438,7 @@ class ParallelWorkSharing:
             result.snapshot_values[self.schedule.root[0]] = root_state.values.copy()
 
         # Critical path: heaviest root-to-leaf chain of edge times.
-        def path_cost(node) -> float:
+        def path_cost(node: Interval) -> float:
             kids = children.get(node, [])
             if not kids:
                 return 0.0
@@ -417,16 +451,19 @@ class ParallelWorkSharing:
         if use_pool:
             t0 = time.perf_counter()
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                futures = []
+                futures: List["Future[None]"] = []
 
-                def launch(node, state, overlay):
+                def launch(node: Interval, state: VertexState,
+                           overlay: OverlayGraph) -> None:
                     kids = children.get(node, [])
                     for k, child in enumerate(kids):
                         futures.append(
                             pool.submit(task, node, child, state, overlay)
                         )
 
-                def task(parent, child, parent_state, overlay):
+                def task(parent: Interval, child: Interval,
+                         parent_state: VertexState,
+                         overlay: OverlayGraph) -> None:
                     child_state, child_overlay = resilient_edge(
                         parent_state, overlay, parent, child, None
                     )

@@ -59,6 +59,16 @@ class ProtocolError(ServiceError):
     """Malformed service request or response (framing, fields, types)."""
 
 
+class LintError(ReproError):
+    """Static-analysis configuration problem (bad annotation, bad baseline).
+
+    Raised for *misuse of the analyzer itself* — an unparseable
+    annotation comment, a baseline entry without a justification, an
+    unknown rule name in an ``allow`` pragma.  Findings in analysed
+    code are reported, never raised.
+    """
+
+
 class ScheduleError(ReproError):
     """Invalid query-evaluation schedule (not a tree, missing leaves, ...)."""
 

@@ -66,7 +66,8 @@ class EdgeSet:
 
     __slots__ = ("_codes",)
 
-    def __init__(self, codes: np.ndarray | None = None, *, _trusted: bool = False):
+    def __init__(self, codes: np.ndarray | None = None, *,
+                 _trusted: bool = False) -> None:
         if codes is None:
             self._codes = np.empty(0, dtype=np.int64)
         elif _trusted:

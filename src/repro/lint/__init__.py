@@ -1,0 +1,89 @@
+"""Project-invariant static analysis for the CommonGraph codebase.
+
+``repro.lint`` encodes the invariants the runtime never checks —
+lock discipline around shared caches, async-safety of the service
+front end, immutability of frozen graph objects, the error taxonomy,
+and determinism of the algorithm paths — as AST-level rules, and runs
+them over the package on every CI build (``python -m repro lint``).
+
+Layout::
+
+    engine.py       module loading, annotation index, rule driving
+    rules/          one module per rule + the pluggable registry
+    findings.py     Finding records and their baseline fingerprints
+    annotations.py  the guarded-by / holds-lock / allow pragma grammar
+    baseline.py     grandfathered findings (justification mandatory)
+    report.py       text and JSON rendering
+
+See ``docs/static-analysis.md`` for the rule catalog and the
+annotation grammar.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.annotations import (
+    AllowPragma,
+    ModuleAnnotations,
+    extract_annotations,
+)
+from repro.lint.baseline import (
+    PLACEHOLDER_JUSTIFICATION,
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import LintEngine, LintResult, ModuleUnit, ProjectIndex
+from repro.lint.findings import Finding
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import Rule, default_rules, register_rule, rule_names
+
+__all__ = [
+    "AllowPragma",
+    "BaselineEntry",
+    "Finding",
+    "ModuleAnnotations",
+    "PLACEHOLDER_JUSTIFICATION",
+    "extract_annotations",
+    "LintEngine",
+    "LintResult",
+    "ModuleUnit",
+    "ProjectIndex",
+    "Rule",
+    "apply_baseline",
+    "default_rules",
+    "load_baseline",
+    "package_root",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_names",
+    "run_lint",
+    "write_baseline",
+]
+
+
+def package_root() -> Path:
+    """The source root the package was imported from (parent of ``repro``)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def run_lint(
+    paths: Optional[Iterable[Path]] = None,
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint ``paths`` (default: the installed ``repro`` package).
+
+    Convenience wrapper used by the CLI and the self-lint test; for
+    baseline-aware runs compose :class:`LintEngine` with
+    :func:`load_baseline` / :func:`apply_baseline` directly.
+    """
+    base = Path(root) if root is not None else package_root()
+    engine = LintEngine(base, rules=rules)
+    if paths is None:
+        paths = [base / "repro"]
+    return engine.run(paths)

@@ -1,0 +1,121 @@
+"""The annotation grammar: machine-readable comments the rules consume.
+
+Three comment forms are recognised (see ``docs/static-analysis.md``):
+
+``# guarded-by: <lock>``
+    On an attribute assignment inside a class (class body or
+    ``__init__``).  Declares that the attribute may only be accessed
+    while ``self.<lock>`` is held.
+
+``# holds-lock: <lock>``
+    On a ``def`` line.  Declares that every caller of the method
+    already holds ``self.<lock>``, so guarded accesses inside it are
+    legal.  Multiple locks: repeat the pragma or comma-separate names.
+
+``# lint: allow(<rule>): <justification>``
+    On (or directly above) the offending line.  Suppresses findings of
+    ``<rule>`` for that line.  The justification is mandatory — an
+    allow pragma without one is a :class:`~repro.errors.LintError`.
+
+Annotations are extracted with :mod:`tokenize`, so they survive any
+formatting the AST would normalise away.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import LintError
+
+__all__ = ["AllowPragma", "ModuleAnnotations", "extract_annotations"]
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)\s*$")
+_HOLDS_RE = re.compile(r"#\s*holds-lock:\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)\s*$")
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([\w-]+)\)\s*:?\s*(.*)$")
+_ALLOW_MALFORMED_RE = re.compile(r"#\s*lint:\s*allow\b")
+
+
+@dataclass(frozen=True)
+class AllowPragma:
+    """One inline suppression: rule name plus its mandatory reason."""
+
+    rule: str
+    reason: str
+    line: int
+
+
+@dataclass
+class ModuleAnnotations:
+    """All recognised pragmas of one module, keyed by source line."""
+
+    #: line -> lock names declared by ``guarded-by`` on that line.
+    guarded_by: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: line -> lock names declared by ``holds-lock`` on that line.
+    holds_lock: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: line -> allow pragmas attached to that line.
+    allows: Dict[int, List[AllowPragma]] = field(default_factory=dict)
+
+    def allows_for(self, line: int, rule: str) -> List[AllowPragma]:
+        """Allow pragmas for ``rule`` on ``line`` or the line above."""
+        found = []
+        for candidate in (line, line - 1):
+            for pragma in self.allows.get(candidate, ()):
+                if pragma.rule in (rule, "all"):
+                    found.append(pragma)
+        return found
+
+
+def _names(spec: str) -> Tuple[str, ...]:
+    return tuple(name.strip() for name in spec.split(",") if name.strip())
+
+
+def extract_annotations(source: str, path: str = "<source>") -> ModuleAnnotations:
+    """Scan ``source`` for lint pragmas.
+
+    Raises :class:`LintError` for a malformed ``lint: allow`` pragma
+    (unparseable, or missing its justification) — silent misspellings
+    of a suppression would otherwise *enable* a rule the author
+    believed was off.
+    """
+    annotations = ModuleAnnotations()
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # The engine reports unparseable modules separately.
+        return annotations
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string
+        line = token.start[0]
+        match = _GUARDED_RE.search(comment)
+        if match:
+            annotations.guarded_by[line] = _names(match.group(1))
+            continue
+        match = _HOLDS_RE.search(comment)
+        if match:
+            annotations.holds_lock[line] = _names(match.group(1))
+            continue
+        match = _ALLOW_RE.search(comment)
+        if match:
+            rule, reason = match.group(1), match.group(2).strip()
+            if not reason:
+                raise LintError(
+                    f"{path}:{line}: lint: allow({rule}) needs a "
+                    "justification after the pragma"
+                )
+            annotations.allows.setdefault(line, []).append(
+                AllowPragma(rule=rule, reason=reason, line=line)
+            )
+            continue
+        if _ALLOW_MALFORMED_RE.search(comment):
+            raise LintError(
+                f"{path}:{line}: malformed lint pragma {comment.strip()!r}; "
+                "expected '# lint: allow(<rule>): <justification>'"
+            )
+    return annotations

@@ -1,0 +1,60 @@
+"""Finding records produced by the lint engine.
+
+A :class:`Finding` pins one rule violation to a file, line and column.
+Its *fingerprint* deliberately excludes the line/column: baselined
+findings must survive unrelated edits that shift code up or down, so
+the identity of a finding is ``(rule, path, context, message)`` where
+``context`` is the enclosing ``Class.method`` qualname.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    ``path`` is package-relative and POSIX-style (``repro/core/...``)
+    so fingerprints are stable across checkouts and platforms.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    context: str = ""
+    #: Non-empty when the finding was suppressed, and how:
+    #: ``"baseline"`` or ``"inline-allow"``.
+    suppressed_by: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-independent identity used for baseline matching."""
+        payload = "|".join((self.rule, self.path, self.context, self.message))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+            "fingerprint": self.fingerprint,
+        }
+        if self.suppressed_by:
+            doc["suppressed_by"] = self.suppressed_by
+        return doc
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}:{self.col}"
+        ctx = f" [{self.context}]" if self.context else ""
+        return f"{where}: {self.rule}: {self.message}{ctx}"

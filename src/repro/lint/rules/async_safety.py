@@ -1,0 +1,104 @@
+"""Async-safety: no blocking calls on the event loop.
+
+Scans every ``async def`` under ``repro/service/`` for calls that
+stall the event loop: ``time.sleep``, the *sync* ``retry_call``,
+file/socket/subprocess I/O, and bare ``Future.result()`` joins.  The
+service dispatches blocking work through ``run_in_executor``; code
+inside a nested *sync* ``def`` (the executor target) is therefore not
+scanned, and a call that is directly ``await``-ed is by definition not
+a blocking sync call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, dotted_name, iter_statements
+
+__all__ = ["AsyncSafetyRule"]
+
+#: Fully-dotted callables that block the calling thread.
+BLOCKING_DOTTED = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.waitpid",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.socket",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+    "shutil.copyfileobj",
+}
+
+#: Bare names that block (``retry_call`` is the sync retry helper —
+#: its event-loop twin is ``retry_call_async``).
+BLOCKING_NAMES = {"open", "input", "retry_call", "with_retries"}
+
+#: Blocking zero-argument methods regardless of receiver type.
+BLOCKING_METHODS = {
+    "read_text", "read_bytes", "write_text", "write_bytes",
+}
+
+
+class AsyncSafetyRule(Rule):
+    name = "async-blocking"
+    title = "no blocking calls directly inside async service code"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("repro/service/")
+
+    def check(self, module, project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_def(module, node)
+
+    def _check_async_def(
+        self, module, fn: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        awaited: Set[int] = set()
+        for node in iter_statements(fn.body, into_functions=False):
+            if isinstance(node, ast.Await):
+                awaited.add(id(node.value))
+        for node in iter_statements(fn.body, into_functions=False):
+            if isinstance(node, ast.AsyncFunctionDef):
+                continue  # reported by its own walk
+            if not isinstance(node, ast.Call) or id(node) in awaited:
+                continue
+            label = self._blocking_label(node)
+            if label is not None:
+                yield self.finding(
+                    module, node,
+                    f"blocking call '{label}' inside "
+                    f"'async def {fn.name}'; dispatch through "
+                    "run_in_executor or use the async variant",
+                )
+
+    @staticmethod
+    def _blocking_label(call: ast.Call) -> "str | None":
+        func = call.func
+        dotted = dotted_name(func)
+        if dotted is not None:
+            if dotted in BLOCKING_DOTTED:
+                return dotted
+            if dotted in BLOCKING_NAMES:
+                return dotted
+        if isinstance(func, ast.Attribute):
+            if func.attr in BLOCKING_METHODS:
+                return f".{func.attr}()"
+            if (
+                func.attr == "result"
+                and not call.args
+                and not call.keywords
+            ):
+                return ".result()"
+        return None

@@ -1,0 +1,91 @@
+"""Determinism: algorithm paths never read the wall clock or global RNG.
+
+Fault-injection reproducibility (``repro.faults``) and the bit-exact
+equivalence tests between evaluators both depend on ``repro/core/``
+and ``repro/kickstarter/`` being pure functions of their inputs plus
+an explicit seed.  This rule flags, in those packages only:
+
+* wall-clock reads — ``time.time``, ``datetime.now`` and friends
+  (monotonic *duration* telemetry via ``time.perf_counter`` /
+  ``time.monotonic`` stays legal: it never feeds back into values);
+* ``time.sleep`` — a timing-dependent stall in an algorithm path;
+* the process-global RNG — any ``random.*`` / ``numpy.random.*`` call,
+  and *unseeded* constructions ``random.Random()`` /
+  ``numpy.random.default_rng()``.  Seeded constructions
+  (``random.Random(seed)``, ``default_rng(seed)``) are the sanctioned
+  pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, dotted_name
+
+__all__ = ["DeterminismRule"]
+
+WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime", "time.strftime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+}
+
+#: Seeded-RNG constructors: legal with at least one argument.
+SEEDED_CONSTRUCTORS = {
+    "random.Random",
+    "np.random.default_rng", "numpy.random.default_rng",
+    "np.random.RandomState", "numpy.random.RandomState",
+    "np.random.SeedSequence", "numpy.random.SeedSequence",
+}
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    title = "no wall-clock reads or unseeded RNG in algorithm paths"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(("repro/core/", "repro/kickstarter/"))
+
+    def check(self, module, project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            message = self._classify(dotted, node)
+            if message is not None:
+                yield self.finding(module, node, message)
+
+    @staticmethod
+    def _classify(dotted: str, call: ast.Call) -> Optional[str]:
+        if dotted in WALL_CLOCK:
+            return (
+                f"wall-clock read '{dotted}' in an algorithm path breaks "
+                "replay determinism; thread a timestamp in explicitly "
+                "(perf_counter/monotonic durations are fine)"
+            )
+        if dotted == "time.sleep":
+            return (
+                "'time.sleep' in an algorithm path makes behaviour "
+                "timing-dependent; inject the sleep function "
+                "(repro.resilience pattern) so tests pass a no-op"
+            )
+        if dotted in SEEDED_CONSTRUCTORS:
+            if not call.args and not call.keywords:
+                return (
+                    f"'{dotted}()' without a seed is entropy-seeded; "
+                    "pass an explicit seed for reproducible runs"
+                )
+            return None
+        if dotted.startswith(("random.", "np.random.", "numpy.random.")):
+            return (
+                f"'{dotted}' uses the process-global RNG; construct a "
+                "seeded generator (numpy.random.default_rng(seed) / "
+                "random.Random(seed)) and thread it through"
+            )
+        return None

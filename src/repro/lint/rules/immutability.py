@@ -1,0 +1,108 @@
+"""Frozen-graph immutability.
+
+The correctness of the whole CommonGraph pipeline rests on composed,
+never-mutated graph objects: the decomposition shares ``EdgeSet``
+instances between snapshots, the planner shares one common-graph CSR
+across queries, and caches hand out references assuming value
+semantics.  Outside ``repro/graph/`` (where the representations are
+*built*), nothing may write to a ``CSRGraph``'s ``indptr`` /
+``indices`` / ``weights`` arrays or an ``EdgeSet``'s ``_codes``.
+
+Detected shapes: attribute assignment (plain, augmented, annotated),
+item assignment into the arrays, ``del``, in-place NumPy methods
+(``.sort()``, ``.fill()``, ...), and aliasing the arrays as an
+``out=`` target.  A class outside ``repro/graph/`` initialising its
+*own* ``self.weights`` in ``__init__`` is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule
+
+__all__ = ["FrozenGraphRule"]
+
+#: Internal array attributes of CSRGraph and EdgeSet.
+FROZEN_ATTRS = {"indptr", "indices", "weights", "_codes"}
+
+#: NumPy ndarray methods that mutate in place.
+MUTATING_METHODS = {
+    "sort", "fill", "resize", "partition", "put", "byteswap", "setflags",
+}
+
+
+def _frozen_attribute(node: ast.AST) -> Optional[ast.Attribute]:
+    """The ``X.<frozen>`` attribute underlying ``node``, if any."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute) and node.attr in FROZEN_ATTRS:
+        return node
+    return None
+
+
+class FrozenGraphRule(Rule):
+    name = "frozen-graph"
+    title = "no in-place mutation of CSRGraph/EdgeSet internals outside repro/graph/"
+
+    def applies_to(self, relpath: str) -> bool:
+        return not relpath.startswith("repro/graph/")
+
+    def check(self, module, project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    attr = _frozen_attribute(target)
+                    if attr is not None and not self._own_init_slot(
+                        module, attr, target
+                    ):
+                        yield self._mutation(module, attr, "assignment to")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attr = _frozen_attribute(target)
+                    if attr is not None:
+                        yield self._mutation(module, attr, "deletion of")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                ):
+                    attr = _frozen_attribute(func.value)
+                    if attr is not None:
+                        yield self._mutation(
+                            module, attr, f"in-place '.{func.attr}()' on"
+                        )
+                for keyword in node.keywords:
+                    if keyword.arg == "out":
+                        attr = _frozen_attribute(keyword.value)
+                        if attr is not None:
+                            yield self._mutation(
+                                module, attr, "'out=' write into"
+                            )
+
+    def _own_init_slot(
+        self, module, attr: ast.Attribute, target: ast.AST
+    ) -> bool:
+        """``self.weights = ...`` in a foreign ``__init__`` is that
+        class's own attribute, not a graph internal."""
+        return (
+            isinstance(target, ast.Attribute)
+            and isinstance(attr.value, ast.Name)
+            and attr.value.id == "self"
+            and module.context_at(attr.lineno).endswith(".__init__")
+        )
+
+    def _mutation(self, module, attr: ast.Attribute, what: str) -> Finding:
+        return self.finding(
+            module, attr,
+            f"{what} frozen graph internal '.{attr.attr}' outside "
+            "repro/graph/; build a new CSRGraph/EdgeSet instead "
+            "(snapshots are composed, never mutated)",
+        )

@@ -1,0 +1,112 @@
+"""Lock-discipline race detector.
+
+Attributes declared ``# guarded-by: <lock>`` on their assignment line
+may only be accessed through ``self`` while ``with self.<lock>:`` is
+held, inside a method annotated ``# holds-lock: <lock>``, or inside
+``__init__`` (construction happens-before publication).
+
+The checker is deliberately *self-scoped*: only ``self.<attr>``
+accesses inside the declaring class are analysed.  Accesses through
+aliases (``state = self.decomposition`` snapshots taken under the
+lock) are the codebase's sanctioned pattern and are not re-checked;
+accesses from other modules through an object reference are out of
+scope (see ``docs/static-analysis.md`` for the soundness trade-off).
+
+Nested functions reset the held-lock set: a closure created inside a
+``with self._lock:`` block generally runs *after* the block exits, so
+inheriting the lock would be unsound.  A nested def may re-declare its
+guarantee with its own ``# holds-lock`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, dotted_name
+
+__all__ = ["LockDisciplineRule"]
+
+GuardMap = Dict[str, Tuple[str, ...]]
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    title = "guarded-by attributes only touched while their lock is held"
+
+    def check(self, module, project) -> Iterator[Finding]:
+        for class_node in ast.walk(module.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            guarded = project.guarded_attrs.get(
+                (module.relpath, class_node.name)
+            )
+            if not guarded:
+                continue
+            for item in class_node.body:
+                if not isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if item.name == "__init__":
+                    continue
+                held = set(project.holds_lock.get(id(item), ()))
+                for stmt in item.body:
+                    yield from self._check(module, project, stmt, guarded, held)
+
+    def _check(
+        self,
+        module,
+        project,
+        node: ast.AST,
+        guarded: GuardMap,
+        held: Set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = set(project.holds_lock.get(id(node), ()))
+            for stmt in node.body:
+                yield from self._check(module, project, stmt, guarded, inner)
+            return
+        if isinstance(node, ast.Lambda):
+            yield from self._check(module, project, node.body, guarded, set())
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: Set[str] = set()
+            for item in node.items:
+                dotted = dotted_name(item.context_expr)
+                if dotted and dotted.startswith("self."):
+                    lock = dotted[len("self."):]
+                    if "." not in lock:
+                        acquired.add(lock)
+                yield from self._check(
+                    module, project, item.context_expr, guarded, held
+                )
+            inner_held = held | acquired
+            for stmt in node.body:
+                yield from self._check(
+                    module, project, stmt, guarded, inner_held
+                )
+            return
+        if isinstance(node, ast.Attribute):
+            locks = guarded.get(node.attr)
+            if (
+                locks is not None
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                missing = [lock for lock in locks if lock not in held]
+                if missing:
+                    yield self.finding(
+                        module, node,
+                        f"'self.{node.attr}' is guarded by "
+                        f"'self.{missing[0]}' but accessed without it; "
+                        f"wrap in 'with self.{missing[0]}:' or annotate "
+                        f"the method '# holds-lock: {missing[0]}'",
+                    )
+            yield from self._check(
+                module, project, node.value, guarded, held
+            )
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from self._check(module, project, child, guarded, held)

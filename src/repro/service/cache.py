@@ -73,7 +73,7 @@ class LRUCache:
         self.max_entries = int(max_entries)
         self._copy_in = copy_in
         self._copy_out = copy_out
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
         self.stats = CacheStats()
 

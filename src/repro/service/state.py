@@ -48,7 +48,7 @@ import numpy as np
 
 from repro.algorithms.registry import get_algorithm
 from repro.core.common import CommonGraphDecomposition
-from repro.errors import ServiceError, SnapshotError
+from repro.errors import ServiceError
 from repro.evolving.delta import DeltaBatch
 from repro.evolving.store import SnapshotStore
 from repro.graph.weights import UnitWeights, WeightFn
@@ -98,14 +98,16 @@ class ServiceState:
             weight_fn if weight_fn is not None else UnitWeights()
         )
         self.window = window
-        self.epoch = 0
-        self.ingests = 0
+        self.epoch = 0  # guarded-by: _lock
+        self.ingests = 0  # guarded-by: _lock
         #: Recoveries from a failed incremental extension (full rebuilds).
-        self.resyncs = 0
+        self.resyncs = 0  # guarded-by: _lock
         #: Set when the state could not be resynchronised with the
         #: store; queries fail loudly rather than serve a stale graph.
-        self._poisoned: Optional[BaseException] = None
-        self._lock = threading.Lock()
+        self._poisoned: Optional[BaseException] = None  # guarded-by: _lock
+        # Reentrant: the version properties lock internally and must
+        # stay callable from code that already holds the lock.
+        self._lock = threading.RLock()
         self.result_cache = LRUCache(result_cache_entries)
         self.node_cache = LRUCache(
             node_cache_entries,
@@ -115,8 +117,8 @@ class ServiceState:
         self.planner = MemoizingPlanner(self.node_cache, self.weight_fn)
         decomposition, base = self._state_from_store()
         #: Absolute version number of the window's first snapshot.
-        self.base_version = base
-        self.decomposition = decomposition
+        self.base_version = base  # guarded-by: _lock
+        self.decomposition = decomposition  # guarded-by: _lock
         # Appends made through the store handle (by us or any other
         # same-process caller) keep the decomposition in sync.
         self._unsubscribe = store.subscribe(self._on_append)
@@ -132,7 +134,7 @@ class ServiceState:
             decomposition = decomposition.restrict(base, n - 1)
         return decomposition, base
 
-    def _check_serviceable(self) -> None:
+    def _check_serviceable(self) -> None:  # holds-lock: _lock
         """Raise loudly if the state has diverged from the store."""
         if self._poisoned is not None:
             raise ServiceError(
@@ -145,7 +147,8 @@ class ServiceState:
     @property
     def num_versions(self) -> int:
         """Total versions ever ingested (window start + window length)."""
-        return self.base_version + self.decomposition.num_snapshots
+        with self._lock:
+            return self.base_version + self.decomposition.num_snapshots
 
     @property
     def latest_version(self) -> int:
@@ -162,12 +165,14 @@ class ServiceState:
         the service response.
         """
         self.store.append(batch)  # -> _on_append under the hood
-        return {
-            "version": self.latest_version,
-            "epoch": self.epoch,
-            "window_first": self.base_version,
-            "window_last": self.latest_version,
-        }
+        with self._lock:
+            latest = self.base_version + self.decomposition.num_snapshots - 1
+            return {
+                "version": latest,
+                "epoch": self.epoch,
+                "window_first": self.base_version,
+                "window_last": latest,
+            }
 
     def _on_append(self, index: int, batch: DeltaBatch) -> None:
         """Store-change notification: extend incrementally, slide, re-epoch.
@@ -197,6 +202,7 @@ class ServiceState:
                         excess = n - self.window
                         decomp = decomp.restrict(excess, n - 1)
                         base += excess
+                # lint: allow(error-taxonomy): recovered by the full rebuild below (counted in resyncs); a rebuild failure poisons the state and re-raises loudly
                 except Exception:
                     decomp = None
             if decomp is None:

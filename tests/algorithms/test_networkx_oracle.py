@@ -9,7 +9,6 @@ NetworkX Dijkstra on transformed objectives.
 
 import networkx as nx
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.algorithms.registry import get_algorithm

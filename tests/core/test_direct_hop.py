@@ -1,6 +1,5 @@
 """Tests for the Direct-Hop evaluator."""
 
-import numpy as np
 from hypothesis import given, settings
 
 from repro.algorithms.registry import get_algorithm

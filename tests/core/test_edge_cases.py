@@ -1,7 +1,6 @@
 """Degenerate and boundary inputs across the evaluation stack."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms.registry import get_algorithm
 from repro.core.common import CommonGraphDecomposition

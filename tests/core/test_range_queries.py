@@ -5,7 +5,6 @@ that window's intermediate common graph; ``VersionController.evaluate``
 exposes the one-call API.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,6 @@
 """Tests for repro.graph.stats."""
 
 import networkx as nx
-import numpy as np
 from hypothesis import given, settings
 
 from repro.graph.csr import CSRGraph

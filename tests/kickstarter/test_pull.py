@@ -11,7 +11,6 @@ from repro.graph.edgeset import EdgeSet
 from repro.graph.weights import HashWeights
 from repro.kickstarter.engine import (
     EngineCounters,
-    VertexState,
     seed_edges,
     static_compute,
 )

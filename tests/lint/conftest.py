@@ -1,0 +1,31 @@
+"""Fixture helpers for the lint-engine tests.
+
+Each test writes a tiny synthetic project (a dict of package-relative
+paths to sources) into ``tmp_path`` and runs the real engine over it,
+so every assertion exercises discovery, annotation extraction, the
+project index and the rules exactly as ``python -m repro lint`` does.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintEngine
+
+
+@pytest.fixture
+def lint_project(tmp_path):
+    def run(files, rules=None):
+        for relpath, source in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        engine = LintEngine(tmp_path, rules=rules)
+        return engine.run()
+
+    return run
+
+
+def rule_findings(result, rule):
+    """Findings of one rule, sorted the way the engine reports them."""
+    return [f for f in result.findings if f.rule == rule]

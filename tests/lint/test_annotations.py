@@ -1,0 +1,99 @@
+"""The pragma grammar and the engine's configuration findings."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import extract_annotations
+from tests.lint.conftest import rule_findings
+
+
+def test_guarded_by_and_holds_lock_parse():
+    annotations = extract_annotations(
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self.a = 0  # guarded-by: _lock\n"
+        "        self.b = 0  # guarded-by: _a, _b\n"
+        "    def f(self):  # holds-lock: _lock\n"
+        "        pass\n"
+    )
+    assert annotations.guarded_by[3] == ("_lock",)
+    assert annotations.guarded_by[4] == ("_a", "_b")
+    assert annotations.holds_lock[5] == ("_lock",)
+
+
+def test_allow_pragma_requires_justification():
+    extract_annotations("x = 1  # lint: allow(determinism): seeded upstream\n")
+    with pytest.raises(LintError, match="justification"):
+        extract_annotations("x = 1  # lint: allow(determinism)\n")
+
+
+def test_malformed_allow_pragma_is_an_error():
+    # A silent misspelling would *enable* a rule the author believed
+    # was suppressed.
+    with pytest.raises(LintError, match="malformed"):
+        extract_annotations("x = 1  # lint: allow determinism: oops\n")
+
+
+def test_allow_applies_to_line_and_line_above():
+    annotations = extract_annotations(
+        "# lint: allow(determinism): covered below\n"
+        "x = 1\n"
+        "y = 2  # lint: allow(all): same line\n"
+    )
+    assert annotations.allows_for(2, "determinism")
+    assert annotations.allows_for(3, "frozen-graph")  # 'all' matches any rule
+    assert not annotations.allows_for(2, "frozen-graph")  # wrong rule
+    assert not annotations.allows_for(5, "determinism")  # out of reach
+
+
+def test_inline_allow_suppresses_and_is_reported(lint_project):
+    result = lint_project({"repro/core/algo.py": """\
+        import time
+
+
+        def stamped():
+            # lint: allow(determinism): stamp is display-only, never fed back
+            return time.time()
+    """})
+    assert rule_findings(result, "determinism") == []
+    assert [f.rule for f in result.suppressed] == ["determinism"]
+    assert result.suppressed[0].suppressed_by == "inline-allow"
+
+
+def test_allow_of_unknown_rule_is_a_config_finding(lint_project):
+    result = lint_project({"repro/core/algo.py": """\
+        x = 1  # lint: allow(determinsm): typo in the rule name
+    """})
+    findings = rule_findings(result, "lint-config")
+    assert len(findings) == 1
+    assert "determinsm" in findings[0].message
+
+
+def test_unattached_guarded_by_is_a_config_finding(lint_project):
+    result = lint_project({"repro/state.py": """\
+        # guarded-by: _lock
+        EPOCH = 0
+    """})
+    findings = rule_findings(result, "lint-config")
+    assert len(findings) == 1
+    assert "not attached" in findings[0].message
+
+
+def test_unattached_holds_lock_is_a_config_finding(lint_project):
+    result = lint_project({"repro/state.py": """\
+        class C:
+            pass
+        # holds-lock: _lock
+    """})
+    findings = rule_findings(result, "lint-config")
+    assert len(findings) == 1
+    assert "def" in findings[0].message
+
+
+def test_syntax_error_is_a_config_finding(lint_project):
+    result = lint_project({"repro/broken.py": "def f(:\n"})
+    findings = rule_findings(result, "lint-config")
+    assert len(findings) == 1
+    assert "does not parse" in findings[0].message
+    # The broken module is excluded from the scan count.
+    assert result.modules_scanned == 0

@@ -1,0 +1,163 @@
+"""The ``repro lint`` command end to end, plus the self-lint gate.
+
+The self-lint test is the repository's own acceptance criterion: the
+analyzer must exit 0 on the codebase it ships with, with every
+grandfathered finding justified in ``lint-baseline.json``.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro import lint
+from repro.cli import main
+
+CLEAN = "def identity(x):\n    return x\n"
+
+VIOLATION = textwrap.dedent("""\
+    import time
+
+
+    def wall():
+        return time.time()
+""")
+
+
+def project(tmp_path, files):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'fixture'\n")
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path
+
+
+def lint_cmd(root, *extra):
+    return main(["lint", "--root", str(root), *extra])
+
+
+# ----------------------------------------------------------- exit codes
+
+def test_clean_project_exits_zero(tmp_path, capsys):
+    root = project(tmp_path, {"repro/core/ops.py": CLEAN})
+    assert lint_cmd(root) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_seeded_violation_fails_the_run(tmp_path, capsys):
+    # The CI gate: introducing a violation must flip the exit code.
+    root = project(tmp_path, {"repro/core/ops.py": VIOLATION})
+    assert lint_cmd(root) == 1
+    out = capsys.readouterr().out
+    assert "determinism" in out and "time.time" in out
+
+
+def test_config_error_exits_two(tmp_path, capsys):
+    root = project(tmp_path, {
+        "repro/core/ops.py": "x = 1  # lint: allow(determinism)\n",
+    })
+    assert lint_cmd(root) == 2
+    assert "justification" in capsys.readouterr().err
+
+
+def test_json_output_parses(tmp_path, capsys):
+    root = project(tmp_path, {"repro/core/ops.py": VIOLATION})
+    assert lint_cmd(root, "--json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["counts"] == {"determinism": 1}
+
+
+def test_list_rules(tmp_path, capsys):
+    root = project(tmp_path, {"repro/core/ops.py": CLEAN})
+    assert lint_cmd(root, "--list-rules") == 0
+    out = capsys.readouterr().out
+    for name in lint.rule_names():
+        assert name in out
+
+
+# ----------------------------------------------- baseline workflow (CLI)
+
+def test_update_baseline_workflow(tmp_path, capsys):
+    root = project(tmp_path, {"repro/core/ops.py": VIOLATION})
+    baseline = root / "lint-baseline.json"
+
+    # 1. Grandfather the finding: written with a FIXME placeholder...
+    assert lint_cmd(root, "--update-baseline") == 0
+    assert baseline.is_file()
+    assert "need a justification" in capsys.readouterr().err
+
+    # 2. ...which the next run refuses to load (exit 2, not a pass).
+    assert lint_cmd(root) == 2
+    capsys.readouterr()
+
+    # 3. Justify it; the finding is suppressed and the run passes.
+    payload = json.loads(baseline.read_text())
+    payload["entries"][0]["justification"] = "benign: display-only stamp"
+    baseline.write_text(json.dumps(payload))
+    assert lint_cmd(root) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # 4. Fix the code; the entry goes stale but the run still passes,
+    #    and --update-baseline prunes it.
+    (root / "repro/core/ops.py").write_text(CLEAN)
+    assert lint_cmd(root) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+    assert lint_cmd(root, "--update-baseline") == 0
+    assert json.loads(baseline.read_text())["entries"] == []
+
+
+def test_no_baseline_flag_bypasses_the_ledger(tmp_path, capsys):
+    root = project(tmp_path, {"repro/core/ops.py": VIOLATION})
+    baseline = root / "lint-baseline.json"
+    # Build a justified baseline covering the finding.
+    result = lint.LintEngine(root).run([root / "repro"])
+    lint.write_baseline(baseline, result.findings)
+    payload = json.loads(baseline.read_text())
+    payload["entries"][0]["justification"] = "benign"
+    baseline.write_text(json.dumps(payload))
+
+    assert lint_cmd(root) == 0
+    capsys.readouterr()
+    assert lint_cmd(root, "--no-baseline") == 1
+
+
+# -------------------------------------------------------------- self-lint
+
+def repo_root():
+    return Path(__file__).resolve().parents[2]
+
+
+def test_self_lint_repository_is_clean(capsys):
+    # `python -m repro lint` on the shipped tree: exit 0, with every
+    # suppression accounted for in the justified baseline.
+    assert main(["lint"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_shipped_baseline_is_justified_and_not_stale():
+    baseline_path = repo_root() / "lint-baseline.json"
+    entries = lint.load_baseline(baseline_path)  # raises on FIXME/empty
+    result = lint.run_lint()
+    active, baselined, stale = lint.apply_baseline(result.findings, entries)
+    assert active == []
+    assert stale == [], "baseline entries no longer match any finding"
+    assert len(baselined) == len(entries)
+
+
+def test_self_lint_catches_a_seeded_regression(tmp_path):
+    # Copy the real package, seed one violation, and make sure the
+    # analyzer (with the real baseline) fails — the property the CI
+    # lint job relies on.
+    import shutil
+
+    src = repo_root() / "src" / "repro"
+    root = tmp_path
+    shutil.copytree(src, root / "repro")
+    shutil.copy(repo_root() / "lint-baseline.json", root / "lint-baseline.json")
+    (root / "pyproject.toml").write_text("[project]\nname = 'copy'\n")
+    target = root / "repro" / "core" / "common.py"
+    target.write_text(
+        target.read_text() + "\n\ndef _stamp():\n    import time\n    return time.time()\n"
+    )
+    assert lint_cmd(root) == 1

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import List, Set, Tuple
 
-import numpy as np
 from hypothesis import strategies as st
 
 from repro.evolving.delta import DeltaBatch

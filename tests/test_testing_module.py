@@ -5,7 +5,6 @@ import pytest
 
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.algorithms.registry import get_algorithm
-from repro.graph.edgeset import EdgeSet
 from repro.graph.weights import HashWeights
 from repro.testing import (
     assert_monotonic,
