@@ -11,7 +11,10 @@ can track the trajectory:
   the mixed plan;
 * **ingest latency** — extending the decomposition by one snapshot
   incrementally (``CommonGraphDecomposition.extended``, what the
-  service does) vs rebuilding it from scratch from all snapshots.
+  service does) vs rebuilding it from scratch from all snapshots;
+* **observability overhead** — the mixed plan again with
+  :mod:`repro.obs` fully on (sampling every span, metrics collected),
+  reported as a percentage against the obs-off throughput.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from typing import Any, Dict
 
 import pytest
 
+from repro import obs
 from repro.core.common import CommonGraphDecomposition
 from repro.evolving.store import SnapshotStore
 from repro.graph.edgeset import EdgeSet
@@ -92,6 +96,39 @@ def test_mixed_query_throughput(benchmark, running, workload):
         status = client.status()
     RESULTS["result_cache_hit_rate"] = status["result_cache"]["hit_rate"]
     RESULTS["node_cache_hit_rate"] = status["node_cache"]["hit_rate"]
+
+
+@pytest.fixture
+def obs_running(service_store):
+    """A second service on the same store with observability fully on."""
+    obs.configure(sample_rate=1.0)
+    state = ServiceState(service_store, weight_fn=WF)
+    unsubscribe = state.register_metrics()
+    with ServiceRunner(state) as runner:
+        yield runner
+    unsubscribe()
+    state.close()
+    obs.disable()
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_mixed_query_throughput_obs(benchmark, obs_running, workload):
+    """The same mixed plan with every span sampled and metrics live.
+
+    Runs on a fresh state so its caches start as cold as the obs-off
+    variant's did; the recorded overhead is the honest end-to-end cost
+    of full instrumentation.
+    """
+    benchmark.pedantic(run_plan, args=(obs_running.port, workload),
+                       rounds=ROUNDS, iterations=1, warmup_rounds=0)
+    qps = len(MIXED_PLAN) / benchmark.stats.stats.mean
+    benchmark.extra_info["queries_per_second"] = round(qps, 2)
+    RESULTS["mixed_queries_per_second_obs"] = round(qps, 2)
+    baseline = RESULTS.get("mixed_queries_per_second")
+    if baseline:
+        overhead = (baseline - qps) / baseline * 100.0
+        benchmark.extra_info["observability_overhead_pct"] = round(overhead, 2)
+        RESULTS["observability_overhead_pct"] = round(overhead, 2)
 
 
 @pytest.mark.benchmark(group="service-throughput")

@@ -12,7 +12,12 @@ Subcommands
     it is fetched from a live ``serve`` instance (health check).
 ``serve`` / ``query``
     Run the live query service over a store, and query it.  See
-    ``docs/service.md`` for the wire protocol.
+    ``docs/service.md`` for the wire protocol.  ``serve --metrics PORT``
+    adds a Prometheus endpoint and ``--obs-spans FILE`` a trace log
+    (see ``docs/observability.md``).
+``obs dump`` / ``obs tail``
+    Inspect a live service's observability data: fetch the metrics
+    endpoint, or render a span file as per-trace trees.
 ``evaluate``
     Answer a query over a store's snapshots (optionally a version
     range) with a chosen strategy, printing per-snapshot summaries or
@@ -233,6 +238,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     store = SnapshotStore(args.store)
     weight_fn = HashWeights(max_weight=args.max_weight, seed=args.weight_seed)
+
+    metrics_server = None
+    obs_enabled = args.metrics is not None or args.obs_spans is not None
+    if obs_enabled:
+        from repro import obs
+
+        runtime = obs.configure(sample_rate=args.obs_sample,
+                                span_sink=args.obs_spans)
+        if args.metrics is not None:
+            metrics_server = obs.MetricsServer(
+                runtime.registry, host=args.host, port=args.metrics,
+            ).start()
+
     state = ServiceState(
         store,
         weight_fn=weight_fn,
@@ -240,6 +258,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         result_cache_entries=args.result_cache,
         node_cache_entries=args.node_cache,
     )
+    state.register_metrics()
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -254,6 +273,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving {store.name or args.store} on "
               f"{config.host}:{service.port} "
               f"(window={args.window or 'all'}, epoch={state.epoch})")
+        if metrics_server is not None:
+            print(f"metrics on {metrics_server.url}/metrics")
+        if args.obs_spans is not None:
+            print(f"spans to {args.obs_spans} "
+                  f"(sample rate {args.obs_sample})")
         await service.wait_closed()
 
     try:
@@ -262,6 +286,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         state.close()
+        if metrics_server is not None:
+            metrics_server.stop()
+        if obs_enabled:
+            from repro import obs
+
+            obs.disable()
+    return 0
+
+
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    host, _, port = args.connect.rpartition(":")
+    path = "/metrics.json" if args.json else "/metrics"
+    url = f"http://{host or '127.0.0.1'}:{int(port)}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            body = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"obs dump: {url}: {exc}", file=sys.stderr)
+        return 2
+    print(body, end="" if body.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.errors import ObservabilityError
+    from repro.obs.export import read_spans, render_trace_trees
+
+    path = Path(args.spans)
+    if not path.is_file():
+        print(f"obs tail: {path}: no such span file", file=sys.stderr)
+        return 2
+    offset = 0
+    try:
+        spans, offset = read_spans(path, offset)
+        rendered = render_trace_trees(spans, limit=args.limit)
+        if rendered:
+            print(rendered)
+        while args.follow:
+            time.sleep(args.interval)
+            spans, offset = read_spans(path, offset)
+            if spans:
+                rendered = render_trace_trees(spans)
+                if rendered:
+                    print(rendered)
+    except ObservabilityError as exc:
+        print(f"obs tail: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -476,6 +555,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="primary-path retries before degrading")
     serve.add_argument("--max-weight", type=int, default=64)
     serve.add_argument("--weight-seed", type=int, default=0)
+    serve.add_argument("--metrics", type=int, default=None, metavar="PORT",
+                       help="expose Prometheus metrics over HTTP on PORT "
+                            "(0 picks an ephemeral port)")
+    serve.add_argument("--obs-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="per-trace span sampling rate in [0, 1]")
+    serve.add_argument("--obs-spans", default=None, metavar="FILE",
+                       help="append finished spans to FILE as JSON lines "
+                            "(read them with `repro obs tail`)")
     serve.set_defaults(func=_cmd_serve)
 
     query = sub.add_parser("query", help="query a running service")
@@ -553,6 +641,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered rules and exit",
     )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    obs_parser = sub.add_parser(
+        "obs", help="inspect a live service's observability data"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    od = obs_sub.add_parser(
+        "dump", help="fetch metrics from a --metrics endpoint"
+    )
+    od.add_argument("--connect", default="127.0.0.1:9421",
+                    metavar="HOST:PORT",
+                    help="the serve instance's --metrics address")
+    od.add_argument("--json", action="store_true",
+                    help="fetch the JSON snapshot instead of the "
+                         "Prometheus text format")
+    od.add_argument("--timeout", type=float, default=10.0)
+    od.set_defaults(func=_cmd_obs_dump)
+    ot = obs_sub.add_parser(
+        "tail", help="render a span file (--obs-spans) as trace trees"
+    )
+    ot.add_argument("spans", help="JSON-lines span file")
+    ot.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="show only the last N traces")
+    ot.add_argument("--follow", action="store_true",
+                    help="keep watching the file for new spans")
+    ot.add_argument("--interval", type=float, default=0.5,
+                    help="poll interval for --follow, in seconds")
+    ot.set_defaults(func=_cmd_obs_tail)
 
     st = sub.add_parser("store", help="audit and repair a store")
     st_sub = st.add_subparsers(dest="store_command", required=True)

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.common import CommonGraphDecomposition
 from repro.core.results import EvolvingQueryResult
@@ -61,7 +62,8 @@ class WorkSharingEvaluator:
         result = EvolvingQueryResult(strategy="work-sharing")
         decomp = self.decomposition
         base_csr = decomp.common_csr(self.weight_fn)
-        with result.timer.phase("initial_compute"):
+        with result.timer.phase("initial_compute"), \
+                obs.phase_span("engine", "initial_compute"):
             root_state = static_compute(
                 base_csr, self.algorithm, self.source,
                 counters=result.counters, mode="sync",
@@ -84,7 +86,8 @@ class WorkSharingEvaluator:
                 # earlier children work on copies.
                 child_state = state if k == len(kids) - 1 else state.copy()
                 batch = self.grid.label(node, child)
-                with result.timer.phase("incremental_add"):
+                with result.timer.phase("incremental_add"), \
+                        obs.phase_span("engine", "incremental_add"):
                     delta_csr = decomp.delta_csr(batch, self.weight_fn)
                     child_overlay = overlay.with_delta(delta_csr)
                     src, dst = batch.arrays()

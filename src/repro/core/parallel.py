@@ -49,7 +49,7 @@ from typing import (
 
 import numpy as np
 
-from repro import faults
+from repro import faults, obs
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.common import CommonGraphDecomposition
 from repro.core.direct_hop import DirectHopEvaluator
@@ -243,22 +243,32 @@ class ParallelDirectHop:
             )
 
         # Sequential pass for honest per-hop times (no pool interference).
-        for index in range(decomp.num_snapshots):
-            outcome = TaskOutcome(label=f"hop:{index}")
-            t0 = time.perf_counter()
-            values = resilient_hop(index, outcome)
-            result.per_hop_seconds.append(time.perf_counter() - t0)
-            result.snapshot_values.append(values)
-            result.outcomes.append(outcome)
+        with obs.phase_span("parallel", "measure", label="direct-hop"):
+            for index in range(decomp.num_snapshots):
+                outcome = TaskOutcome(label=f"hop:{index}")
+                t0 = time.perf_counter()
+                values = resilient_hop(index, outcome)
+                elapsed = time.perf_counter() - t0
+                obs.phase("parallel", "hop", label=str(index),
+                          seconds=elapsed)
+                result.per_hop_seconds.append(elapsed)
+                result.snapshot_values.append(values)
+                result.outcomes.append(outcome)
 
         if use_pool:
             t0 = time.perf_counter()
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                list(pool.map(
-                    lambda index: resilient_hop(index, result.outcomes[index]),
-                    range(decomp.num_snapshots),
-                ))
+            with obs.phase_span("parallel", "pool", label="direct-hop"):
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    list(pool.map(
+                        lambda index: resilient_hop(
+                            index, result.outcomes[index]
+                        ),
+                        range(decomp.num_snapshots),
+                    ))
             result.pool_wall_seconds = time.perf_counter() - t0
+        for outcome in result.outcomes:
+            obs.counter_inc("repro_task_outcomes_total",
+                            component="direct-hop", status=outcome.status)
         return result
 
 
@@ -401,6 +411,8 @@ class ParallelWorkSharing:
                 mode=self.mode,
             )
             elapsed = time.perf_counter() - t0
+            obs.phase("parallel", "edge",
+                      label=self._edge_label(parent, child), seconds=elapsed)
             if collect is not None:
                 collect[(parent, child)] = elapsed
             lo, hi = child
@@ -425,15 +437,16 @@ class ParallelWorkSharing:
             )
 
         # Sequential pass: depth-first, timing every edge.
-        stack = [(self.schedule.root, root_state, OverlayGraph(base_csr))]
-        while stack:
-            node, state, overlay = stack.pop()
-            for child in children.get(node, []):
-                child_state, child_overlay = resilient_edge(
-                    state, overlay, node, child, result.edge_seconds
-                )
-                if children.get(child):
-                    stack.append((child, child_state, child_overlay))
+        with obs.phase_span("parallel", "measure", label="work-sharing"):
+            stack = [(self.schedule.root, root_state, OverlayGraph(base_csr))]
+            while stack:
+                node, state, overlay = stack.pop()
+                for child in children.get(node, []):
+                    child_state, child_overlay = resilient_edge(
+                        state, overlay, node, child, result.edge_seconds
+                    )
+                    if children.get(child):
+                        stack.append((child, child_state, child_overlay))
         if self.schedule.root in self.grid.leaves:
             result.snapshot_values[self.schedule.root[0]] = root_state.values.copy()
 
@@ -450,7 +463,8 @@ class ParallelWorkSharing:
 
         if use_pool:
             t0 = time.perf_counter()
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            with obs.phase_span("parallel", "pool", label="work-sharing"), \
+                    ThreadPoolExecutor(max_workers=max_workers) as pool:
                 futures: List["Future[None]"] = []
 
                 def launch(node: Interval, state: VertexState,
@@ -487,4 +501,7 @@ class ParallelWorkSharing:
                         f"recovery: {failures[0]!r}"
                     ) from failures[0]
             result.pool_wall_seconds = time.perf_counter() - t0
+        for outcome in result.edge_outcomes.values():
+            obs.counter_inc("repro_task_outcomes_total",
+                            component="work-sharing", status=outcome.status)
         return result

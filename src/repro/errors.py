@@ -69,6 +69,17 @@ class LintError(ReproError):
     """
 
 
+class ObservabilityError(ReproError):
+    """Misuse of the observability subsystem (:mod:`repro.obs`).
+
+    Raised for configuration and registration mistakes — re-registering
+    a metric under a different type, unknown label names, a negative
+    counter increment, an invalid sampling rate.  The instrumentation
+    hot path itself never raises: a disabled runtime is a no-op, not an
+    error.
+    """
+
+
 class ScheduleError(ReproError):
     """Invalid query-evaluation schedule (not a tree, missing leaves, ...)."""
 

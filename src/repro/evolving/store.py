@@ -63,7 +63,7 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 
 import numpy as np
 
-from repro import faults
+from repro import faults, obs
 from repro.errors import IntegrityError, ReproError, SnapshotError
 from repro.evolving.delta import DeltaBatch
 from repro.evolving.snapshots import EvolvingGraph
@@ -559,8 +559,11 @@ class SnapshotStore:
         interleave appends or clobber each other's batches.  Subscribed
         listeners are notified once the append is durable.
         """
-        with self._append_lock():
-            index = self._append_locked(batch)
+        with obs.phase_span("store", "append") as span:
+            with self._append_lock():
+                index = self._append_locked(batch)
+            span.annotate(index=index, batch_size=batch.size)
+            obs.counter_inc("repro_store_appends_total")
         for callback in list(self._listeners):
             callback(index, batch)
         return index

@@ -28,6 +28,7 @@ from typing import Optional, Protocol, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.errors import EngineError
 
@@ -237,10 +238,13 @@ def static_compute(
     mode: str = "sync",
 ) -> VertexState:
     """Evaluate a query from scratch on ``graph``."""
-    state = VertexState.fresh(alg, graph.num_vertices, source, track_parents)
-    frontier = np.asarray([source], dtype=np.int64)
-    push_until_stable(graph, alg, state, frontier, counters=counters, mode=mode)
-    return state
+    with obs.phase_span("kernel", "static_compute"):
+        state = VertexState.fresh(alg, graph.num_vertices, source,
+                                  track_parents)
+        frontier = np.asarray([source], dtype=np.int64)
+        push_until_stable(graph, alg, state, frontier, counters=counters,
+                          mode=mode)
+        return state
 
 
 def seed_edges(
@@ -293,5 +297,8 @@ def incremental_additions(
     addition can only improve values, and improvements propagate
     forward.
     """
-    frontier = seed_edges(alg, state, sources, targets, weights, counters=counters)
-    push_until_stable(graph, alg, state, frontier, counters=counters, mode=mode)
+    with obs.phase_span("kernel", "incremental_additions"):
+        frontier = seed_edges(alg, state, sources, targets, weights,
+                              counters=counters)
+        push_until_stable(graph, alg, state, frontier, counters=counters,
+                          mode=mode)

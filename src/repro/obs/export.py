@@ -1,0 +1,212 @@
+"""The ``/metrics`` HTTP endpoint and span-log reading helpers.
+
+:class:`MetricsServer` publishes a :class:`~repro.obs.metrics
+.MetricsRegistry` over HTTP on a background thread:
+
+* ``GET /metrics`` — Prometheus text exposition format;
+* ``GET /metrics.json`` — the JSON snapshot (same data, nested);
+* ``GET /healthz`` — liveness probe (``ok``).
+
+It is a stock :class:`http.server.ThreadingHTTPServer`; the registry is
+fully thread-safe, so scrapes never synchronise with the asyncio query
+server beyond each metric's own per-child lock.
+
+The module also holds the span-log helpers used by ``repro obs tail``:
+:func:`read_spans` parses a JSON-lines span file and
+:func:`render_trace_trees` formats spans as indented per-trace trees.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer", "read_spans", "render_trace_trees"]
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves one registry; instantiated per request by the server."""
+
+    registry: MetricsRegistry  # set by MetricsServer on the handler class
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = self.registry.render_prometheus().encode("utf-8")
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/metrics.json":
+            body = json.dumps(
+                self.registry.snapshot(), indent=2, sort_keys=True
+            ).encode("utf-8")
+            self._reply(200, "application/json", body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain", b"ok\n")
+        else:
+            self._reply(404, "text/plain", b"not found\n")
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Scrapes are high-frequency noise; stay quiet."""
+
+
+class MetricsServer:
+    """Serve a registry over HTTP on a daemon thread.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`).  Usable as a context manager.
+    """
+
+    def __init__(self, registry: MetricsRegistry, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.registry = registry
+        self.host = host
+        self.port: Optional[int] = None
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsServer":
+        if self._server is not None:
+            raise ObservabilityError("metrics server already started")
+        handler = type(
+            "_BoundMetricsHandler", (_MetricsHandler,),
+            {"registry": self.registry},
+        )
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = f"on {self.url}" if self._server is not None else "stopped"
+        return f"MetricsServer({state})"
+
+
+# -- span-log helpers --------------------------------------------------------
+
+def read_spans(path: Union[str, Path],
+               offset: int = 0) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse a JSON-lines span file from byte ``offset``.
+
+    Returns ``(spans, new_offset)`` so a follower can resume where it
+    stopped.  A trailing partial line (a writer mid-append) is left for
+    the next read rather than reported as corruption.
+    """
+    path = Path(path)
+    spans: List[Dict[str, Any]] = []
+    with path.open("rb") as fh:
+        fh.seek(offset)
+        data = fh.read()
+    end = data.rfind(b"\n") + 1
+    for raw in data[:end].splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ObservabilityError(
+                f"{path}: malformed span line: {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise ObservabilityError(f"{path}: span line is not an object")
+        spans.append(doc)
+    return spans, offset + end
+
+
+def render_trace_trees(spans: List[Dict[str, Any]],
+                       limit: Optional[int] = None) -> str:
+    """Format spans as one indented tree per trace, oldest trace first.
+
+    Orphan spans (parent not in the file, e.g. a truncated log) are
+    promoted to roots rather than dropped.
+    """
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    order: List[str] = []
+    for span in spans:
+        trace_id = str(span.get("trace_id", "?"))
+        if trace_id not in by_trace:
+            by_trace[trace_id] = []
+            order.append(trace_id)
+        by_trace[trace_id].append(span)
+    if limit is not None:
+        order = order[-limit:]
+    blocks = [
+        _render_one_trace(trace_id, by_trace[trace_id]) for trace_id in order
+    ]
+    return "\n".join(blocks)
+
+
+def _render_one_trace(trace_id: str, spans: List[Dict[str, Any]]) -> str:
+    ids = {str(s.get("span_id")) for s in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        key = str(parent) if parent is not None and str(parent) in ids else None
+        children.setdefault(key, []).append(span)
+    for kids in children.values():
+        kids.sort(key=lambda s: (s.get("start") or 0.0, str(s.get("span_id"))))
+    lines = [f"trace {trace_id}"]
+
+    def walk(parent_key: Optional[str], depth: int) -> None:
+        for span in children.get(parent_key, []):
+            duration = span.get("duration")
+            took = f"{duration * 1000:.3f} ms" if duration is not None else "…"
+            status = str(span.get("status", "ok"))
+            suffix = "" if status == "ok" else f"  [{status}]"
+            attrs = span.get("attributes") or {}
+            detail = ""
+            if attrs:
+                pairs = ", ".join(
+                    f"{k}={attrs[k]}" for k in sorted(attrs)
+                )
+                detail = f"  ({pairs})"
+            lines.append(
+                f"{'  ' * (depth + 1)}{span.get('name', '?')}  "
+                f"{took}{suffix}{detail}"
+            )
+            walk(str(span.get("span_id")), depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""The canonical instrument table: every metric the stack emits.
+
+Central declarations keep names, types, label sets and bucket layouts
+consistent between the code that updates a metric and the exporters
+that publish it — the facade helpers (:func:`repro.obs.counter_inc`
+and friends) look instruments up here, so an instrumented call site is
+one line and cannot drift from the documented schema.
+
+Naming follows Prometheus conventions: ``repro_`` prefix, ``_total``
+suffix on counters, base-unit (seconds) histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricFamily, MetricsRegistry
+
+__all__ = ["INSTRUMENTS", "InstrumentSpec", "family", "lookup", "prime"]
+
+
+@dataclass(frozen=True)
+class InstrumentSpec:
+    """Declared shape of one metric family."""
+
+    kind: str
+    help: str
+    labelnames: Tuple[str, ...] = ()
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+
+
+INSTRUMENTS: Dict[str, InstrumentSpec] = {
+    # -- service front end --------------------------------------------------
+    "repro_requests_total": InstrumentSpec(
+        "counter", "Requests handled by the service, by operation.",
+        ("op",),
+    ),
+    "repro_errors_total": InstrumentSpec(
+        "counter", "Requests answered with an error response.",
+    ),
+    "repro_coalesced_total": InstrumentSpec(
+        "counter", "Queries answered by joining an identical in-flight one.",
+    ),
+    "repro_query_seconds": InstrumentSpec(
+        "histogram", "End-to-end service query latency in seconds.",
+    ),
+    "repro_ingest_seconds": InstrumentSpec(
+        "histogram", "End-to-end service ingest latency in seconds.",
+    ),
+    # -- execution outcomes -------------------------------------------------
+    "repro_task_outcomes_total": InstrumentSpec(
+        "counter",
+        "TaskOutcome records (ok/retried/degraded) by component.",
+        ("component", "status"),
+    ),
+    # -- caches (refreshed by the service-state collector) ------------------
+    "repro_cache_hit_rate": InstrumentSpec(
+        "gauge", "Lifetime hit rate of a service cache.", ("cache",),
+    ),
+    "repro_cache_hits": InstrumentSpec(
+        "gauge", "Lifetime hits of a service cache.", ("cache",),
+    ),
+    "repro_cache_misses": InstrumentSpec(
+        "gauge", "Lifetime misses of a service cache.", ("cache",),
+    ),
+    "repro_cache_evictions": InstrumentSpec(
+        "gauge", "LRU evictions of a service cache.", ("cache",),
+    ),
+    "repro_cache_invalidations": InstrumentSpec(
+        "gauge", "Epoch-purge invalidations of a service cache.", ("cache",),
+    ),
+    "repro_cache_entries": InstrumentSpec(
+        "gauge", "Current entries in a service cache.", ("cache",),
+    ),
+    # -- service state ------------------------------------------------------
+    "repro_epoch": InstrumentSpec(
+        "gauge", "Current decomposition epoch of the service state.",
+    ),
+    "repro_ingests": InstrumentSpec(
+        "gauge", "Batches ingested into the live decomposition.",
+    ),
+    "repro_resyncs": InstrumentSpec(
+        "gauge", "Full rebuilds after a failed incremental extension.",
+    ),
+    "repro_poisoned": InstrumentSpec(
+        "gauge", "1 when the state diverged from the store, else 0.",
+    ),
+    # -- storage ------------------------------------------------------------
+    "repro_store_appends_total": InstrumentSpec(
+        "counter", "Durable batch appends committed by the snapshot store.",
+    ),
+    # -- phases (engine, parallel, planner, store, kernels) -----------------
+    "repro_phase_seconds": InstrumentSpec(
+        "histogram", "Duration of one instrumented phase, by layer.",
+        ("layer", "phase"),
+    ),
+    # -- tracer self-metrics ------------------------------------------------
+    "repro_spans_total": InstrumentSpec(
+        "counter", "Finished spans recorded by the tracer.",
+    ),
+}
+
+
+def lookup(name: str) -> Optional[InstrumentSpec]:
+    return INSTRUMENTS.get(name)
+
+
+def family(registry: MetricsRegistry, name: str) -> MetricFamily:
+    """Create-or-fetch ``name`` in ``registry`` per the instrument table.
+
+    Undeclared names are refused rather than auto-created: sticking to
+    the table is what keeps exports coherent across the stack.
+    """
+    spec = INSTRUMENTS.get(name)
+    if spec is None:
+        from repro.errors import ObservabilityError
+
+        raise ObservabilityError(
+            f"unknown instrument {name!r}; declare it in "
+            "repro.obs.instruments.INSTRUMENTS"
+        )
+    if spec.kind == "counter":
+        return registry.counter(name, spec.help, spec.labelnames)
+    if spec.kind == "gauge":
+        return registry.gauge(name, spec.help, spec.labelnames)
+    return registry.histogram(name, spec.help, spec.labelnames, spec.buckets)
+
+
+def prime(registry: MetricsRegistry) -> None:
+    """Pre-create the key series scrapers watch, initialised to zero.
+
+    Counters that only appear after their first increment make rate
+    queries blind to the first event; priming the known label sets
+    publishes an explicit 0 from the first scrape.
+    """
+    outcomes = family(registry, "repro_task_outcomes_total")
+    for component in ("service", "direct-hop", "work-sharing"):
+        for status in ("ok", "retried", "degraded"):
+            outcomes.labels(component=component, status=status)
+    for name in ("repro_requests_total",):
+        requests = family(registry, name)
+        for op in ("query", "ingest", "status"):
+            requests.labels(op=op)
+    for name in ("repro_errors_total", "repro_coalesced_total",
+                 "repro_store_appends_total", "repro_spans_total",
+                 "repro_query_seconds", "repro_ingest_seconds"):
+        fam = family(registry, name)
+        fam.labels()
+    caches = ("result", "node")
+    for name in ("repro_cache_hit_rate", "repro_cache_hits",
+                 "repro_cache_misses", "repro_cache_evictions",
+                 "repro_cache_invalidations", "repro_cache_entries"):
+        fam = family(registry, name)
+        for cache in caches:
+            fam.labels(cache=cache)
+    for name in ("repro_epoch", "repro_ingests",
+                 "repro_resyncs", "repro_poisoned"):
+        family(registry, name).labels()

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import MonotonicAlgorithm
 from repro.core.common import CommonGraphDecomposition
 from repro.core.steiner import build_schedule
@@ -103,6 +104,25 @@ class MemoizingPlanner:
         service window); cache keys carry the same coordinates plus the
         epoch, so entries die with the decomposition that produced them.
         """
+        with obs.phase_span("planner", "evaluate",
+                            label=f"{algorithm.name}:{source}",
+                            first=first, last=last, epoch=epoch) as plan_span:
+            answer = self._evaluate(
+                decomposition, algorithm, source, first, last, epoch
+            )
+            plan_span.annotate(node_hits=answer.node_hits,
+                               node_misses=answer.node_misses)
+        return answer
+
+    def _evaluate(
+        self,
+        decomposition: CommonGraphDecomposition,
+        algorithm: MonotonicAlgorithm,
+        source: int,
+        first: int,
+        last: int,
+        epoch: int,
+    ) -> PlannedAnswer:
         window = decomposition.restrict(first, last)
         grid = TriangularGrid(window)
         schedule = build_schedule(grid, "work-sharing")
@@ -127,14 +147,17 @@ class MemoizingPlanner:
 
         # Root state: cached, or one static compute on the window's ICG.
         root = schedule.root
-        root_state = self.node_cache.get(key(root))
-        if root_state is None:
-            answer.node_misses += 1
-            root_state = static_compute(base_csr, algorithm, source,
-                                        mode="sync")
-            self.node_cache.put(key(root), root_state)
-        else:
-            answer.node_hits += 1
+        with obs.phase_span("planner", "root") as root_span:
+            root_state = self.node_cache.get(key(root))
+            if root_state is None:
+                answer.node_misses += 1
+                root_span.annotate(cache="miss")
+                root_state = static_compute(base_csr, algorithm, source,
+                                            mode="sync")
+                self.node_cache.put(key(root), root_state)
+            else:
+                answer.node_hits += 1
+                root_span.annotate(cache="hit")
         answer.start_node = (first + root[0], first + root[1])
 
         values_by_snapshot: Dict[int, np.ndarray] = {}
@@ -146,23 +169,28 @@ class MemoizingPlanner:
         # schedule.edges() yields parents before children, so a state is
         # always available (computed or cached) when its child streams.
         for parent, child in schedule.edges():
-            cached = self.node_cache.get(key(child))
-            if cached is not None:
-                answer.node_hits += 1
-                states[child] = cached
-            else:
-                answer.node_misses += 1
-                batch = grid.label(parent, child)
-                state = states[parent].copy()
-                src, dst = batch.arrays()
-                incremental_additions(
-                    overlay_for(child), algorithm, state,
-                    src, dst, self.weight_fn(src, dst),
-                )
-                answer.additions_processed += len(batch)
-                answer.stabilisations += 1
-                self.node_cache.put(key(child), state)
-                states[child] = state
+            with obs.phase_span(
+                "planner", "edge", label=f"{child[0]}-{child[1]}",
+            ) as edge_span:
+                cached = self.node_cache.get(key(child))
+                if cached is not None:
+                    answer.node_hits += 1
+                    edge_span.annotate(cache="hit")
+                    states[child] = cached
+                else:
+                    answer.node_misses += 1
+                    edge_span.annotate(cache="miss")
+                    batch = grid.label(parent, child)
+                    state = states[parent].copy()
+                    src, dst = batch.arrays()
+                    incremental_additions(
+                        overlay_for(child), algorithm, state,
+                        src, dst, self.weight_fn(src, dst),
+                    )
+                    answer.additions_processed += len(batch)
+                    answer.stabilisations += 1
+                    self.node_cache.put(key(child), state)
+                    states[child] = state
             lo, hi = child
             if lo == hi:
                 values_by_snapshot[lo] = states[child].values

@@ -34,11 +34,12 @@ Design points, mirroring the rest of the codebase:
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple
 
-from repro import faults
+from repro import faults, obs
 from repro.errors import (
     DeadlineExceededError,
     ProtocolError,
@@ -180,6 +181,7 @@ class GraphService:
     def _error_response(self, request_id: Optional[Any],
                         exc: BaseException) -> Dict[str, Any]:
         self.counters["errors"] += 1
+        obs.counter_inc("repro_errors_total")
         return self._error_payload(request_id, exc)
 
     # -- dispatch ------------------------------------------------------------
@@ -196,6 +198,7 @@ class GraphService:
         return await self._handle_query(doc)
 
     async def _handle_status(self) -> Dict[str, Any]:
+        obs.counter_inc("repro_requests_total", op="status")
         loop = asyncio.get_running_loop()
         payload = await loop.run_in_executor(None, self.state.status)
         payload.update({"ok": True, "op": "status",
@@ -206,18 +209,26 @@ class GraphService:
         batch = protocol.parse_ingest_batch(doc)
         loop = asyncio.get_running_loop()
         assert self._ingest_lock is not None
+        obs.counter_inc("repro_requests_total", op="ingest")
 
         def primary() -> Dict[str, Any]:
             faults.service_check("ingest", self.state.num_versions)
             return self.state.ingest(batch)
 
         async def attempt() -> Dict[str, Any]:
-            return await loop.run_in_executor(None, primary)
+            # run_in_executor does not propagate contextvars: carry the
+            # active span into the worker thread so the store/state
+            # spans nest under this ingest's trace.
+            ctx = contextvars.copy_context()
+            return await loop.run_in_executor(None, lambda: ctx.run(primary))
 
-        async with self._ingest_lock:
-            receipt = await retry_call_async(
-                attempt, policy=self.config.retry, label="ingest",
-            )
+        with obs.timer("repro_ingest_seconds"):
+            with obs.phase_span("server", "ingest",
+                                batch_size=batch.size):
+                async with self._ingest_lock:
+                    receipt = await retry_call_async(
+                        attempt, policy=self.config.retry, label="ingest",
+                    )
         self.counters["ingests"] += 1
         receipt.update({"ok": True, "op": "ingest",
                         "batch_size": batch.size})
@@ -232,6 +243,7 @@ class GraphService:
         if inflight is not None:
             # Identical query already running: share its outcome.
             self.counters["coalesced"] += 1
+            obs.counter_inc("repro_coalesced_total")
             shared = await inflight
             response = dict(shared)
             response["coalesced"] = True
@@ -256,6 +268,7 @@ class GraphService:
 
     async def _run_query(self, doc: Dict[str, Any]) -> Dict[str, Any]:
         self.counters["queries"] += 1
+        obs.counter_inc("repro_requests_total", op="query")
         algorithm = doc["algorithm"]
         source = doc["source"]
         first, last = doc.get("first"), doc.get("last")
@@ -273,9 +286,13 @@ class GraphService:
 
         async def attempt():
             deadline.check("query")
+            # run_in_executor does not propagate contextvars: carry the
+            # root span into the worker thread so the planner/kernel
+            # spans of this attempt nest under one query trace.
+            ctx = contextvars.copy_context()
             try:
                 return await asyncio.wait_for(
-                    loop.run_in_executor(None, primary),
+                    loop.run_in_executor(None, lambda: ctx.run(primary)),
                     timeout=deadline.remaining(),
                 )
             except asyncio.TimeoutError:
@@ -288,22 +305,30 @@ class GraphService:
                 ) from None
 
         outcome = "ok"
-        try:
-            answer = await retry_call_async(
-                attempt, policy=self.config.retry, deadline=deadline,
-                label=f"query {label}",
-            )
-            if attempts[0] > 1:
-                outcome = "retried"
-                self.counters["retried"] += 1
-        except RetryExhaustedError:
-            # Primary path spent: degrade to the offline evaluator.
-            # Client errors (bad range, unknown algorithm) are not
-            # retryable, so they never reach this branch — they
-            # propagate straight to the error response.
-            answer = await self._degraded_query(doc, deadline)
-            outcome = "degraded"
-        return {
+        with obs.timer("repro_query_seconds"):
+            with obs.phase_span("server", "query", label=label,
+                                algorithm=algorithm,
+                                source=source) as root_span:
+                try:
+                    answer = await retry_call_async(
+                        attempt, policy=self.config.retry, deadline=deadline,
+                        label=f"query {label}",
+                    )
+                    if attempts[0] > 1:
+                        outcome = "retried"
+                        self.counters["retried"] += 1
+                except RetryExhaustedError:
+                    # Primary path spent: degrade to the offline
+                    # evaluator.  Client errors (bad range, unknown
+                    # algorithm) are not retryable, so they never reach
+                    # this branch — they propagate straight to the
+                    # error response.
+                    answer = await self._degraded_query(doc, deadline)
+                    outcome = "degraded"
+                root_span.annotate(outcome=outcome, attempts=attempts[0])
+        obs.counter_inc("repro_task_outcomes_total",
+                        component="service", status=outcome)
+        response = {
             "ok": True,
             "op": "query",
             "algorithm": answer.algorithm,
@@ -317,6 +342,9 @@ class GraphService:
             "outcome": outcome,
             "values": protocol.encode_values(answer.values),
         }
+        if root_span.trace_id is not None:
+            response["trace_id"] = root_span.trace_id
+        return response
 
     async def _degraded_query(self, doc: Dict[str, Any],
                               deadline: Deadline):
@@ -330,20 +358,22 @@ class GraphService:
             latest = base + state.decomposition.num_snapshots - 1
         first = doc.get("first")
         last = doc.get("last")
-        try:
-            return await asyncio.wait_for(
-                loop.run_in_executor(
-                    None, state.offline_answer,
-                    doc["algorithm"], doc["source"],
-                    base if first is None else first,
-                    latest if last is None else last,
-                ),
-                timeout=deadline.remaining(),
-            )
-        except asyncio.TimeoutError:
-            raise DeadlineExceededError(
-                "degraded query exceeded its deadline"
-            ) from None
+        with obs.phase_span("server", "degraded", label=doc["algorithm"]):
+            ctx = contextvars.copy_context()
+            try:
+                return await asyncio.wait_for(
+                    loop.run_in_executor(
+                        None, ctx.run, state.offline_answer,
+                        doc["algorithm"], doc["source"],
+                        base if first is None else first,
+                        latest if last is None else last,
+                    ),
+                    timeout=deadline.remaining(),
+                )
+            except asyncio.TimeoutError:
+                raise DeadlineExceededError(
+                    "degraded query exceeded its deadline"
+                ) from None
 
 
 class ServiceRunner:

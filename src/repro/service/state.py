@@ -42,10 +42,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.registry import get_algorithm
 from repro.core.common import CommonGraphDecomposition
 from repro.errors import ServiceError
@@ -184,6 +185,10 @@ class ServiceState:
         state so queries fail loudly instead of answering from a stale
         graph, and re-raise to the appender.
         """
+        with obs.phase_span("state", "extend", label=f"batch:{index}"):
+            self._apply_append(batch)
+
+    def _apply_append(self, batch: DeltaBatch) -> None:
         with self._lock:
             decomp: Optional[CommonGraphDecomposition] = None
             base = self.base_version
@@ -212,6 +217,7 @@ class ServiceState:
                     self._poisoned = exc
                     raise
                 self.resyncs += 1
+                obs.annotate(resync=True)
             self._poisoned = None
             self.decomposition = decomp
             self.base_version = base
@@ -260,7 +266,9 @@ class ServiceState:
         if cached is not None:
             answer.values = [values.copy() for values in cached]
             answer.from_cache = True
+            obs.annotate(result_cache="hit")
             return answer
+        obs.annotate(result_cache="miss")
         planned = self.planner.evaluate(
             decomposition, alg, source,
             first - base, last - base, epoch,
@@ -332,5 +340,43 @@ class ServiceState:
                 "max_entries": self.node_cache.max_entries,
                 **self.node_cache.stats.as_dict(),
             },
+            "observability": obs.describe(),
         })
         return payload
+
+    # -- metrics -----------------------------------------------------------
+    def register_metrics(self) -> Callable[[], None]:
+        """Publish this state's health into the active metrics registry.
+
+        Attaches a scrape-time collector (cache hit rates, epoch,
+        resync/poisoned counts) to the configured observability runtime;
+        a no-op when observability is disabled.  Returns the
+        unsubscribe callable.
+        """
+        return obs.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry: "obs.MetricsRegistry") -> None:
+        """Scrape-time bridge: CacheStats and state counters → gauges."""
+        with self._lock:
+            epoch = self.epoch
+            ingests = self.ingests
+            resyncs = self.resyncs
+            poisoned = self._poisoned is not None
+
+        def gauge(name: str, value: float, **labels: str) -> None:
+            obs.instruments.family(registry, name).labels(**labels).set(value)
+
+        gauge("repro_epoch", epoch)
+        gauge("repro_ingests", ingests)
+        gauge("repro_resyncs", resyncs)
+        gauge("repro_poisoned", 1 if poisoned else 0)
+        for label, cache in (("result", self.result_cache),
+                             ("node", self.node_cache)):
+            stats = cache.stats
+            gauge("repro_cache_hit_rate", stats.hit_rate, cache=label)
+            gauge("repro_cache_hits", stats.hits, cache=label)
+            gauge("repro_cache_misses", stats.misses, cache=label)
+            gauge("repro_cache_evictions", stats.evictions, cache=label)
+            gauge("repro_cache_invalidations", stats.invalidations,
+                  cache=label)
+            gauge("repro_cache_entries", len(cache), cache=label)

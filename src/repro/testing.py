@@ -24,6 +24,12 @@ and task failure read naturally::
     with fault_injection(plan):
         ...  # store.append "crashes" mid-write
     assert_recovers_clean(store.directory)
+
+And the observability teardown: the :mod:`repro.obs` runtime is
+process-global, so tests that :func:`repro.obs.configure` it must call
+:func:`reset_observability` afterwards (a fixture finalizer is the
+natural place).  :class:`~repro.obs.clock.FakeClock` is re-exported for
+deterministic span durations.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from repro.algorithms.base import MonotonicAlgorithm
 from repro.faults import FaultPlan, InjectedFault, active_plan, corrupt_bytes
 from repro.graph.edgeset import EdgeSet
 from repro.graph.weights import WeightFn
+from repro.obs.clock import FakeClock
 
 __all__ = [
     "reference_compute",
@@ -49,10 +56,25 @@ __all__ = [
     "fault_injection",
     "corrupt_bytes",
     "assert_recovers_clean",
+    # observability
+    "FakeClock",
+    "reset_observability",
 ]
 
 #: Context manager activating a :class:`FaultPlan` for a scope.
 fault_injection = active_plan
+
+
+def reset_observability() -> None:
+    """Tear the process-global observability runtime down (for tests).
+
+    Disables the :mod:`repro.obs` runtime installed by
+    :func:`repro.obs.configure` and clears every registered profiler
+    hook, so one test's instrumentation cannot leak into the next.
+    """
+    from repro import obs
+
+    obs.reset()
 
 
 def reference_compute(

@@ -362,3 +362,65 @@ def test_determinism_scoped_to_algorithm_packages(lint_project):
     findings = rule_findings(result, "determinism")
     # bench/ may read clocks; kickstarter/ may not.
     assert [f.path for f in findings] == ["repro/kickstarter/algo.py"]
+
+
+ALIASED_CLOCKS = """\
+    import time as t
+    from time import time
+    from datetime import datetime
+
+
+    def aliased_module():
+        return t.time()
+
+    def aliased_name():
+        return time()
+
+    def from_import_method():
+        return datetime.now()
+
+    def naked_method(event):
+        return event.utcnow()
+"""
+
+
+def test_determinism_sees_through_import_aliases(lint_project):
+    result = lint_project({"repro/core/algo.py": ALIASED_CLOCKS})
+    findings = rule_findings(result, "determinism")
+    contexts = sorted(f.context for f in findings)
+    # Aliasing the clock in does not launder it, and calendar-clock
+    # methods on arbitrary receivers are treated as wall-clock reads.
+    assert contexts == [
+        "aliased_module", "aliased_name", "from_import_method",
+        "naked_method",
+    ]
+
+
+INJECTED_CLOCK = """\
+    from repro import obs
+    from repro.obs.clock import Clock
+
+
+    class Timed:
+        def __init__(self, clock):
+            self.clock = clock
+            self._clock = clock
+
+        def measure(self):
+            start = self.clock.now()
+            with obs.phase_span("kernel", "step"):
+                pass
+            obs.counter_inc("repro_spans_total")
+            return self._clock.now() - start
+
+    def free_function(clock):
+        return clock.now()
+"""
+
+
+def test_determinism_sanctions_injected_clock_and_obs(lint_project):
+    result = lint_project({"repro/kickstarter/algo.py": INJECTED_CLOCK})
+    findings = rule_findings(result, "determinism")
+    # Injected Clock receivers (clock/_clock) and the obs facade are the
+    # sanctioned instrumentation pattern: no findings.
+    assert findings == []

@@ -1,0 +1,101 @@
+"""The ``repro obs`` CLI: scraping /metrics and tailing span logs."""
+
+from __future__ import annotations
+
+import io
+import json
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, MetricsServer, Tracer
+
+pytestmark = pytest.mark.obs
+
+
+def run_cli(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+@pytest.fixture
+def live_metrics():
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", "Requests.", ("op",)).labels(
+        op="query"
+    ).inc(3)
+    with MetricsServer(registry) as server:
+        yield server
+
+
+class TestObsDump:
+    def test_dump_prints_prometheus_text(self, live_metrics):
+        code, out, err = run_cli(
+            ["obs", "dump", "--connect", f"127.0.0.1:{live_metrics.port}"]
+        )
+        assert code == 0, err
+        assert 'repro_requests_total{op="query"} 3' in out
+
+    def test_dump_json(self, live_metrics):
+        code, out, _ = run_cli([
+            "obs", "dump", "--json",
+            "--connect", f"127.0.0.1:{live_metrics.port}",
+        ])
+        assert code == 0
+        snapshot = json.loads(out)
+        assert snapshot["repro_requests_total"]["series"][0]["value"] == 3.0
+
+    def test_dump_unreachable_exits_2(self, live_metrics):
+        port = live_metrics.port
+        live_metrics.stop()
+        code, out, err = run_cli(["obs", "dump", "--connect",
+                                  f"127.0.0.1:{port}", "--timeout", "2"])
+        assert code == 2
+        assert out == ""
+        assert "obs dump" in err
+
+
+class TestObsTail:
+    @pytest.fixture
+    def span_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(sink=path)
+        with tracer.span("server.query", label="BFS:0"):
+            with tracer.span("planner.evaluate"):
+                pass
+        with tracer.span("server.query", label="SSSP:1"):
+            pass
+        tracer.close()
+        return path
+
+    def test_tail_renders_trace_trees(self, span_file):
+        code, out, _ = run_cli(["obs", "tail", str(span_file)])
+        assert code == 0
+        lines = out.splitlines()
+        assert sum(line.startswith("trace ") for line in lines) == 2
+        assert any("server.query" in line and "label=BFS:0" in line
+                   for line in lines)
+        assert any("planner.evaluate" in line for line in lines)
+
+    def test_tail_limit(self, span_file):
+        code, out, _ = run_cli(["obs", "tail", str(span_file),
+                                "--limit", "1"])
+        assert code == 0
+        assert sum(line.startswith("trace ")
+                   for line in out.splitlines()) == 1
+        assert "SSSP:1" in out and "BFS:0" not in out
+
+    def test_tail_missing_file_exits_2(self, tmp_path):
+        code, _, err = run_cli(["obs", "tail", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "no such span file" in err
+
+    def test_tail_corrupt_file_exits_1(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("{broken\n")
+        code, _, err = run_cli(["obs", "tail", str(path)])
+        assert code == 1
+        assert "malformed" in err

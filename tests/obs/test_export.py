@@ -1,0 +1,145 @@
+"""The /metrics HTTP endpoint and the trace-tree renderer."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, MetricsServer, render_trace_trees
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+
+pytestmark = pytest.mark.obs
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers.get("Content-Type"), (
+            response.read().decode("utf-8")
+        )
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("requests_total", "Requests.", ("op",)).labels(
+        op="query"
+    ).inc(7)
+    return reg
+
+
+class TestMetricsServer:
+    def test_serves_prometheus_text(self, registry):
+        with MetricsServer(registry) as server:
+            assert server.port not in (None, 0)  # ephemeral port bound
+            status, content_type, body = fetch(f"{server.url}/metrics")
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        assert 'requests_total{op="query"} 7' in body
+
+    def test_root_path_aliases_metrics(self, registry):
+        with MetricsServer(registry) as server:
+            status, _, body = fetch(f"{server.url}/")
+        assert status == 200
+        assert "requests_total" in body
+
+    def test_serves_json_snapshot(self, registry):
+        with MetricsServer(registry) as server:
+            status, content_type, body = fetch(f"{server.url}/metrics.json")
+        assert status == 200
+        assert content_type == "application/json"
+        snapshot = json.loads(body)
+        assert snapshot["requests_total"]["series"][0]["value"] == 7.0
+
+    def test_healthz(self, registry):
+        with MetricsServer(registry) as server:
+            status, _, body = fetch(f"{server.url}/healthz")
+        assert status == 200
+        assert body == "ok\n"
+
+    def test_unknown_path_404s(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_scrape_reflects_live_updates(self, registry):
+        with MetricsServer(registry) as server:
+            registry.counter("requests_total", "Requests.", ("op",)).labels(
+                op="query"
+            ).inc()
+            _, _, body = fetch(f"{server.url}/metrics")
+        assert 'requests_total{op="query"} 8' in body
+
+    def test_double_start_rejected(self, registry):
+        server = MetricsServer(registry).start()
+        try:
+            with pytest.raises(ObservabilityError, match="already started"):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent(self, registry):
+        server = MetricsServer(registry).start()
+        server.stop()
+        server.stop()  # must not raise
+
+
+def span_doc(name, span_id, parent_id=None, trace_id="t1", start=0.0,
+             duration=0.001, status="ok", attributes=None):
+    return {
+        "name": name, "trace_id": trace_id, "span_id": span_id,
+        "parent_id": parent_id, "start": start, "end": start + duration,
+        "duration": duration, "status": status,
+        "attributes": attributes or {},
+    }
+
+
+class TestRenderTraceTrees:
+    def test_nested_rendering(self):
+        spans = [
+            span_doc("planner.evaluate", "02", parent_id="01", start=0.1),
+            span_doc("server.query", "01", duration=0.5,
+                     attributes={"label": "BFS:0", "outcome": "ok"}),
+            span_doc("kernel.static_compute", "03", parent_id="02",
+                     start=0.2),
+        ]
+        text = render_trace_trees(spans)
+        lines = text.splitlines()
+        assert lines[0] == "trace t1"
+        assert lines[1].startswith("  server.query  500.000 ms")
+        assert "(label=BFS:0, outcome=ok)" in lines[1]
+        assert lines[2].startswith("    planner.evaluate  1.000 ms")
+        assert lines[3].startswith("      kernel.static_compute")
+
+    def test_error_status_is_flagged(self):
+        text = render_trace_trees([
+            span_doc("server.query", "01", status="error"),
+        ])
+        assert "[error]" in text
+
+    def test_orphans_are_promoted_to_roots(self):
+        # The parent span was lost (truncated log); the child must still
+        # be rendered rather than silently dropped.
+        text = render_trace_trees([
+            span_doc("planner.edge", "07", parent_id="99"),
+        ])
+        assert "planner.edge" in text
+
+    def test_limit_keeps_newest_traces(self):
+        spans = [
+            span_doc("a", "01", trace_id="t1"),
+            span_doc("b", "02", trace_id="t2"),
+            span_doc("c", "03", trace_id="t3"),
+        ]
+        text = render_trace_trees(spans, limit=2)
+        assert "trace t1" not in text
+        assert "trace t2" in text and "trace t3" in text
+
+    def test_unfinished_span_renders_ellipsis(self):
+        doc = span_doc("server.query", "01")
+        doc["end"] = doc["duration"] = None
+        assert "…" in render_trace_trees([doc])

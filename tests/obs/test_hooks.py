@@ -1,0 +1,90 @@
+"""Profiling hooks: registration, delivery and misbehaving observers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import hooks
+from repro.obs.hooks import PhaseEvent
+
+pytestmark = pytest.mark.obs
+
+
+class TestRegistry:
+    def test_register_fire_unsubscribe(self):
+        events = []
+        unsubscribe = hooks.register_profiler(events.append)
+        assert hooks.has_profilers()
+        event = PhaseEvent("planner", "edge", label="0-1", seconds=0.25)
+        hooks.fire(event)
+        unsubscribe()
+        hooks.fire(PhaseEvent("planner", "edge"))
+        assert events == [event]
+        assert not hooks.has_profilers()
+
+    def test_fire_without_profilers_is_a_noop(self):
+        hooks.fire(PhaseEvent("kernel", "static_compute"))  # must not raise
+
+    def test_event_key_and_defaults(self):
+        event = PhaseEvent("store", "append")
+        assert event.key() == ("store", "append")
+        assert event.label == ""
+        assert event.seconds is None
+
+    def test_all_profilers_see_each_event(self):
+        first, second = [], []
+        hooks.register_profiler(first.append)
+        hooks.register_profiler(second.append)
+        hooks.fire(PhaseEvent("engine", "initial_compute", seconds=1.0))
+        assert len(first) == len(second) == 1
+
+
+class TestRaisingProfilers:
+    def test_raising_profiler_is_dropped_not_propagated(self):
+        healthy = []
+
+        def broken(event):
+            raise RuntimeError("observer bug")
+
+        hooks.register_profiler(broken)
+        hooks.register_profiler(healthy.append)
+        hooks.fire(PhaseEvent("server", "query"))
+        hooks.fire(PhaseEvent("server", "query"))
+        # The healthy profiler kept both events; the broken one was
+        # unregistered on its first failure and remembered.
+        assert len(healthy) == 2
+        (dropped,) = hooks.dropped_profilers()
+        assert "observer bug" in dropped
+        assert hooks.has_profilers()
+
+    def test_reset_clears_profilers_and_failure_log(self):
+        hooks.register_profiler(lambda event: 1 / 0)
+        hooks.fire(PhaseEvent("server", "query"))
+        assert hooks.dropped_profilers()
+        hooks.reset_profilers()
+        assert hooks.dropped_profilers() == []
+        assert not hooks.has_profilers()
+
+
+class TestFacadeIntegration:
+    def test_phase_span_fires_hooks_without_a_runtime(self):
+        """Profilers work standalone: no configure() call required."""
+        events = []
+        obs.register_profiler(events.append)
+        assert not obs.enabled()
+        with obs.phase_span("kernel", "static_compute", label="bfs"):
+            pass
+        (event,) = events
+        assert event.key() == ("kernel", "static_compute")
+        assert event.label == "bfs"
+        assert event.seconds is not None and event.seconds >= 0.0
+
+    def test_point_phase_fires_hooks_without_a_runtime(self):
+        events = []
+        obs.register_profiler(events.append)
+        obs.phase("parallel", "hop", label="3", seconds=0.5)
+        assert events == [PhaseEvent("parallel", "hop", "3", 0.5)]
+
+    def test_disabled_and_unobserved_phase_span_is_the_null_context(self):
+        assert obs.phase_span("kernel", "x") is obs.phase_span("kernel", "y")

@@ -1,0 +1,263 @@
+"""The metrics registry: semantics, exports and thread-safety."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        counter = Counter()
+        with pytest.raises(ObservabilityError, match="only go up"):
+            counter.inc(-1)
+        assert counter.value == 0.0
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram(boundaries=(1.0, 5.0))
+        for value in (0.5, 0.7, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.cumulative() == [
+            (1.0, 2), (5.0, 3), (float("inf"), 4),
+        ]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(104.2)
+
+    def test_histogram_boundary_is_inclusive_upper_edge(self):
+        histogram = Histogram(boundaries=(1.0,))
+        histogram.observe(1.0)
+        assert histogram.cumulative()[0] == (1.0, 1)
+
+    def test_histogram_rejects_bad_boundaries(self):
+        with pytest.raises(ObservabilityError, match="at least one"):
+            Histogram(boundaries=())
+        with pytest.raises(ObservabilityError, match="strictly increasing"):
+            Histogram(boundaries=(2.0, 1.0))
+        with pytest.raises(ObservabilityError, match="strictly increasing"):
+            Histogram(boundaries=(1.0, 1.0))
+
+    def test_default_buckets_span_sub_ms_to_ten_seconds(self):
+        assert DEFAULT_BUCKETS[0] == 0.0005
+        assert DEFAULT_BUCKETS[-1] == 10.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", "requests", ("op",))
+        again = registry.counter("requests_total", "requests", ("op",))
+        assert first is again
+
+    def test_conflicting_kind_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.gauge("thing")
+
+    def test_conflicting_labels_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", labelnames=("a",))
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.counter("thing", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="invalid metric"):
+            registry.counter("bad-name")
+        with pytest.raises(ObservabilityError, match="invalid metric"):
+            registry.counter("1starts_with_digit")
+        with pytest.raises(ObservabilityError, match="invalid metric"):
+            registry.counter("ok", labelnames=("bad label",))
+
+    def test_labels_must_match_declaration(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labelnames=("op",))
+        with pytest.raises(ObservabilityError, match="takes labels"):
+            family.labels(verb="query")
+        with pytest.raises(ObservabilityError, match="takes labels"):
+            family.labels()
+
+    def test_default_requires_label_free_family(self):
+        registry = MetricsRegistry()
+        labelled = registry.counter("requests_total", labelnames=("op",))
+        with pytest.raises(ObservabilityError, match="requires labels"):
+            labelled.default()
+        plain = registry.counter("errors_total")
+        plain.default().inc()
+        assert plain.default().value == 1.0
+
+    def test_children_one_per_label_combination(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labelnames=("op",))
+        family.labels(op="query").inc(3)
+        family.labels(op="ingest").inc()
+        assert family.labels(op="query") is family.labels(op="query")
+        assert [key for key, _ in family.children()] == [
+            ("ingest",), ("query",),
+        ]
+
+
+class TestExports:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Requests.", ("op",)).labels(
+            op="query"
+        ).inc(2)
+        registry.gauge("epoch", "Current epoch.").default().set(4)
+        histogram = registry.histogram(
+            "latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).default()
+        histogram.observe(0.05)
+        histogram.observe(5.0)
+        return registry
+
+    def test_snapshot_is_json_able(self):
+        snapshot = self.make_registry().snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["requests_total"]["kind"] == "counter"
+        (series,) = snapshot["requests_total"]["series"]
+        assert series == {"labels": {"op": "query"}, "value": 2.0}
+        buckets = snapshot["latency_seconds"]["series"][0]["buckets"]
+        assert [b["count"] for b in buckets] == [1, 1, 2]
+
+    def test_prometheus_text_format(self):
+        text = self.make_registry().render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP requests_total Requests." in lines
+        assert "# TYPE requests_total counter" in lines
+        assert 'requests_total{op="query"} 2' in lines
+        assert "# TYPE epoch gauge" in lines
+        assert "epoch 4" in lines
+        assert "# TYPE latency_seconds histogram" in lines
+        assert 'latency_seconds_bucket{le="0.1"} 1' in lines
+        assert 'latency_seconds_bucket{le="1"} 1' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 2' in lines
+        assert "latency_seconds_sum 5.05" in lines
+        assert "latency_seconds_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_prometheus_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("weird_total", labelnames=("what",)).labels(
+            what='say "hi"\nback\\slash'
+        ).inc()
+        text = registry.render_prometheus()
+        assert r'weird_total{what="say \"hi\"\nback\\slash"} 1' in text
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="line one\nline two")
+        assert r"# HELP c_total line one\nline two" in (
+            registry.render_prometheus()
+        )
+
+    def test_collectors_refresh_before_export(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("entries").default()
+        calls = []
+
+        def collector(reg):
+            calls.append(reg)
+            gauge.set(len(calls))
+
+        unsubscribe = registry.register_collector(collector)
+        assert registry.snapshot()["entries"]["series"][0]["value"] == 1.0
+        assert "entries 2" in registry.render_prometheus()
+        unsubscribe()
+        assert "entries 2" in registry.render_prometheus()
+        assert len(calls) == 2
+        assert all(reg is registry for reg in calls)
+
+
+class TestConcurrency:
+    def test_concurrent_counter_updates_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total").default()
+        threads, per_thread = 8, 500
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.value == threads * per_thread
+
+    def test_concurrent_histogram_updates_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "latency_seconds", buckets=(0.5, 1.5)
+        ).default()
+        threads, per_thread = 8, 300
+        barrier = threading.Barrier(threads)
+
+        def worker(value):
+            barrier.wait()
+            for _ in range(per_thread):
+                histogram.observe(value)
+
+        pool = [
+            threading.Thread(target=worker, args=(0.25 if i % 2 else 1.0,))
+            for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        total = threads * per_thread
+        assert histogram.count == total
+        assert histogram.cumulative() == [
+            (0.5, total // 2), (1.5, total), (float("inf"), total),
+        ]
+        assert histogram.sum == pytest.approx(
+            (0.25 + 1.0) * (total // 2)
+        )
+
+    def test_concurrent_child_creation_single_instance(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total", labelnames=("op",))
+        children = [None] * 8
+        barrier = threading.Barrier(len(children))
+
+        def worker(index):
+            barrier.wait()
+            child = family.labels(op="query")
+            child.inc()
+            children[index] = child
+
+        pool = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(children))
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert all(child is children[0] for child in children)
+        assert children[0].value == len(children)

@@ -1,0 +1,197 @@
+"""Structured tracing: nesting, sampling, clocks and the JSONL sink."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NULL_SPAN, Tracer, read_spans
+from repro.testing import FakeClock
+
+pytestmark = pytest.mark.obs
+
+
+class TestNesting:
+    def test_children_share_the_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("server.query") as root:
+            with tracer.span("planner.evaluate") as planner:
+                with tracer.span("kernel.static_compute") as kernel:
+                    assert kernel.trace_id == root.trace_id
+            assert planner.trace_id == root.trace_id
+        assert root.parent_id is None
+        assert planner.parent_id == root.span_id
+        assert kernel.parent_id == planner.span_id
+
+    def test_current_tracks_the_innermost_span(self):
+        tracer = Tracer()
+        assert tracer.current() is NULL_SPAN
+        assert tracer.current_trace_id() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+                assert tracer.current_trace_id() == outer.trace_id
+            assert tracer.current() is outer
+        assert tracer.current() is NULL_SPAN
+
+    def test_sibling_traces_get_distinct_ids(self):
+        tracer = Tracer()
+        with tracer.span("a") as first:
+            pass
+        with tracer.span("b") as second:
+            pass
+        assert first.trace_id != second.trace_id
+        assert first.span_id != second.span_id
+
+    def test_escaping_exception_marks_error_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("work") as span:
+                raise ValueError("boom")
+        assert span.status == "error"
+        assert span.end is not None
+        assert tracer.recent()[-1] is span
+
+    def test_annotate_late_wins(self):
+        tracer = Tracer()
+        with tracer.span("work", outcome="pending") as span:
+            span.annotate(outcome="ok", attempts=2)
+        assert span.attributes == {"outcome": "ok", "attempts": 2}
+
+
+class TestSampling:
+    def test_rate_zero_records_nothing(self):
+        tracer = Tracer(sample_rate=0.0)
+        with tracer.span("root") as root:
+            # Descendants of an unsampled root skip the dice entirely.
+            with tracer.span("child") as child:
+                assert child is NULL_SPAN
+        assert root is NULL_SPAN
+        assert tracer.recent() == []
+        assert tracer.started == 0
+
+    def test_rate_one_records_everything(self):
+        tracer = Tracer(sample_rate=1.0)
+        for _ in range(5):
+            with tracer.span("root"):
+                pass
+        assert tracer.started == tracer.exported == 5
+
+    def test_fractional_sampling_replays_with_the_seed(self):
+        def decisions(seed):
+            tracer = Tracer(sample_rate=0.5, seed=seed)
+            out = []
+            for _ in range(64):
+                with tracer.span("root") as span:
+                    out.append(span is not NULL_SPAN)
+            return out
+
+        assert decisions(seed=3) == decisions(seed=3)
+        assert decisions(seed=3) != decisions(seed=4)
+        kept = sum(decisions(seed=3))
+        assert 0 < kept < 64
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ObservabilityError, match="within"):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ObservabilityError, match="within"):
+            Tracer(sample_rate=-0.1)
+
+
+class TestClockAndBuffers:
+    def test_fake_clock_gives_exact_durations(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work") as span:
+            assert span.duration is None
+            clock.advance(1.25)
+        assert span.duration == 1.25
+
+    def test_ring_buffer_keeps_the_most_recent(self):
+        tracer = Tracer(max_recent=3)
+        for index in range(6):
+            with tracer.span(f"span-{index}"):
+                pass
+        assert [span.name for span in tracer.recent()] == [
+            "span-3", "span-4", "span-5",
+        ]
+        assert [span.name for span in tracer.recent(limit=2)] == [
+            "span-4", "span-5",
+        ]
+        assert tracer.exported == 6
+
+    def test_on_finish_sees_every_finished_span(self):
+        finished = []
+        tracer = Tracer(on_finish=finished.append)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in finished] == ["inner", "outer"]
+
+
+class TestSink:
+    def test_path_sink_writes_one_json_line_per_span(self, tmp_path):
+        sink = tmp_path / "spans.jsonl"
+        tracer = Tracer(sink=sink, clock=FakeClock())
+        with tracer.span("outer", label="x"):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 2
+        docs = [json.loads(line) for line in lines]
+        # Children finish first; both lines carry the full span record.
+        assert [doc["name"] for doc in docs] == ["inner", "outer"]
+        assert docs[0]["trace_id"] == docs[1]["trace_id"]
+        assert docs[1]["attributes"] == {"label": "x"}
+        assert docs[0]["duration"] is not None
+
+    def test_file_object_sink_is_not_closed(self):
+        buffer = io.StringIO()
+        tracer = Tracer(sink=buffer)
+        with tracer.span("work"):
+            pass
+        tracer.close()
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue())["name"] == "work"
+
+    def test_read_spans_resumes_from_offset(self, tmp_path):
+        sink = tmp_path / "spans.jsonl"
+        tracer = Tracer(sink=sink)
+        with tracer.span("first"):
+            pass
+        spans, offset = read_spans(sink)
+        assert [span["name"] for span in spans] == ["first"]
+        with tracer.span("second"):
+            pass
+        tracer.close()
+        more, final = read_spans(sink, offset)
+        assert [span["name"] for span in more] == ["second"]
+        assert final == sink.stat().st_size
+        assert read_spans(sink, final) == ([], final)
+
+    def test_read_spans_leaves_partial_trailing_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        whole = json.dumps({"name": "done"})
+        path.write_text(whole + "\n" + '{"name": "tor')
+        spans, offset = read_spans(path)
+        assert [span["name"] for span in spans] == ["done"]
+        assert offset == len(whole) + 1
+        # Completing the line makes it visible from the saved offset.
+        with path.open("a") as fh:
+            fh.write('n"}\n')
+        more, _ = read_spans(path, offset)
+        assert [span["name"] for span in more] == ["torn"]
+
+    def test_read_spans_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(ObservabilityError, match="malformed"):
+            read_spans(path)
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ObservabilityError, match="not an object"):
+            read_spans(path)

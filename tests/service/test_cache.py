@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -88,3 +90,78 @@ class TestLRUCache:
         cache.put("v", np.array([1.0, 2.0]))
         cache.get("v")[0] = 99.0
         assert cache.get("v")[0] == 1.0
+
+
+class TestConcurrency:
+    def test_purge_races_get_and_put(self):
+        """An epoch purge racing readers and writers stays consistent.
+
+        Keys are ``(name, epoch, i)`` with a unique ``i`` per put, so an
+        exact accounting invariant holds regardless of interleaving:
+        every inserted entry is still cached, was LRU-evicted, or was
+        purge-invalidated.  A barrier lines the three threads up each
+        round so every round genuinely races.
+        """
+        cache = LRUCache(64)
+        rounds = 200
+        barrier = threading.Barrier(3)
+        wrong_values = []
+
+        def putter():
+            for i in range(rounds):
+                barrier.wait()
+                cache.put(("k", i % 2, i), i)
+
+        def getter():
+            for i in range(rounds):
+                barrier.wait()
+                value = cache.get(("k", i % 2, i))
+                if value is not None and value != i:
+                    wrong_values.append((i, value))
+
+        def purger():
+            for _ in range(rounds):
+                barrier.wait()
+                cache.purge(lambda key: key[1] == 0)
+
+        threads = [
+            threading.Thread(target=fn) for fn in (putter, getter, purger)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert wrong_values == []
+        stats = cache.stats
+        # Only the getter looks up: one verdict per round, no losses.
+        assert stats.hits + stats.misses == rounds
+        # Every unique put is accounted for exactly once.
+        assert rounds == len(cache) + stats.evictions + stats.invalidations
+        # The last purge strictly follows the last epoch-0 put (the
+        # barrier orders them), so no epoch-0 key survives.
+        assert all(key[1] == 1 for key in cache.keys())
+
+    def test_concurrent_purges_split_the_invalidations(self):
+        cache = LRUCache(256)
+        for i in range(100):
+            cache.put(("k", i), i)
+        barrier = threading.Barrier(4)
+        dropped = [0] * 4
+
+        def purge(slot):
+            barrier.wait()
+            dropped[slot] = cache.purge(lambda key: key[1] % 2 == 0)
+
+        threads = [
+            threading.Thread(target=purge, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Each even key is dropped by exactly one purger.
+        assert sum(dropped) == 50
+        assert cache.stats.invalidations == 50
+        assert len(cache) == 50
+        assert all(key[1] % 2 == 1 for key in cache.keys())
