@@ -14,23 +14,35 @@ can track the trajectory:
   service does) vs rebuilding it from scratch from all snapshots;
 * **observability overhead** — the mixed plan again with
   :mod:`repro.obs` fully on (sampling every span, metrics collected),
-  reported as a percentage against the obs-off throughput.
+  reported as a percentage against the obs-off throughput;
+* **overload behaviour** — a seeded burst of near-simultaneous clients
+  against a deliberately small admission lane, recording the shed rate
+  and the p99 latency of the admitted requests.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict
 
 import pytest
 
-from repro import obs
+from repro import faults, obs
 from repro.core.common import CommonGraphDecomposition
+from repro.errors import ServiceOverloadedError
 from repro.evolving.store import SnapshotStore
 from repro.graph.edgeset import EdgeSet
-from repro.service import ServiceClient, ServiceRunner, ServiceState
+from repro.service import (
+    AdmissionPolicy,
+    ServiceClient,
+    ServiceConfig,
+    ServiceRunner,
+    ServiceState,
+)
 
 from conftest import BENCH_SPEC, WF
 
@@ -196,3 +208,78 @@ def test_from_scratch_rebuild(benchmark, workload):
             RESULTS["ingest_rebuild_ms"]
             / max(RESULTS["ingest_incremental_ms"], 1e-9), 2
         )
+
+
+BURST_CLIENTS = 24
+
+
+def _storm(port, round_counter, latencies, sheds):
+    """One seeded burst: every client reports a latency or a shed.
+
+    Sources are unique across rounds so no request coalesces or hits
+    the result cache; a seeded latency injection holds the first few
+    execution slots so the burst genuinely contends for admission.
+    """
+    base = next(round_counter) * BURST_CLIENTS
+    offsets = faults.burst_offsets(BURST_CLIENTS, spread=0.02, seed=11)
+    plan = faults.FaultPlan(seed=11)
+    plan.delay_service(0.05, match="query:*", times=6)
+
+    def one(index, offset):
+        time.sleep(offset)
+        start = time.perf_counter()
+        try:
+            with ServiceClient(port=port, overload_retries=0) as client:
+                client.query("BFS", base + index)
+            latencies.append(time.perf_counter() - start)
+        except ServiceOverloadedError:
+            sheds.append(index)
+
+    threads = [
+        threading.Thread(target=one, args=(i, off))
+        for i, off in enumerate(offsets)
+    ]
+    with plan.active():
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+    assert not any(t.is_alive() for t in threads)
+
+
+@pytest.mark.benchmark(group="service-overload")
+def test_burst_overload(benchmark, service_store):
+    """Shed rate and p99 admitted latency under a seeded burst.
+
+    A deliberately small admission lane (2 slots, 4 queue seats,
+    250ms queue budget) faces 24 near-simultaneous clients, so some
+    requests must be shed.  The headline numbers: what fraction was
+    shed, and the p99 latency of the requests that did get through.
+    """
+    config = ServiceConfig(
+        query_admission=AdmissionPolicy(max_concurrent=2, max_queue=4,
+                                        queue_timeout=0.25),
+    )
+    state = ServiceState(service_store, weight_fn=WF)
+    rounds = itertools.count()
+    latencies: list = []
+    sheds: list = []
+    try:
+        with ServiceRunner(state, config) as runner:
+            benchmark.pedantic(
+                _storm, args=(runner.port, rounds, latencies, sheds),
+                rounds=ROUNDS, iterations=1, warmup_rounds=0,
+            )
+    finally:
+        state.close()
+
+    total = ROUNDS * BURST_CLIENTS
+    assert len(latencies) + len(sheds) == total
+    shed_rate = len(sheds) / total
+    ordered = sorted(latencies)
+    p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+    benchmark.extra_info["shed_rate"] = round(shed_rate, 4)
+    benchmark.extra_info["p99_latency_ms"] = round(p99 * 1000, 3)
+    RESULTS["burst_shed_rate"] = round(shed_rate, 4)
+    RESULTS["burst_p99_latency_ms"] = round(p99 * 1000, 3)
+    RESULTS["burst_clients"] = BURST_CLIENTS

@@ -233,6 +233,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.resilience import RetryPolicy
+    from repro.service.admission import AdmissionPolicy
     from repro.service.server import GraphService, ServiceConfig
     from repro.service.state import ServiceState
 
@@ -265,11 +266,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.request_timeout,
         retry=RetryPolicy(max_attempts=args.retries + 1, base_delay=0.005,
                           multiplier=2.0, max_delay=0.1, retry_on=(OSError,)),
+        query_admission=AdmissionPolicy(
+            max_concurrent=args.max_concurrent,
+            max_queue=args.queue_limit,
+            queue_timeout=args.queue_timeout,
+        ),
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_reset_timeout=args.breaker_reset,
+        drain_timeout=args.drain_timeout,
     )
     service = GraphService(state, config)
 
     async def _serve() -> None:
+        import signal
+
         await service.start()
+        loop = asyncio.get_running_loop()
+        # SIGTERM/SIGINT trigger a graceful drain: stop admitting, let
+        # in-flight requests land within --drain-timeout, flush the
+        # store subscription, then stop the loop.  Signal handlers are
+        # a main-thread-only, Unix-only facility — fall back to the
+        # KeyboardInterrupt path when they are unavailable.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(service.drain()),
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                break
         print(f"serving {store.name or args.store} on "
               f"{config.host}:{service.port} "
               f"(window={args.window or 'all'}, epoch={state.epoch})")
@@ -553,6 +578,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline in seconds")
     serve.add_argument("--retries", type=int, default=2,
                        help="primary-path retries before degrading")
+    serve.add_argument("--max-concurrent", type=int, default=8,
+                       help="query execution slots before requests queue")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="queued queries beyond which requests are "
+                            "shed with an overloaded response")
+    serve.add_argument("--queue-timeout", type=float, default=5.0,
+                       help="seconds a query may wait for a slot before "
+                            "being shed")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive failures before a circuit "
+                            "breaker opens")
+    serve.add_argument("--breaker-reset", type=float, default=5.0,
+                       help="seconds an open breaker waits before "
+                            "admitting a probe")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds SIGTERM-triggered drain waits for "
+                            "in-flight requests")
     serve.add_argument("--max-weight", type=int, default=64)
     serve.add_argument("--weight-seed", type=int, default=0)
     serve.add_argument("--metrics", type=int, default=None, metavar="PORT",

@@ -51,12 +51,39 @@ class DeadlineExceededError(ResilienceError):
     """A deadline expired before the operation completed."""
 
 
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker refused the call without attempting it.
+
+    Raised while the breaker is *open* — the protected dependency kept
+    failing, so calls short-circuit instead of burning retries against
+    it.  ``retry_after`` (seconds, possibly 0) hints when the breaker
+    will next allow a probe.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ServiceError(ReproError):
     """Failure inside the live query service (bad request, bad state)."""
 
 
 class ProtocolError(ServiceError):
     """Malformed service request or response (framing, fields, types)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service shed the request instead of queueing it unboundedly.
+
+    Carried over the wire as an ``ok: false`` response with
+    ``"overloaded": true`` and a ``retry_after_ms`` hint; the client
+    helper honours the hint with a capped, jittered backoff.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: int = 0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 class LintError(ReproError):

@@ -36,6 +36,7 @@ from __future__ import annotations
 import fnmatch
 import random
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -46,6 +47,7 @@ __all__ = [
     "FaultRule",
     "InjectedFault",
     "active_plan",
+    "burst_offsets",
     "corrupt_bytes",
     "io_check",
     "service_check",
@@ -66,11 +68,13 @@ class InjectedFault(OSError):
 class FaultRule:
     """One trigger: affect matching operations ``index .. index+times-1``.
 
-    ``kind`` is ``"io"`` or ``"task"``; ``match`` is an
+    ``kind`` is ``"io"``, ``"task"`` or ``"service"``; ``match`` is an
     :mod:`fnmatch` pattern over the operation label; ``index`` is the
     0-based ordinal *among operations this rule matches*; ``action`` is
-    ``"fail"`` (raise :class:`InjectedFault`) or ``"skip"`` (suppress
-    the operation — meaningful for fsync-style ops only).
+    ``"fail"`` (raise :class:`InjectedFault`), ``"skip"`` (suppress the
+    operation — meaningful for fsync-style ops only) or ``"delay"``
+    (stall the operation for ``seconds`` before letting it proceed —
+    the latency-injection primitive of the chaos harness).
     """
 
     kind: str
@@ -78,6 +82,7 @@ class FaultRule:
     match: str = "*"
     times: int = 1
     action: str = "fail"
+    seconds: float = 0.0
     seen: int = 0
     fired: int = 0
 
@@ -141,6 +146,28 @@ class FaultPlan:
         self.rules.append(FaultRule("service", index, match, times, "fail"))
         return self
 
+    def delay_io(self, seconds: float, index: int = 0, match: str = "*",
+                 times: int = 1) -> "FaultPlan":
+        """Stall the ``index``-th matching I/O operation for ``seconds``."""
+        self.rules.append(
+            FaultRule("io", index, match, times, "delay", seconds)
+        )
+        return self
+
+    def delay_service(self, seconds: float, index: int = 0, match: str = "*",
+                      times: int = 1) -> "FaultPlan":
+        """Stall the ``index``-th matching service operation.
+
+        The latency half of the chaos harness: combined with a burst of
+        concurrent clients it fills the admission waiting room with slow
+        requests so shedding and queue-timeout behaviour can be asserted
+        deterministically (the stall count is exact, not probabilistic).
+        """
+        self.rules.append(
+            FaultRule("service", index, match, times, "delay", seconds)
+        )
+        return self
+
     def corrupt(self, path: Union[str, Path],
                 count: int = 1) -> List[Tuple[int, int, int]]:
         """Corrupt ``count`` bytes of ``path`` now, seeded by the plan."""
@@ -174,6 +201,7 @@ class FaultPlan:
 
     # -- hook implementation ------------------------------------------------
     def _check(self, kind: str, label: str) -> bool:
+        delay = 0.0
         with self._lock:
             self.events.append(label)
             action = None
@@ -181,8 +209,16 @@ class FaultPlan:
                 if rule.kind != kind:
                     continue
                 fired = rule.applies(label)
-                if fired is not None and action is None:
+                if fired is None:
+                    continue
+                if fired == "delay":
+                    delay += rule.seconds
+                elif action is None:
                     action = fired
+        if delay > 0.0:
+            # Sleep outside the lock: an injected stall must slow only
+            # the operation it hit, never serialise unrelated hooks.
+            time.sleep(delay)
         if action == "fail":
             raise InjectedFault(f"injected fault at {label}")
         return action != "skip"
@@ -236,6 +272,24 @@ def service_check(op: str, label: object) -> None:
     if plan is None:
         return
     plan._check("service", f"{op}:{label}")
+
+
+def burst_offsets(count: int, *, spread: float = 0.05,
+                  seed: int = 0) -> List[float]:
+    """Deterministic start offsets (seconds) for a burst of clients.
+
+    A chaos storm wants *near*-simultaneous arrivals, not a perfectly
+    aligned stampede — lock convoys hide behind perfect alignment.  The
+    offsets are drawn uniformly from ``[0, spread)`` with a seeded RNG
+    and returned sorted, so the same seed replays the same arrival
+    pattern exactly.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if spread < 0:
+        raise ValueError("spread must be >= 0")
+    rng = random.Random(seed)
+    return sorted(rng.uniform(0.0, spread) for _ in range(count))
 
 
 def corrupt_bytes(path: Union[str, Path], *, seed: int = 0,

@@ -1,12 +1,21 @@
 """Async-safety: no blocking calls on the event loop.
 
-Scans every ``async def`` under ``repro/service/`` for calls that
-stall the event loop: ``time.sleep``, the *sync* ``retry_call``,
-file/socket/subprocess I/O, and bare ``Future.result()`` joins.  The
-service dispatches blocking work through ``run_in_executor``; code
-inside a nested *sync* ``def`` (the executor target) is therefore not
-scanned, and a call that is directly ``await``-ed is by definition not
-a blocking sync call.
+Scans every ``async def`` under ``repro/service/`` (and in
+``repro/resilience.py``, whose retry/breaker helpers run on the loop)
+for calls that stall the event loop: ``time.sleep``, the *sync*
+``retry_call``, file/socket/subprocess I/O, bare ``Future.result()``
+joins, and zero-argument synchronisation joins (``.acquire()`` /
+``.wait()`` / ``.join()`` / ``.get()``).  The service dispatches
+blocking work through ``run_in_executor``; code inside a nested *sync*
+``def`` (the executor target) is therefore not scanned, and a call that
+is directly ``await``-ed is by definition not a blocking sync call.
+
+Synchronisation calls need one more exemption: an object *constructed
+from* ``asyncio`` (``self._semaphore = asyncio.Semaphore(...)``) has
+coroutine ``acquire``/``wait``/``get`` methods that are handed to
+``await``/``asyncio.wait_for`` rather than awaited in place — the rule
+tracks every receiver assigned from an ``asyncio.*`` constructor across
+the module and treats its methods as non-blocking.
 """
 
 from __future__ import annotations
@@ -49,21 +58,56 @@ BLOCKING_METHODS = {
     "read_text", "read_bytes", "write_text", "write_bytes",
 }
 
+#: Zero-argument synchronisation joins: blocking on ``threading`` /
+#: ``queue`` objects, coroutines on ``asyncio`` ones — flagged unless
+#: the receiver is a tracked asyncio primitive or the call is awaited.
+BLOCKING_SYNC_METHODS = {"acquire", "join", "wait", "get"}
+
 
 class AsyncSafetyRule(Rule):
     name = "async-blocking"
     title = "no blocking calls directly inside async service code"
 
     def applies_to(self, relpath: str) -> bool:
-        return relpath.startswith("repro/service/")
+        return (relpath.startswith("repro/service/")
+                or relpath == "repro/resilience.py")
 
     def check(self, module, project) -> Iterator[Finding]:
+        asyncio_receivers = self._asyncio_receivers(module.tree)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.AsyncFunctionDef):
-                yield from self._check_async_def(module, node)
+                yield from self._check_async_def(
+                    module, node, asyncio_receivers
+                )
+
+    @staticmethod
+    def _asyncio_receivers(tree: ast.AST) -> Set[str]:
+        """Names/attributes assigned from an ``asyncio.*`` constructor."""
+        receivers: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not isinstance(value, ast.Call):
+                continue
+            dotted = dotted_name(value.func)
+            if dotted is None or not dotted.startswith("asyncio."):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    receivers.add(target.attr)
+                elif isinstance(target, ast.Name):
+                    receivers.add(target.id)
+        return receivers
 
     def _check_async_def(
-        self, module, fn: ast.AsyncFunctionDef
+        self, module, fn: ast.AsyncFunctionDef,
+        asyncio_receivers: Set[str],
     ) -> Iterator[Finding]:
         awaited: Set[int] = set()
         for node in iter_statements(fn.body, into_functions=False):
@@ -74,7 +118,7 @@ class AsyncSafetyRule(Rule):
                 continue  # reported by its own walk
             if not isinstance(node, ast.Call) or id(node) in awaited:
                 continue
-            label = self._blocking_label(node)
+            label = self._blocking_label(node, asyncio_receivers)
             if label is not None:
                 yield self.finding(
                     module, node,
@@ -84,7 +128,8 @@ class AsyncSafetyRule(Rule):
                 )
 
     @staticmethod
-    def _blocking_label(call: ast.Call) -> "str | None":
+    def _blocking_label(call: ast.Call,
+                        asyncio_receivers: Set[str]) -> "str | None":
         func = call.func
         dotted = dotted_name(func)
         if dotted is not None:
@@ -101,4 +146,18 @@ class AsyncSafetyRule(Rule):
                 and not call.keywords
             ):
                 return ".result()"
+            if (
+                func.attr in BLOCKING_SYNC_METHODS
+                and not call.args
+                and not call.keywords
+            ):
+                receiver = func.value
+                if isinstance(receiver, ast.Attribute):
+                    name = receiver.attr
+                elif isinstance(receiver, ast.Name):
+                    name = receiver.id
+                else:
+                    name = None
+                if name not in asyncio_receivers:
+                    return f".{func.attr}()"
         return None

@@ -48,6 +48,36 @@ INSTRUMENTS: Dict[str, InstrumentSpec] = {
     "repro_ingest_seconds": InstrumentSpec(
         "histogram", "End-to-end service ingest latency in seconds.",
     ),
+    # -- overload protection ------------------------------------------------
+    "repro_admission_shed_total": InstrumentSpec(
+        "counter",
+        "Requests shed by admission control, by class and reason.",
+        ("kind", "reason"),
+    ),
+    "repro_admission_depth": InstrumentSpec(
+        "gauge", "Requests currently queued for an execution slot.",
+        ("kind",),
+    ),
+    "repro_admission_active": InstrumentSpec(
+        "gauge", "Requests currently holding an execution slot.",
+        ("kind",),
+    ),
+    "repro_admission_queue_high_water": InstrumentSpec(
+        "gauge", "Deepest admission queue observed since start.",
+        ("kind",),
+    ),
+    "repro_breaker_state": InstrumentSpec(
+        "gauge",
+        "Circuit breaker state (0 closed, 1 half-open, 2 open).",
+        ("breaker",),
+    ),
+    "repro_breaker_transitions_total": InstrumentSpec(
+        "counter", "Circuit breaker state transitions, by target state.",
+        ("breaker", "to"),
+    ),
+    "repro_drain_seconds": InstrumentSpec(
+        "histogram", "Time spent waiting for in-flight work during drain.",
+    ),
     # -- execution outcomes -------------------------------------------------
     "repro_task_outcomes_total": InstrumentSpec(
         "counter",
@@ -157,3 +187,19 @@ def prime(registry: MetricsRegistry) -> None:
     for name in ("repro_epoch", "repro_ingests",
                  "repro_resyncs", "repro_poisoned"):
         family(registry, name).labels()
+    shed = family(registry, "repro_admission_shed_total")
+    for kind in ("query", "ingest"):
+        for reason in ("queue_full", "timeout", "draining"):
+            shed.labels(kind=kind, reason=reason)
+    for name in ("repro_admission_depth", "repro_admission_active",
+                 "repro_admission_queue_high_water"):
+        fam = family(registry, name)
+        for kind in ("query", "ingest"):
+            fam.labels(kind=kind)
+    breaker_state = family(registry, "repro_breaker_state")
+    transitions = family(registry, "repro_breaker_transitions_total")
+    for breaker in ("planner", "store"):
+        breaker_state.labels(breaker=breaker)
+        for to in ("open", "half_open", "closed"):
+            transitions.labels(breaker=breaker, to=to)
+    family(registry, "repro_drain_seconds").labels()

@@ -9,7 +9,10 @@ Persistent storage and parallel execution both need a uniform answer to
   through nested operations;
 * :func:`retry_call` / :func:`with_retries` — run a callable under a
   policy, raising :class:`~repro.errors.RetryExhaustedError` (chaining
-  the final underlying exception) once the attempts are spent.
+  the final underlying exception) once the attempts are spent;
+* :class:`CircuitBreaker` — a closed/open/half-open short-circuit
+  around a repeatedly failing dependency, so callers stop burning
+  retries against something that is down and fall back immediately.
 
 Everything is deterministic and injectable: the sleep function and the
 clock are parameters, so tests never wait on real time, and the fault
@@ -21,13 +24,31 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import threading
 import time
 from dataclasses import dataclass
-from typing import Awaitable, Callable, Iterator, Optional, Tuple, Type, TypeVar
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+)
 
-from repro.errors import DeadlineExceededError, RetryExhaustedError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+)
+from repro.obs.clock import Clock, MonotonicClock
 
 __all__ = [
+    "CircuitBreaker",
     "RetryPolicy",
     "Deadline",
     "retry_call",
@@ -120,6 +141,204 @@ class Deadline:
         remaining = self.remaining()
         budget = "unbounded" if remaining is None else f"{remaining:.3f}s left"
         return f"Deadline({budget})"
+
+
+class CircuitBreaker:
+    """A closed/open/half-open short-circuit around a failing dependency.
+
+    State machine:
+
+    * **closed** — calls flow through; ``failure_threshold`` consecutive
+      failures trip the breaker *open*;
+    * **open** — :meth:`before_call` refuses immediately with
+      :class:`~repro.errors.CircuitOpenError` (carrying a
+      ``retry_after`` hint) until ``reset_timeout`` seconds have passed,
+      then the breaker moves to *half-open*;
+    * **half-open** — up to ``half_open_max_probes`` probe calls are
+      admitted; one success closes the breaker, one failure re-opens it
+      for another full ``reset_timeout``.
+
+    The caller drives the machine explicitly: :meth:`before_call` at the
+    top of the protected operation, then :meth:`record_success` /
+    :meth:`record_failure` with the outcome (:meth:`call` packages the
+    three for plain synchronous callables).  Time comes from an injected
+    :class:`~repro.obs.clock.Clock`, so tests crank a
+    :class:`~repro.obs.clock.FakeClock` instead of sleeping; the
+    ``on_transition`` callback (invoked outside the internal lock) lets
+    the service mirror transitions into metrics.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        name: str = "breaker",
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_max_probes: int = 1,
+        clock: Optional[Clock] = None,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        if half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_max_probes = half_open_max_probes
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = self.CLOSED  # guarded-by: _lock
+        #: Consecutive failures since the last success.
+        self._failures = 0  # guarded-by: _lock
+        self._opened_at = 0.0  # guarded-by: _lock
+        #: Probes admitted in the current half-open window.
+        self._probes = 0  # guarded-by: _lock
+        #: Every transition as ``"<from>-><to>"``, oldest first.
+        self._transitions: List[str] = []  # guarded-by: _lock
+
+    # -- state machine -------------------------------------------------------
+    def _transition(self, to: str) -> Tuple[str, str]:  # holds-lock: _lock
+        previous, self._state = self._state, to
+        self._transitions.append(f"{previous}->{to}")
+        return previous, to
+
+    def _notify(self, fired: Optional[Tuple[str, str]]) -> None:
+        """Run the transition callback outside the lock (deadlock-free)."""
+        if fired is not None and self._on_transition is not None:
+            self._on_transition(*fired)
+
+    def before_call(self, what: str = "call") -> None:
+        """Gate one protected call; raises :class:`CircuitOpenError` if shut.
+
+        While open, refuses until ``reset_timeout`` has elapsed, then
+        flips to half-open and admits up to ``half_open_max_probes``
+        probes; surplus half-open calls are refused so a thundering herd
+        cannot pile onto a barely-recovering dependency.
+        """
+        fired: Optional[Tuple[str, str]] = None
+        try:
+            with self._lock:
+                if self._state == self.OPEN:
+                    remaining = (self.reset_timeout
+                                 - (self._clock.now() - self._opened_at))
+                    if remaining > 0:
+                        raise CircuitOpenError(
+                            f"circuit {self.name!r} is open; refusing "
+                            f"{what} for another {remaining:.3f}s",
+                            retry_after=remaining,
+                        )
+                    fired = self._transition(self.HALF_OPEN)
+                    self._probes = 0
+                if self._state == self.HALF_OPEN:
+                    if self._probes >= self.half_open_max_probes:
+                        raise CircuitOpenError(
+                            f"circuit {self.name!r} is half-open and its "
+                            f"probe quota is taken; refusing {what}",
+                            retry_after=self.reset_timeout,
+                        )
+                    self._probes += 1
+        finally:
+            self._notify(fired)
+
+    def record_success(self) -> None:
+        """The protected call worked: half-open closes, failures reset."""
+        fired: Optional[Tuple[str, str]] = None
+        with self._lock:
+            self._failures = 0
+            if self._state == self.HALF_OPEN:
+                fired = self._transition(self.CLOSED)
+                self._probes = 0
+        self._notify(fired)
+
+    def record_neutral(self) -> None:
+        """Neither a success nor a failure of the *dependency*.
+
+        Client errors and expired budgets say nothing about the health
+        of the protected path, but an admitted half-open probe must
+        still be returned — otherwise a stream of client errors could
+        wedge the breaker half-open with its probe quota taken forever.
+        """
+        with self._lock:
+            if self._state == self.HALF_OPEN and self._probes > 0:
+                self._probes -= 1
+
+    def record_failure(self) -> None:
+        """The protected call failed: count it, trip open at the threshold."""
+        fired: Optional[Tuple[str, str]] = None
+        with self._lock:
+            self._failures += 1
+            if self._state == self.HALF_OPEN or (
+                self._state == self.CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock.now()
+                fired = self._transition(self.OPEN)
+                self._failures = 0
+                self._probes = 0
+        self._notify(fired)
+
+    def call(self, fn: Callable[..., T], *args: Any,
+             what: Optional[str] = None,
+             failure_on: Tuple[Type[BaseException], ...] = (Exception,),
+             **kwargs: Any) -> T:
+        """Run ``fn`` through the breaker (gate, record, propagate)."""
+        label = what or getattr(fn, "__qualname__", repr(fn))
+        self.before_call(label)
+        try:
+            result = fn(*args, **kwargs)
+        except failure_on:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if (self._state == self.OPEN
+                    and self._clock.now() - self._opened_at
+                    >= self.reset_timeout):
+                # Probe window reached: report half-open without waiting
+                # for the next before_call to make the transition.
+                return self.HALF_OPEN
+            return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe is admitted (0 unless open)."""
+        with self._lock:
+            if self._state != self.OPEN:
+                return 0.0
+            return max(
+                0.0,
+                self.reset_timeout - (self._clock.now() - self._opened_at),
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe health payload for status endpoints and tests."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+                "opens": sum(
+                    1 for t in self._transitions if t.endswith("->" + self.OPEN)
+                ),
+                "transitions": list(self._transitions),
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.name!r}, state={self.state!r})"
 
 
 def retry_call(

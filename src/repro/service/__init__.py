@@ -9,8 +9,11 @@ A long-lived serving layer over a :class:`~repro.evolving.store.SnapshotStore`:
   results and per-ICG-node converged states;
 * :mod:`repro.service.planner` — the memoizing work-sharing planner
   that shares interior-ICG states across queries;
+* :mod:`repro.service.admission` — bounded admission lanes that shed
+  load explicitly instead of queueing without limit;
 * :mod:`repro.service.server` — the asyncio JSON-lines front end
-  (request coalescing, deadlines, graceful degradation);
+  (request coalescing, deadlines, circuit breakers, graceful
+  degradation and drain);
 * :mod:`repro.service.client` — a small blocking client;
 * :mod:`repro.service.status` — the machine-readable store/service
   summary shared with ``python -m repro info --json``.
@@ -18,6 +21,7 @@ A long-lived serving layer over a :class:`~repro.evolving.store.SnapshotStore`:
 See ``docs/service.md`` for the protocol and the cache/epoch semantics.
 """
 
+from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.service.cache import CacheStats, LRUCache
 from repro.service.client import ServiceClient
 from repro.service.planner import MemoizingPlanner, PlannedAnswer
@@ -26,6 +30,8 @@ from repro.service.state import QueryAnswer, ServiceState
 from repro.service.status import store_summary
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
     "CacheStats",
     "GraphService",
     "LRUCache",

@@ -4,16 +4,27 @@ Used by the ``python -m repro query`` subcommand, the tests and the
 benchmarks.  One socket, JSON lines both ways; every request blocks for
 its response (the server supports pipelining, the client keeps it
 simple).
+
+Overload handling: when the server sheds a request (``"overloaded":
+true`` with a ``retry_after_ms`` hint) the client raises
+:class:`~repro.errors.ServiceOverloadedError` — but ``query`` and
+``ingest`` first retry up to ``overload_retries`` times, sleeping a
+*jittered* fraction of the server's hint (capped by
+``max_retry_sleep``).  The jitter RNG is seeded, so tests replay the
+exact backoff schedule; the jitter itself keeps a fleet of shed clients
+from re-arriving as one synchronised stampede.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import ProtocolError, ServiceError
+from repro.errors import ProtocolError, ServiceError, ServiceOverloadedError
 from repro.service import protocol
 
 __all__ = ["ServiceClient"]
@@ -23,10 +34,20 @@ class ServiceClient:
     """Blocking JSON-lines client; usable as a context manager."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7421,
-                 timeout: Optional[float] = 30.0) -> None:
+                 timeout: Optional[float] = 30.0, *,
+                 overload_retries: int = 2,
+                 max_retry_sleep: float = 1.0,
+                 seed: int = 0) -> None:
+        if overload_retries < 0:
+            raise ValueError("overload_retries must be >= 0")
+        if max_retry_sleep < 0:
+            raise ValueError("max_retry_sleep must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.overload_retries = overload_retries
+        self.max_retry_sleep = max_retry_sleep
+        self._rng = random.Random(seed)
         self._sock: Optional[socket.socket] = None
         self._file = None
 
@@ -72,14 +93,40 @@ class ServiceClient:
         return protocol.decode_line(line)
 
     def request_ok(self, doc: Dict[str, Any]) -> Dict[str, Any]:
-        """Like :meth:`request`, raising :class:`ServiceError` on errors."""
+        """Like :meth:`request`, raising :class:`ServiceError` on errors.
+
+        A shed response becomes :class:`ServiceOverloadedError` carrying
+        the server's ``retry_after_ms`` hint so callers can back off.
+        """
         response = self.request(doc)
         if not response.get("ok"):
-            raise ServiceError(
-                f"{response.get('error_type', 'error')}: "
-                f"{response.get('error', 'unknown service error')}"
-            )
+            message = (f"{response.get('error_type', 'error')}: "
+                       f"{response.get('error', 'unknown service error')}")
+            if response.get("overloaded"):
+                raise ServiceOverloadedError(
+                    message,
+                    retry_after_ms=int(response.get("retry_after_ms", 0)),
+                )
+            raise ServiceError(message)
         return response
+
+    def _request_retrying_overload(self,
+                                   doc: Dict[str, Any]) -> Dict[str, Any]:
+        """``request_ok`` with overload retries honouring the hint."""
+        for attempt in range(self.overload_retries + 1):
+            try:
+                return self.request_ok(doc)
+            except ServiceOverloadedError as exc:
+                if attempt == self.overload_retries:
+                    raise
+                self._overload_sleep(exc.retry_after_ms)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _overload_sleep(self, retry_after_ms: int) -> None:
+        """Sleep 50–100% of the hint, never longer than the cap."""
+        hint = max(retry_after_ms, 1) / 1000.0
+        jittered = hint * (0.5 + self._rng.random() / 2)
+        time.sleep(min(jittered, self.max_retry_sleep))
 
     # -- typed operations ---------------------------------------------------------
     def ping(self) -> bool:
@@ -98,8 +145,14 @@ class ServiceClient:
         source: int,
         first: Optional[int] = None,
         last: Optional[int] = None,
+        timeout_ms: Optional[int] = None,
     ) -> Dict[str, Any]:
-        """Run a range query; ``values`` is decoded to float64 arrays."""
+        """Run a range query; ``values`` is decoded to float64 arrays.
+
+        ``timeout_ms`` ships the client's end-to-end budget to the
+        server, which charges admission queueing, retries and execution
+        against it as one deadline.
+        """
         doc: Dict[str, Any] = {
             "op": "query", "algorithm": algorithm, "source": source,
         }
@@ -107,7 +160,9 @@ class ServiceClient:
             doc["first"] = first
         if last is not None:
             doc["last"] = last
-        response = self.request_ok(doc)
+        if timeout_ms is not None:
+            doc["timeout_ms"] = timeout_ms
+        response = self._request_retrying_overload(doc)
         response["values"] = self.decode_values(response.get("values", []))
         return response
 
@@ -115,12 +170,16 @@ class ServiceClient:
         self,
         additions: Optional[List[List[int]]] = None,
         deletions: Optional[List[List[int]]] = None,
+        timeout_ms: Optional[int] = None,
     ) -> Dict[str, Any]:
-        return self.request_ok({
+        doc: Dict[str, Any] = {
             "op": "ingest",
             "additions": additions or [],
             "deletions": deletions or [],
-        })
+        }
+        if timeout_ms is not None:
+            doc["timeout_ms"] = timeout_ms
+        return self._request_retrying_overload(doc)
 
     @staticmethod
     def decode_values(encoded: Any) -> List[np.ndarray]:

@@ -16,6 +16,10 @@ Operations::
      "deletions": [[u, v], ...]}
     {"op": "shutdown"}
 
+Query and ingest requests may carry an optional ``timeout_ms`` — the
+client's end-to-end budget for the request, capped server-side by the
+configured ``request_timeout``.
+
 Responses are ``{"ok": true, ...payload}`` or ``{"ok": false,
 "error": "...", "error_type": "..."}``; query responses additionally
 carry ``outcome`` (``"ok"`` / ``"retried"`` / ``"degraded"``) following
@@ -54,8 +58,9 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 
 OPS = ("ping", "status", "query", "ingest", "shutdown")
 
-_QUERY_FIELDS = {"op", "id", "algorithm", "source", "first", "last"}
-_INGEST_FIELDS = {"op", "id", "additions", "deletions"}
+_QUERY_FIELDS = {"op", "id", "algorithm", "source", "first", "last",
+                 "timeout_ms"}
+_INGEST_FIELDS = {"op", "id", "additions", "deletions", "timeout_ms"}
 
 
 def encode_line(message: Dict[str, Any]) -> bytes:
@@ -106,11 +111,25 @@ def validate_request(doc: Dict[str, Any]) -> Dict[str, Any]:
         _require_int(doc, "source")
         _require_int(doc, "first", optional=True)
         _require_int(doc, "last", optional=True)
+        _require_timeout(doc)
     elif op == "ingest":
         unknown = set(doc) - _INGEST_FIELDS
         if unknown:
             raise ProtocolError(f"unknown ingest fields {sorted(unknown)}")
+        _require_timeout(doc)
     return doc
+
+
+def _require_timeout(doc: Dict[str, Any]) -> Optional[int]:
+    """``timeout_ms`` — the client's end-to-end budget, if any.
+
+    The server caps it with its own ``request_timeout``; the budget then
+    covers admission queueing, retries and execution as one deadline.
+    """
+    timeout_ms = _require_int(doc, "timeout_ms", optional=True)
+    if timeout_ms is not None and timeout_ms <= 0:
+        raise ProtocolError("field 'timeout_ms' must be a positive integer")
+    return timeout_ms
 
 
 def parse_edge_pairs(pairs: Any, field: str) -> EdgeSet:

@@ -3,32 +3,53 @@
 Request lifecycle::
 
     client line ──> validate (protocol) ──> dispatch
-        query  ──> coalesce identical in-flight ──> executor thread
+        query  ──> coalesce identical in-flight ──> admission slot
+                   ──> circuit breaker gate ──> executor thread
                    (fault hook + memoizing planner) under retry/deadline
                    ──> degraded fallback (offline evaluator) if the
-                   primary path is exhausted
-        ingest ──> serialised, executor thread (fault hook + store
-                   append + incremental decomposition extension)
-        status ──> store/window/epoch/cache payload (health check)
+                   primary path is exhausted or the breaker is open
+        ingest ──> admission slot ──> breaker gate ──> serialised,
+                   executor thread (fault hook + store append +
+                   incremental decomposition extension)
+        status ──> store/window/epoch/cache payload + lifecycle,
+                   admission and breaker health (health check)
 
 Design points, mirroring the rest of the codebase:
 
 * **Coalescing** — concurrent identical queries (same algorithm,
   source, range) share one execution; followers await the leader's
   future and receive the same response payload.
-* **Deadlines / retries** — every query carries a
-  :class:`~repro.resilience.Deadline`; primary attempts run under
-  :func:`~repro.resilience.retry_call_async` with an I/O-style policy,
-  so an injected or transient fault is healed by a retry
-  (``outcome: "retried"``).
-* **Graceful degradation** — when retries are spent the server answers
-  from the plain offline evaluator, bypassing planner and caches
-  (``outcome: "degraded"``), consistent with the parallel evaluators'
-  :class:`~repro.core.parallel.TaskOutcome` model.  Client errors (bad
-  range, unknown algorithm, malformed batch) are never retried.
+* **Admission control** — queries and ingests each pass a bounded
+  :class:`~repro.service.admission.AdmissionController` lane before
+  touching an executor thread; a full waiting room or an expired queue
+  budget sheds the request with an explicit ``overloaded`` response
+  (``retry_after_ms`` hint) instead of buffering without limit.
+* **Deadlines / retries** — the client-supplied ``timeout_ms`` (capped
+  by the server's ``request_timeout``) becomes one shared
+  :class:`~repro.resilience.Deadline` that flows through admission
+  wait → retry policy → executor dispatch, so a request never queues,
+  retries or sleeps past its own budget.
+* **Circuit breakers** — the planner executor path and the store
+  append path each sit behind a
+  :class:`~repro.resilience.CircuitBreaker`; repeated exhausted-retry
+  failures trip it open, after which queries short-circuit straight to
+  the degraded fallback (no retry burn) and ingests fail fast with a
+  ``retry_after_ms`` hint until a half-open probe heals the breaker.
+* **Graceful degradation** — when retries are spent (or the breaker is
+  open) the server answers from the plain offline evaluator, bypassing
+  planner and caches (``outcome: "degraded"``), consistent with the
+  parallel evaluators' :class:`~repro.core.parallel.TaskOutcome` model.
+  Client errors (bad range, unknown algorithm, malformed batch) are
+  never retried and never trip the breaker.
+* **Graceful drain** — :meth:`GraphService.drain` stops accepting new
+  work (admission sheds with reason ``"draining"``), lets in-flight
+  requests finish within a drain deadline, flushes the store
+  subscription and only then stops the loop; ``status`` exposes
+  ``live`` / ``ready`` / ``draining`` so orchestrators can sequence
+  rollouts.
 * **Fault hooks** — the primary query/ingest paths call
-  :func:`repro.faults.service_check`, so tests inject failures
-  deterministically; the degraded path is un-instrumented.
+  :func:`repro.faults.service_check`, so tests inject failures and
+  latency deterministically; the degraded path is un-instrumented.
 """
 
 from __future__ import annotations
@@ -41,20 +62,36 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from repro import faults, obs
 from repro.errors import (
+    CircuitOpenError,
     DeadlineExceededError,
     ProtocolError,
     ReproError,
     RetryExhaustedError,
     ServiceError,
+    ServiceOverloadedError,
 )
-from repro.resilience import Deadline, RetryPolicy, retry_call_async
+from repro.obs.clock import Clock
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    retry_call_async,
+)
 from repro.service import protocol
+from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.service.state import ServiceState
 
 __all__ = ["GraphService", "ServiceConfig", "ServiceRunner"]
 
 #: Coalescing key of a query: algorithm, source, first, last (as sent).
 QueryKey = Tuple[str, int, Optional[int], Optional[int]]
+
+#: Breaker states as gauge values (``repro_breaker_state``).
+BREAKER_STATE_VALUES = {
+    CircuitBreaker.CLOSED: 0,
+    CircuitBreaker.HALF_OPEN: 1,
+    CircuitBreaker.OPEN: 2,
+}
 
 
 @dataclass
@@ -64,12 +101,33 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 0  # 0 = pick an ephemeral port
     #: Per-request wall-clock budget in seconds (``None`` = unbounded).
+    #: A client-supplied ``timeout_ms`` can only shrink it, never grow.
     request_timeout: Optional[float] = 30.0
     #: Retry policy for the primary query/ingest paths.
     retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(
         max_attempts=3, base_delay=0.005, multiplier=2.0, max_delay=0.1,
         retry_on=(OSError,),
     ))
+    #: Admission bounds per request class (the overload valve).
+    query_admission: AdmissionPolicy = field(
+        default_factory=lambda: AdmissionPolicy(
+            max_concurrent=8, max_queue=64, queue_timeout=5.0,
+        ))
+    ingest_admission: AdmissionPolicy = field(
+        default_factory=lambda: AdmissionPolicy(
+            max_concurrent=1, max_queue=32, queue_timeout=10.0,
+        ))
+    #: Consecutive exhausted-retry failures before a breaker opens.
+    breaker_failure_threshold: int = 5
+    #: Seconds an open breaker waits before admitting a probe.
+    breaker_reset_timeout: float = 5.0
+    #: Hard cap on one request line; longer lines are rejected with a
+    #: ``ProtocolError`` response instead of being buffered into memory.
+    max_line_bytes: int = 1 << 20
+    #: Default budget for :meth:`GraphService.drain`.
+    drain_timeout: float = 10.0
+    #: Injected time source for the breakers (tests pass ``FakeClock``).
+    clock: Optional[Clock] = None
 
 
 class GraphService:
@@ -82,22 +140,55 @@ class GraphService:
         self.counters: Dict[str, int] = {
             "connections": 0, "requests": 0, "queries": 0, "coalesced": 0,
             "ingests": 0, "retried": 0, "degraded": 0, "errors": 0,
+            "shed": 0, "breaker_fastfail": 0,
         }
+        self.admission = AdmissionController(
+            query=self.config.query_admission,
+            ingest=self.config.ingest_admission,
+        )
+        self.query_breaker = self._make_breaker("planner")
+        self.store_breaker = self._make_breaker("store")
         self._inflight: Dict[QueryKey, "asyncio.Future[Dict[str, Any]]"] = {}
         self._ingest_lock: Optional[asyncio.Lock] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop: Optional[asyncio.Event] = None
         self._writers: Set[asyncio.StreamWriter] = set()
+        # Lifecycle (all event-loop-confined).
+        self._live = False
+        self._draining = False
+        self._drain_report: Optional[Dict[str, Any]] = None
+        self._inflight_requests = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._unregister_collector = lambda: None
+
+    def _make_breaker(self, name: str) -> CircuitBreaker:
+        def record_transition(previous: str, to: str) -> None:
+            obs.counter_inc("repro_breaker_transitions_total",
+                            breaker=name, to=to)
+
+        return CircuitBreaker(
+            name,
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout=self.config.breaker_reset_timeout,
+            clock=self.config.clock,
+            on_transition=record_transition,
+        )
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
         self._ingest_lock = asyncio.Lock()
         self._stop = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
-            limit=protocol.MAX_LINE_BYTES,
+            limit=self.config.max_line_bytes,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._live = True
+        self._unregister_collector = obs.register_collector(
+            self._collect_metrics
+        )
 
     def request_stop(self) -> None:
         """Stop accepting and drop open connections (idempotent)."""
@@ -112,11 +203,82 @@ class GraphService:
         for writer in list(self._writers):
             writer.close()
         await self._server.wait_closed()
+        self._live = False
+        self._unregister_collector()
 
     async def run(self) -> None:
         """Start and serve until stopped (the CLI entry point)."""
         await self.start()
         await self.wait_closed()
+
+    async def drain(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Graceful shutdown: stop admitting, finish in-flight, stop.
+
+        Sequence: flag the service as draining (admission sheds every
+        not-yet-admitted query/ingest with reason ``"draining"``), close
+        the listener so no new connections arrive, wait up to the drain
+        deadline for in-flight requests to land, flush the store
+        subscription, then stop the serve loop.  Idempotent: a second
+        call returns the first call's report.
+        """
+        if self._draining:
+            return dict(self._drain_report or {"draining": True})
+        self._draining = True
+        budget = self.config.drain_timeout if timeout is None else timeout
+        deadline = Deadline.after(budget)
+        self.admission.begin_drain()
+        if self._server is not None:
+            self._server.close()
+        with obs.timer("repro_drain_seconds"):
+            assert self._idle is not None
+            remaining = deadline.remaining()
+            if self._inflight_requests > 0:
+                try:
+                    await asyncio.wait_for(self._idle.wait(),
+                                           timeout=remaining)
+                except asyncio.TimeoutError:
+                    pass
+        abandoned = self._inflight_requests
+        self.state.close()  # flush the store subscription
+        report = {
+            "drained": abandoned == 0,
+            "abandoned_requests": abandoned,
+            "abandoned_futures": len(self._inflight),
+            "shed_total": self.admission.total_shed(),
+        }
+        self._drain_report = report
+        self.request_stop()
+        return report
+
+    def _lifecycle_payload(self, serving: bool = True) -> Dict[str, Any]:
+        """``live`` / ``ready`` / ``draining`` for orchestrators.
+
+        *live* — the listener exists (restart me if false); *ready* —
+        accepting new work (route traffic only if true); *draining* —
+        shutting down gracefully (stop routing, don't kill yet).
+        """
+        return {
+            "live": self._live,
+            "ready": self._live and serving and not self._draining,
+            "draining": self._draining,
+        }
+
+    def _collect_metrics(self, registry: "obs.MetricsRegistry") -> None:
+        """Scrape-time bridge: admission + breaker health → gauges."""
+        def gauge(name: str, value: float, **labels: str) -> None:
+            obs.instruments.family(registry, name).labels(**labels).set(value)
+
+        snapshot = self.admission.snapshot()
+        for kind in ("query", "ingest"):
+            gate = snapshot[kind]
+            gauge("repro_admission_depth", gate["waiting"], kind=kind)
+            gauge("repro_admission_active", gate["active"], kind=kind)
+            gauge("repro_admission_queue_high_water", gate["max_depth"],
+                  kind=kind)
+        for breaker in (self.query_breaker, self.store_breaker):
+            gauge("repro_breaker_state",
+                  BREAKER_STATE_VALUES[breaker.snapshot()["state"]],
+                  breaker=breaker.name)
 
     # -- connection handling -------------------------------------------------
     async def _handle_connection(
@@ -129,8 +291,16 @@ class GraphService:
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
+                    # The line outgrew max_line_bytes: answer with a
+                    # protocol error and drop the connection — the
+                    # stream cannot be resynchronised mid-line, and
+                    # reading further would buffer attacker-controlled
+                    # bytes into memory.
                     await self._send(writer, self._error_response(
-                        None, ProtocolError("request line too long")))
+                        None, ProtocolError(
+                            "request line exceeds "
+                            f"{self.config.max_line_bytes} bytes"
+                        )))
                     break
                 if not line:
                     break
@@ -152,6 +322,9 @@ class GraphService:
 
     async def _handle_line(self, line: bytes) -> Dict[str, Any]:
         self.counters["requests"] += 1
+        self._inflight_requests += 1
+        if self._idle is not None:
+            self._idle.clear()
         request_id = None
         try:
             doc = protocol.decode_line(line)
@@ -162,6 +335,10 @@ class GraphService:
             response = self._error_response(request_id, exc)
         except Exception as exc:  # never let a handler kill the server
             response = self._error_response(request_id, exc)
+        finally:
+            self._inflight_requests -= 1
+            if self._inflight_requests == 0 and self._idle is not None:
+                self._idle.set()
         if request_id is not None:
             response["id"] = request_id
         return response
@@ -174,6 +351,15 @@ class GraphService:
             "error": str(exc),
             "error_type": type(exc).__name__,
         }
+        if isinstance(exc, ServiceOverloadedError):
+            response["overloaded"] = True
+            response["retry_after_ms"] = exc.retry_after_ms
+            if self._draining:
+                response["draining"] = True
+        elif isinstance(exc, CircuitOpenError):
+            response["retry_after_ms"] = max(
+                0, int(exc.retry_after * 1000)
+            )
         if request_id is not None:
             response["id"] = request_id
         return response
@@ -181,6 +367,8 @@ class GraphService:
     def _error_response(self, request_id: Optional[Any],
                         exc: BaseException) -> Dict[str, Any]:
         self.counters["errors"] += 1
+        if isinstance(exc, ServiceOverloadedError):
+            self.counters["shed"] += 1
         obs.counter_inc("repro_errors_total")
         return self._error_payload(request_id, exc)
 
@@ -197,12 +385,38 @@ class GraphService:
             return await self._handle_ingest(doc)
         return await self._handle_query(doc)
 
+    def _request_deadline(self, doc: Dict[str, Any]) -> Deadline:
+        """One shared budget: ``min(server cap, client timeout_ms)``.
+
+        The resulting deadline gates the admission wait, the retry
+        policy, and every executor dispatch of this request.
+        """
+        budget = self.config.request_timeout
+        timeout_ms = doc.get("timeout_ms")
+        if timeout_ms is not None:
+            client_budget = timeout_ms / 1000.0
+            budget = (client_budget if budget is None
+                      else min(budget, client_budget))
+        return (Deadline.after(budget) if budget is not None
+                else Deadline.never())
+
     async def _handle_status(self) -> Dict[str, Any]:
         obs.counter_inc("repro_requests_total", op="status")
         loop = asyncio.get_running_loop()
         payload = await loop.run_in_executor(None, self.state.status)
-        payload.update({"ok": True, "op": "status",
-                        "server": dict(self.counters)})
+        payload.update({
+            "ok": True,
+            "op": "status",
+            "server": dict(self.counters),
+            "lifecycle": self._lifecycle_payload(
+                serving=bool(payload.get("serving", True))
+            ),
+            "admission": self.admission.snapshot(),
+            "breakers": {
+                breaker.name: breaker.snapshot()
+                for breaker in (self.query_breaker, self.store_breaker)
+            },
+        })
         return payload
 
     async def _handle_ingest(self, doc: Dict[str, Any]) -> Dict[str, Any]:
@@ -210,25 +424,54 @@ class GraphService:
         loop = asyncio.get_running_loop()
         assert self._ingest_lock is not None
         obs.counter_inc("repro_requests_total", op="ingest")
+        deadline = self._request_deadline(doc)
 
         def primary() -> Dict[str, Any]:
             faults.service_check("ingest", self.state.num_versions)
             return self.state.ingest(batch)
 
         async def attempt() -> Dict[str, Any]:
+            deadline.check("ingest")
             # run_in_executor does not propagate contextvars: carry the
             # active span into the worker thread so the store/state
             # spans nest under this ingest's trace.
             ctx = contextvars.copy_context()
-            return await loop.run_in_executor(None, lambda: ctx.run(primary))
+            try:
+                return await asyncio.wait_for(
+                    loop.run_in_executor(None, lambda: ctx.run(primary)),
+                    timeout=deadline.remaining(),
+                )
+            except asyncio.TimeoutError:
+                raise DeadlineExceededError(
+                    "ingest exceeded its deadline"
+                ) from None
 
+        breaker = self.store_breaker
         with obs.timer("repro_ingest_seconds"):
             with obs.phase_span("server", "ingest",
                                 batch_size=batch.size):
-                async with self._ingest_lock:
-                    receipt = await retry_call_async(
-                        attempt, policy=self.config.retry, label="ingest",
-                    )
+                async with self.admission.slot("ingest", deadline,
+                                               what="ingest"):
+                    # An open store breaker fails fast (CircuitOpenError
+                    # response with retry_after_ms) instead of burning
+                    # retries into a store that keeps failing.
+                    breaker.before_call("ingest")
+                    recorded = False
+                    try:
+                        async with self._ingest_lock:
+                            receipt = await retry_call_async(
+                                attempt, policy=self.config.retry,
+                                deadline=deadline, label="ingest",
+                            )
+                        breaker.record_success()
+                        recorded = True
+                    except RetryExhaustedError:
+                        breaker.record_failure()
+                        recorded = True
+                        raise
+                    finally:
+                        if not recorded:
+                            breaker.record_neutral()
         self.counters["ingests"] += 1
         receipt.update({"ok": True, "op": "ingest",
                         "batch_size": batch.size})
@@ -272,9 +515,7 @@ class GraphService:
         algorithm = doc["algorithm"]
         source = doc["source"]
         first, last = doc.get("first"), doc.get("last")
-        timeout = self.config.request_timeout
-        deadline = (Deadline.after(timeout) if timeout is not None
-                    else Deadline.never())
+        deadline = self._request_deadline(doc)
         loop = asyncio.get_running_loop()
         attempts = [0]
         label = f"{algorithm}:{source}:{first}:{last}"
@@ -301,30 +542,18 @@ class GraphService:
                 # deadline expiry would race a duplicate attempt against
                 # the still-running executor task.
                 raise DeadlineExceededError(
-                    f"query {label} exceeded its {timeout}s deadline"
+                    f"query {label} exceeded its deadline"
                 ) from None
 
-        outcome = "ok"
         with obs.timer("repro_query_seconds"):
             with obs.phase_span("server", "query", label=label,
                                 algorithm=algorithm,
                                 source=source) as root_span:
-                try:
-                    answer = await retry_call_async(
-                        attempt, policy=self.config.retry, deadline=deadline,
-                        label=f"query {label}",
+                async with self.admission.slot("query", deadline,
+                                               what=f"query {label}"):
+                    answer, outcome = await self._execute_query(
+                        doc, attempt, attempts, deadline, label,
                     )
-                    if attempts[0] > 1:
-                        outcome = "retried"
-                        self.counters["retried"] += 1
-                except RetryExhaustedError:
-                    # Primary path spent: degrade to the offline
-                    # evaluator.  Client errors (bad range, unknown
-                    # algorithm) are not retryable, so they never reach
-                    # this branch — they propagate straight to the
-                    # error response.
-                    answer = await self._degraded_query(doc, deadline)
-                    outcome = "degraded"
                 root_span.annotate(outcome=outcome, attempts=attempts[0])
         obs.counter_inc("repro_task_outcomes_total",
                         component="service", status=outcome)
@@ -345,6 +574,51 @@ class GraphService:
         if root_span.trace_id is not None:
             response["trace_id"] = root_span.trace_id
         return response
+
+    async def _execute_query(self, doc, attempt, attempts, deadline, label):
+        """The breaker-gated primary path, falling back to degraded.
+
+        Returns ``(answer, outcome)``.  The breaker counts *requests*
+        (one ``before_call`` each), not attempts: a retried-then-healed
+        request records one success, an exhausted one records one
+        failure, and anything that says nothing about the planner's
+        health (client errors, expired budgets) records neutrally so a
+        half-open probe is always returned.
+        """
+        breaker = self.query_breaker
+        try:
+            breaker.before_call(f"query {label}")
+        except CircuitOpenError:
+            # Short-circuit: no retries against a path that keeps
+            # failing — answer from the offline evaluator immediately.
+            self.counters["breaker_fastfail"] += 1
+            obs.annotate(breaker="open")
+            answer = await self._degraded_query(doc, deadline)
+            return answer, "degraded"
+        recorded = False
+        try:
+            answer = await retry_call_async(
+                attempt, policy=self.config.retry, deadline=deadline,
+                label=f"query {label}",
+            )
+            breaker.record_success()
+            recorded = True
+            if attempts[0] > 1:
+                self.counters["retried"] += 1
+                return answer, "retried"
+            return answer, "ok"
+        except RetryExhaustedError:
+            # Primary path spent: degrade to the offline evaluator.
+            # Client errors (bad range, unknown algorithm) are not
+            # retryable, so they never reach this branch — they
+            # propagate straight to the error response.
+            breaker.record_failure()
+            recorded = True
+            answer = await self._degraded_query(doc, deadline)
+            return answer, "degraded"
+        finally:
+            if not recorded:
+                breaker.record_neutral()
 
     async def _degraded_query(self, doc: Dict[str, Any],
                               deadline: Deadline):
@@ -381,8 +655,9 @@ class ServiceRunner:
 
     For tests, benchmarks and embedding: the caller's thread stays free,
     the service gets its own event loop, and ``stop()`` (or the context
-    manager exit) tears everything down.  ``port`` is available once the
-    context is entered.
+    manager exit) tears everything down.  ``drain()`` performs the
+    graceful variant and returns the drain report.  ``port`` is
+    available once the context is entered.
     """
 
     def __init__(self, state: ServiceState,
@@ -411,9 +686,37 @@ class ServiceRunner:
 
     def stop(self) -> None:
         if self._loop is not None and self.service is not None:
-            self._loop.call_soon_threadsafe(self.service.request_stop)
+            try:
+                self._loop.call_soon_threadsafe(self.service.request_stop)
+            except RuntimeError:
+                pass  # loop already closed (a drain beat us to it)
         if self._thread is not None:
             self._thread.join(timeout=30)
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Gracefully drain the service and join the serve thread.
+
+        Blocks the calling thread until the drain report is available
+        (at most the drain deadline plus scheduling slack), then joins
+        the serve loop.  Raises :class:`ServiceError` if the service
+        never started.
+        """
+        if self._loop is None or self.service is None:
+            raise ServiceError("cannot drain: the service never started")
+        budget = (timeout if timeout is not None
+                  else self.config.drain_timeout)
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.drain(timeout), self._loop
+        )
+        try:
+            report = future.result(timeout=budget + 30)
+        except TimeoutError:
+            raise ServiceError(
+                "drain did not complete within its deadline plus slack"
+            ) from None
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        return report
 
     def _thread_main(self) -> None:
         try:

@@ -185,6 +185,62 @@ def test_async_blocking_bare_future_result(lint_project):
     assert findings[0].context == "joiner"
 
 
+def test_async_blocking_covers_resilience_module(lint_project):
+    # The retry/breaker helpers run on the event loop too: the same
+    # time.sleep that is flagged under repro/service/ is flagged in
+    # repro/resilience.py.
+    result = lint_project({"repro/resilience.py": ASYNC_HANDLERS})
+    findings = rule_findings(result, "async-blocking")
+    assert len(findings) == 1
+    assert findings[0].context == "bad_handler"
+
+
+def test_async_blocking_sync_joins_flagged(lint_project):
+    result = lint_project({"repro/service/admission.py": """\
+        import threading
+
+
+        class Gate:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            async def admit(self):
+                self._lock.acquire()
+
+            async def drain(self, thread):
+                thread.join()
+    """})
+    findings = rule_findings(result, "async-blocking")
+    assert len(findings) == 2
+    assert {f.context for f in findings} == {"Gate.admit", "Gate.drain"}
+    assert any(".acquire()" in f.message for f in findings)
+    assert any(".join()" in f.message for f in findings)
+
+
+def test_async_blocking_asyncio_primitives_exempt(lint_project):
+    # A semaphore constructed from asyncio has a *coroutine* acquire —
+    # handing it to asyncio.wait_for is the non-blocking idiom, not a
+    # stall, so receivers assigned from asyncio.* are not flagged.
+    result = lint_project({"repro/service/admission.py": """\
+        import asyncio
+
+
+        class Gate:
+            def __init__(self):
+                self._semaphore = asyncio.Semaphore(4)
+                self._updates = asyncio.Queue()
+
+            async def admit(self, budget):
+                await asyncio.wait_for(self._semaphore.acquire(),
+                                       timeout=budget)
+
+            async def next_update(self, budget):
+                return await asyncio.wait_for(self._updates.get(),
+                                              timeout=budget)
+    """})
+    assert rule_findings(result, "async-blocking") == []
+
+
 # --------------------------------------------------------- frozen-graph
 
 MUTATOR = """\
