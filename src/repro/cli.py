@@ -15,6 +15,11 @@ Subcommands
     ``docs/service.md`` for the wire protocol.  ``serve --metrics PORT``
     adds a Prometheus endpoint and ``--obs-spans FILE`` a trace log
     (see ``docs/observability.md``).
+``route``
+    Run a replicated fleet: N replicas (each over its own copy of the
+    store) behind a consistent-hashing router that fans ingests to all
+    of them.  Clients speak the same protocol as ``serve``, so
+    ``query`` and ``info --connect`` work against the router port.
 ``obs dump`` / ``obs tail``
     Inspect a live service's observability data: fetch the metrics
     endpoint, or render a span file as per-trace trees.
@@ -98,7 +103,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
             print(f"info: {exc}", file=sys.stderr)
             return 2
         payload.pop("id", None)
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(_render_live_status(args.connect, payload))
         return 0
     if args.store is None:
         print("info: a store directory (or --connect) is required",
@@ -146,6 +154,88 @@ def _cmd_info(args: argparse.Namespace) -> int:
             title="degree histogram",
         ))
     return 0
+
+
+def _render_live_status(address: str, payload: dict) -> str:
+    """Human rendering of a live status payload (service or fleet).
+
+    Shows what an operator reaches for first: lifecycle, load counters,
+    per-path circuit breakers (state and when an open one re-probes),
+    admission pressure, and — when the target is a fleet router — the
+    per-replica rotation view.
+    """
+    sections = []
+    lifecycle = payload.get("lifecycle", {})
+    flags = ", ".join(
+        name for name in ("live", "ready", "draining") if lifecycle.get(name)
+    ) or "down"
+    rows = [["lifecycle", flags]]
+    for key in ("name", "num_vertices", "num_snapshots", "epoch",
+                "window_first", "window_last", "serving"):
+        if key in payload:
+            rows.append([key, payload[key]])
+    server = payload.get("server", {})
+    for key in ("requests", "queries", "ingests", "answered",
+                "shed", "errors", "failovers"):
+        if key in server:
+            rows.append([key, server[key]])
+    sections.append(render_table(["property", "value"], rows,
+                                 title=f"status {address}"))
+    breakers = payload.get("breakers", {})
+    if breakers:
+        rows = [
+            [
+                name,
+                snap.get("state", "?"),
+                f"{snap.get('consecutive_failures', 0)}"
+                f"/{snap.get('failure_threshold', '?')}",
+                f"{snap.get('retry_after', 0.0):.2f}s",
+                snap.get("opens", 0),
+            ]
+            for name, snap in sorted(breakers.items())
+        ]
+        sections.append(render_table(
+            ["breaker", "state", "failures", "retry after", "opens"],
+            rows, title="circuit breakers",
+        ))
+    admission = payload.get("admission", {})
+    lanes = [(kind, snap) for kind, snap in admission.items()
+             if isinstance(snap, dict)]
+    if lanes:
+        rows = [
+            [
+                kind,
+                f"{snap.get('active', 0)}/{snap.get('max_concurrent', '?')}",
+                f"{snap.get('waiting', 0)}/{snap.get('max_queue', '?')}",
+                snap.get("admitted", 0),
+                sum(snap.get("shed", {}).values()),
+            ]
+            for kind, snap in sorted(lanes)
+        ]
+        sections.append(render_table(
+            ["lane", "active", "queued", "admitted", "shed"],
+            rows, title="admission",
+        ))
+    fleet = payload.get("fleet")
+    if fleet:
+        rows = [
+            [
+                name,
+                snap.get("address", "?"),
+                snap.get("state", "?"),
+                snap.get("reason") or "-",
+                snap.get("version", "-"),
+                snap.get("breaker", {}).get("state", "?"),
+            ]
+            for name, snap in sorted(fleet.get("replicas", {}).items())
+        ]
+        sections.append(render_table(
+            ["replica", "address", "state", "reason", "tip", "breaker"],
+            rows,
+            title=f"fleet (tip {fleet.get('fleet_version')}, "
+                  f"{len(fleet.get('rotation', []))} in rotation)",
+        ))
+    return "\n\n".join(sections)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -317,6 +407,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             from repro import obs
 
             obs.disable()
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    import tempfile
+    import threading
+
+    from repro.fleet import FleetSupervisor, RouterConfig
+
+    weight_fn = HashWeights(max_weight=args.max_weight, seed=args.weight_seed)
+    root = args.root or tempfile.mkdtemp(prefix="repro-fleet-")
+    router_config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_reset_timeout=args.breaker_reset,
+        health_interval=args.health_interval,
+    )
+    supervisor = FleetSupervisor(
+        args.store, root,
+        replicas=args.replicas,
+        weight_fn=weight_fn,
+        window=args.window,
+        router_config=router_config,
+        host=args.host,
+    )
+    try:
+        with supervisor:
+            print(f"fleet router on {args.host}:{supervisor.router_port} "
+                  f"({args.replicas} replicas, stores under {root})")
+            for name, replica in supervisor.replicas.items():
+                print(f"  {name}: {args.host}:{replica.port}")
+            threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        print("shutting down fleet")
     return 0
 
 
@@ -559,8 +685,8 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--json", action="store_true",
                       help="machine-readable summary (JSON)")
     info.add_argument("--connect", default=None, metavar="HOST:PORT",
-                      help="fetch live status from a running serve "
-                           "instance (implies --json)")
+                      help="fetch live status from a running serve or "
+                           "route instance (rendered; --json for raw)")
     info.set_defaults(func=_cmd_info)
 
     serve = sub.add_parser("serve", help="run the live query service")
@@ -607,6 +733,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append finished spans to FILE as JSON lines "
                             "(read them with `repro obs tail`)")
     serve.set_defaults(func=_cmd_serve)
+
+    route = sub.add_parser(
+        "route", help="run a replicated fleet behind one router"
+    )
+    route.add_argument("store", help="base store each replica copies")
+    route.add_argument("--replicas", type=int, default=3)
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=7420,
+                       help="router TCP port (0 picks an ephemeral port)")
+    route.add_argument("--root", default=None, metavar="DIR",
+                       help="directory for per-replica store copies "
+                            "(default: a fresh temp directory)")
+    route.add_argument("--window", type=int, default=None,
+                       help="serve only the last W snapshots")
+    route.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-request deadline in seconds, covering "
+                            "failover retries")
+    route.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive forward failures before a "
+                            "replica's breaker opens")
+    route.add_argument("--breaker-reset", type=float, default=1.0,
+                       help="seconds an open replica breaker waits "
+                            "before admitting a probe")
+    route.add_argument("--health-interval", type=float, default=2.0,
+                       help="seconds between background health probes")
+    route.add_argument("--max-weight", type=int, default=64)
+    route.add_argument("--weight-seed", type=int, default=0)
+    route.set_defaults(func=_cmd_route)
 
     query = sub.add_parser("query", help="query a running service")
     query.add_argument("--connect", default="127.0.0.1:7421",

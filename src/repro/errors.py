@@ -73,6 +73,27 @@ class ProtocolError(ServiceError):
     """Malformed service request or response (framing, fields, types)."""
 
 
+class ServiceUnavailableError(ServiceError):
+    """The service could not be reached at all.
+
+    Raised by the client when the TCP connection dropped and every
+    reconnect attempt (capped, jittered backoff) was exhausted, and by
+    the fleet router when no replica in rotation could take a request.
+    Distinct from :class:`ServiceOverloadedError`: an overloaded service
+    answered and asked for backoff; an unavailable one never answered.
+    """
+
+
+class FleetError(ServiceError):
+    """Failure inside the multi-replica fleet layer.
+
+    Raised for fleet-level conditions — an empty hash ring, a
+    fan-out with no surviving receipt, an unknown replica name —
+    rather than failures of any single replica (those surface as the
+    replica's own error and drive ejection/quarantine instead).
+    """
+
+
 class ServiceOverloadedError(ServiceError):
     """The service shed the request instead of queueing it unboundedly.
 

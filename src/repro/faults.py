@@ -49,6 +49,7 @@ __all__ = [
     "active_plan",
     "burst_offsets",
     "corrupt_bytes",
+    "has_active_plan",
     "io_check",
     "service_check",
     "task_check",
@@ -237,6 +238,18 @@ def active_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
     """Module-level alias for :meth:`FaultPlan.active`."""
     with plan.active():
         yield plan
+
+
+def has_active_plan() -> bool:
+    """Whether a fault plan is currently activated.
+
+    Event-loop code uses this to decide whether a hook worth a thread
+    dispatch is needed at all: an injected ``delay`` sleeps inside the
+    hook, so async callers (the fleet router's transport) run
+    :func:`service_check` in an executor — but only when a plan is
+    active, keeping the production path a single function call.
+    """
+    return _active is not None
 
 
 def io_check(op: str, name: str) -> bool:

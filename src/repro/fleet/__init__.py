@@ -1,0 +1,40 @@
+"""repro.fleet — a replicated query fleet behind one router.
+
+The single-instance service (:mod:`repro.service`) already survives
+overload, crashes of its parallel tasks, and graceful restarts.  This
+package scales that to N replicas without giving up the determinism
+the paper's snapshot representation buys:
+
+* :mod:`repro.fleet.hashring` — consistent hashing of query sources
+  onto replicas, so each replica's memoizing planner stays warm for
+  the sources it owns;
+* :mod:`repro.fleet.transport` — the router-side async transport, one
+  fresh connection per forward, with the chaos harness's
+  partition/hang injection point on the wire;
+* :mod:`repro.fleet.router` — the front end: affinity-routed queries
+  with breaker-gated failover, serialized ingest fan-out with
+  receipt-consistency verification (divergence quarantines the
+  replica), and health-driven rotation;
+* :mod:`repro.fleet.supervisor` — process/store lifecycle: rolling
+  restarts over PR 5's graceful drain, resync of lagging replicas
+  from a donor's SnapshotStore, rebuild of diverged ones.
+
+``python -m repro route --store DIR --replicas N`` runs a whole fleet
+from the command line.
+"""
+
+from repro.fleet.hashring import ConsistentHashRing
+from repro.fleet.router import FleetRouter, FleetRunner, Replica, RouterConfig
+from repro.fleet.supervisor import FleetSupervisor, ManagedReplica
+from repro.fleet.transport import ReplicaTransport
+
+__all__ = [
+    "ConsistentHashRing",
+    "FleetRouter",
+    "FleetRunner",
+    "FleetSupervisor",
+    "ManagedReplica",
+    "Replica",
+    "ReplicaTransport",
+    "RouterConfig",
+]

@@ -1,0 +1,839 @@
+"""The fleet front end: one router, N ``GraphService`` replicas.
+
+Request lifecycle::
+
+    client line ──> validate (protocol) ──> dispatch
+        query  ──> consistent-hash owner of the source vertex
+                   ──> per-replica circuit breaker ──> forward
+                   ──> on replica failure: eject + fail over to the
+                   next ring owner, caller's Deadline still honoured
+        ingest ──> serialised fan-out to every replica in rotation
+                   ──> receipt-consistency check (same batch => same
+                   version everywhere); a diverging or missing receipt
+                   quarantines that replica until it is resynced
+        status ──> fleet health: per-replica state, ring, receipts
+
+Design points:
+
+* **Cache affinity** — queries are routed by consistent hashing on the
+  source vertex (:class:`~repro.fleet.hashring.ConsistentHashRing`), so
+  repeated and overlapping queries for one source keep hitting the same
+  replica's memoizing planner instead of spraying cold caches.
+* **Receipt consistency** — the paper's mutation-free snapshot
+  representation makes replicas deterministic: the same batch appended
+  to the same store tip yields the same absolute version on every
+  replica.  The router verifies exactly that on every fan-out; a
+  replica whose receipt diverges (or that missed the batch) no longer
+  matches the fleet's history and is *quarantined* — out of rotation
+  until the supervisor resyncs it from a healthy replica's
+  SnapshotStore.
+* **Health-driven failover** — a replica that cannot be reached is
+  ejected and its hash range implicitly reassigned (the ring simply
+  loses its points); the failed query retries on the next ring owner
+  under the same deadline.  Per-replica circuit breakers stop the
+  router from hammering a dead replica with connection attempts.
+* **Sheds pass through, draining does not** — a genuine overload shed
+  from a replica is backpressure the caller must see (fleet
+  conservation counts it as an answer); a ``draining`` shed means the
+  replica is being rolled, so the router reroutes instead of bouncing
+  the caller off a shutdown in progress.
+* **Lifecycle mirroring** — ``status`` exposes the same
+  ``live`` / ``ready`` / ``draining`` vocabulary as a single replica,
+  where ``ready`` means "at least one replica in rotation".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import Counter as TallyCounter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import obs
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    FleetError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+from repro.fleet.hashring import ConsistentHashRing
+from repro.fleet.transport import ReplicaTransport
+from repro.obs.clock import Clock
+from repro.resilience import CircuitBreaker, Deadline
+from repro.service import protocol
+
+__all__ = ["FleetRouter", "FleetRunner", "Replica", "RouterConfig"]
+
+#: Replica states as the router tracks them.  ``ready`` is the only
+#: in-rotation state; the others say *why* a replica is out and what it
+#: takes to come back (probe for ``unhealthy``, supervisor resync for
+#: ``quarantined``, supervisor restore for ``draining``).
+REPLICA_STATES = ("ready", "unhealthy", "quarantined", "draining")
+
+
+@dataclass
+class RouterConfig:
+    """Tunables of one fleet router."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick an ephemeral port
+    #: Per-request wall-clock budget (``None`` = unbounded); a client
+    #: ``timeout_ms`` can only shrink it.  The budget covers *every*
+    #: failover attempt of the request, not each one separately.
+    request_timeout: Optional[float] = 30.0
+    #: Budget for establishing one replica connection.
+    connect_timeout: float = 2.0
+    #: Virtual points per replica on the hash ring.
+    vnodes: int = 64
+    #: Consecutive forward failures before a replica's breaker opens.
+    breaker_failure_threshold: int = 3
+    #: Seconds an open replica breaker waits before admitting a probe.
+    breaker_reset_timeout: float = 1.0
+    #: Seconds between background health probes (``None`` disables the
+    #: probe task; the supervisor or tests call :meth:`probe` directly).
+    health_interval: Optional[float] = None
+    #: Hard cap on one request line.
+    max_line_bytes: int = 1 << 20
+    #: Injected time source for the breakers (tests pass ``FakeClock``).
+    clock: Optional[Clock] = None
+
+
+class Replica:
+    """The router's view of one replica (event-loop-confined)."""
+
+    def __init__(self, name: str, host: str, port: int, *,
+                 connect_timeout: float, max_line_bytes: int,
+                 breaker: CircuitBreaker) -> None:
+        self.name = name
+        self.transport = ReplicaTransport(
+            name, host, port, connect_timeout=connect_timeout,
+            max_line_bytes=max_line_bytes,
+        )
+        self.state = "ready"
+        self.reason: Optional[str] = None
+        self.breaker = breaker
+        #: Last ingest receipt version this replica agreed to.
+        self.version: Optional[int] = None
+
+    @property
+    def in_rotation(self) -> bool:
+        return self.state == "ready"
+
+    def set_address(self, host: str, port: int) -> None:
+        self.transport = ReplicaTransport(
+            self.name, host, port,
+            connect_timeout=self.transport.connect_timeout,
+            max_line_bytes=self.transport.max_line_bytes,
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "address": self.transport.address(),
+            "state": self.state,
+            "reason": self.reason,
+            "version": self.version,
+            "breaker": self.breaker.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Replica({self.name!r}, {self.transport.address()}, "
+                f"{self.state})")
+
+
+class FleetRouter:
+    """Route queries by source affinity, fan ingests to every replica."""
+
+    def __init__(self, replicas: Sequence[Tuple[str, str, int]],
+                 config: Optional[RouterConfig] = None) -> None:
+        self.config = config or RouterConfig()
+        if not replicas:
+            raise FleetError("a fleet needs at least one replica")
+        names = [name for name, _, _ in replicas]
+        if len(set(names)) != len(names):
+            raise FleetError(f"duplicate replica names in {names}")
+        self.replicas: Dict[str, Replica] = {
+            name: Replica(
+                name, host, port,
+                connect_timeout=self.config.connect_timeout,
+                max_line_bytes=self.config.max_line_bytes,
+                breaker=self._make_breaker(name),
+            )
+            for name, host, port in replicas
+        }
+        self.ring = ConsistentHashRing(names, vnodes=self.config.vnodes)
+        #: Absolute version of the last fleet-agreed ingest receipt.
+        self.fleet_version: Optional[int] = None
+        self.port: Optional[int] = None
+        self.counters: Dict[str, int] = {
+            "connections": 0, "requests": 0, "queries": 0, "ingests": 0,
+            "answered": 0, "shed": 0, "errors": 0, "failovers": 0,
+            "ejections": 0, "rebalances": 0, "receipt_divergences": 0,
+            "probes": 0,
+        }
+        self._ingest_lock: Optional[asyncio.Lock] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._health_task: Optional["asyncio.Task[None]"] = None
+        self._live = False
+        self._unregister_collector = lambda: None
+
+    def _make_breaker(self, name: str) -> CircuitBreaker:
+        def record_transition(previous: str, to: str) -> None:
+            obs.counter_inc("repro_breaker_transitions_total",
+                            breaker=f"replica:{name}", to=to)
+
+        return CircuitBreaker(
+            f"replica:{name}",
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout=self.config.breaker_reset_timeout,
+            clock=self.config.clock,
+            on_transition=record_transition,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        self._ingest_lock = asyncio.Lock()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=self.config.max_line_bytes,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._live = True
+        self._unregister_collector = obs.register_collector(
+            self._collect_metrics
+        )
+        await self._initial_sync()
+        if self.config.health_interval is not None:
+            self._health_task = asyncio.get_running_loop().create_task(
+                self._health_loop(self.config.health_interval)
+            )
+
+    async def _initial_sync(self) -> None:
+        """Learn the fleet tip: probe every replica's status once.
+
+        The highest reachable tip becomes ``fleet_version``; replicas
+        behind it are quarantined as lagging (they need a resync before
+        they may serve), unreachable ones are ejected as unhealthy.
+        A router that reaches nobody still starts — it serves status
+        and answers queries with ``ServiceUnavailableError`` until a
+        probe or the supervisor brings replicas back.
+        """
+        deadline = Deadline.after(self.config.connect_timeout * 2)
+        tips: Dict[str, int] = {}
+        for name, replica in self.replicas.items():
+            try:
+                status = await replica.transport.request(
+                    {"op": "status"}, deadline
+                )
+            except (ServiceError, DeadlineExceededError):
+                self._eject(name, "unreachable")
+                continue
+            tips[name] = int(status.get("window_last",
+                                        status.get("num_snapshots", 0) - 1))
+        if not tips:
+            return
+        tip = max(tips.values())
+        self.fleet_version = tip
+        for name, version in tips.items():
+            self.replicas[name].version = version
+            if version != tip:
+                self._quarantine(name, "lagging")
+
+    def request_stop(self) -> None:
+        """Stop accepting and drop open connections (idempotent)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    async def wait_closed(self) -> None:
+        assert self._stop is not None and self._server is not None
+        await self._stop.wait()
+        if self._health_task is not None:
+            self._health_task.cancel()
+        self._server.close()
+        for writer in list(self._writers):
+            writer.close()
+        await self._server.wait_closed()
+        self._live = False
+        self._unregister_collector()
+
+    async def run(self) -> None:
+        await self.start()
+        await self.wait_closed()
+
+    async def _health_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                await self.probe()
+            except ReproError:
+                # A probe sweep that fails wholesale (e.g. every replica
+                # mid-restart) must not kill the health task; the next
+                # tick retries and the per-replica state already records
+                # what is out.
+                continue
+
+    def _lifecycle_payload(self) -> Dict[str, Any]:
+        return {
+            "live": self._live,
+            "ready": self._live and bool(self._rotation()),
+            "draining": False,
+        }
+
+    def _collect_metrics(self, registry: "obs.MetricsRegistry") -> None:
+        """Scrape-time bridge: replica health and breakers → gauges."""
+        def gauge(name: str, value: float, **labels: str) -> None:
+            obs.instruments.family(registry, name).labels(**labels).set(value)
+
+        for name, replica in self.replicas.items():
+            gauge("repro_fleet_replica_up", 1 if replica.in_rotation else 0,
+                  replica=name)
+
+    # -- rotation management -------------------------------------------------
+    def _rotation(self) -> List[str]:
+        return [name for name, replica in self.replicas.items()
+                if replica.in_rotation]
+
+    def _replica(self, name: str) -> Replica:
+        try:
+            return self.replicas[name]
+        except KeyError:
+            raise FleetError(f"unknown replica {name!r}") from None
+
+    def _leave_rotation(self, name: str, state: str, reason: str) -> None:
+        replica = self._replica(name)
+        was_in_rotation = replica.in_rotation
+        replica.state = state
+        replica.reason = reason
+        if was_in_rotation:
+            self.ring.remove(name)
+            self.counters["ejections"] += 1
+            self.counters["rebalances"] += 1
+            obs.counter_inc("repro_fleet_ejections_total",
+                            replica=name, reason=reason)
+            obs.counter_inc("repro_fleet_rebalance_total")
+
+    def _eject(self, name: str, reason: str) -> None:
+        """Out of rotation; a successful health probe brings it back."""
+        self._leave_rotation(name, "unhealthy", reason)
+
+    def _quarantine(self, name: str, reason: str) -> None:
+        """Out of rotation; only a supervisor resync brings it back —
+        the replica's store no longer matches the fleet's history."""
+        self._leave_rotation(name, "quarantined", reason)
+
+    async def eject(self, name: str, reason: str = "operator") -> None:
+        self._eject(name, reason)
+
+    async def mark_draining(self, name: str) -> None:
+        """Rolling-restart step 1: route nothing new to this replica."""
+        self._leave_rotation(name, "draining", "draining")
+
+    async def restore(self, name: str,
+                      version: Optional[int] = None) -> None:
+        """Bring a replica back into rotation (after probe or resync).
+
+        Holds the ingest lock: the tip comparison is only meaningful
+        once no fan-out is in flight — otherwise a replica could rejoin
+        while a batch it never saw is mid-air, and the *next* batch
+        would quarantine it straight back out.
+        """
+        replica = self._replica(name)
+        assert self._ingest_lock is not None
+        async with self._ingest_lock:
+            if version is not None:
+                replica.version = version
+            if (self.fleet_version is not None
+                    and replica.version is not None
+                    and replica.version != self.fleet_version):
+                raise FleetError(
+                    f"refusing to restore {name}: its tip "
+                    f"{replica.version} does not match fleet tip "
+                    f"{self.fleet_version}; resync it first"
+                )
+            if not replica.in_rotation:
+                replica.state = "ready"
+                replica.reason = None
+                self.ring.add(name)
+                self.counters["rebalances"] += 1
+                obs.counter_inc("repro_fleet_rebalance_total")
+
+    async def set_address(self, name: str, host: str, port: int) -> None:
+        self._replica(name).set_address(host, port)
+
+    async def probe(self) -> Dict[str, str]:
+        """One health sweep: try to bring ``unhealthy`` replicas back.
+
+        An unhealthy replica that answers status, reports itself live
+        and ready, and sits exactly at the fleet tip re-enters rotation;
+        quarantined and draining replicas are left to the supervisor
+        (their stores need resync / their drain needs to finish).
+        Returns the per-replica verdicts for tests and the CLI.
+        """
+        self.counters["probes"] += 1
+        verdicts: Dict[str, str] = {}
+        for name, replica in self.replicas.items():
+            if replica.state != "unhealthy":
+                verdicts[name] = replica.state
+                continue
+            deadline = Deadline.after(self.config.connect_timeout)
+            try:
+                status = await replica.transport.request(
+                    {"op": "status"}, deadline
+                )
+            except (ServiceError, DeadlineExceededError):
+                verdicts[name] = "unhealthy"
+                continue
+            lifecycle = status.get("lifecycle", {})
+            tip = int(status.get("window_last",
+                                 status.get("num_snapshots", 0) - 1))
+            replica.version = tip
+            if not (status.get("ok") and lifecycle.get("ready")):
+                verdicts[name] = "unhealthy"
+            elif self.fleet_version is not None and tip != self.fleet_version:
+                self._quarantine(name, "lagging")
+                verdicts[name] = "quarantined"
+            else:
+                try:
+                    await self.restore(name, version=tip)
+                except FleetError:
+                    # The fleet tip moved while we probed: the replica
+                    # is now behind after all.  Resync territory.
+                    self._quarantine(name, "lagging")
+                    verdicts[name] = "quarantined"
+                    continue
+                replica.breaker.record_success()
+                verdicts[name] = "ready"
+        return verdicts
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.counters["connections"] += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, self._error_response(
+                        None, ProtocolError(
+                            "request line exceeds "
+                            f"{self.config.max_line_bytes} bytes"
+                        )))
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                await self._send(writer, response)
+                if response.get("op") == "shutdown" and response.get("ok"):
+                    self.request_stop()
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    response: Dict[str, Any]) -> None:
+        writer.write(protocol.encode_line(response))
+        await writer.drain()
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        self.counters["requests"] += 1
+        request_id = None
+        try:
+            doc = protocol.decode_line(line)
+            request_id = doc.get("id")
+            protocol.validate_request(doc)
+            response = await self._dispatch(doc)
+        except ReproError as exc:
+            response = self._error_response(request_id, exc)
+        except Exception as exc:  # never let a handler kill the router
+            response = self._error_response(request_id, exc)
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    def _error_response(self, request_id: Optional[Any],
+                        exc: BaseException) -> Dict[str, Any]:
+        response: Dict[str, Any] = {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+        }
+        if isinstance(exc, ServiceOverloadedError):
+            self.counters["shed"] += 1
+            response["overloaded"] = True
+            response["retry_after_ms"] = exc.retry_after_ms
+        else:
+            self.counters["errors"] += 1
+            obs.counter_inc("repro_errors_total")
+        if isinstance(exc, ServiceUnavailableError):
+            response["unavailable"] = True
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # -- dispatch ------------------------------------------------------------
+    async def _dispatch(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        op = doc["op"]
+        if op == "ping":
+            return {"ok": True, "op": "ping", "fleet": True}
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        if op == "status":
+            return self._handle_status()
+        if op == "ingest":
+            return await self._handle_ingest(doc)
+        return await self._handle_query(doc)
+
+    def _request_deadline(self, doc: Dict[str, Any]) -> Deadline:
+        budget = self.config.request_timeout
+        timeout_ms = doc.get("timeout_ms")
+        if timeout_ms is not None:
+            client_budget = timeout_ms / 1000.0
+            budget = (client_budget if budget is None
+                      else min(budget, client_budget))
+        return (Deadline.after(budget) if budget is not None
+                else Deadline.never())
+
+    def _forward_doc(self, doc: Dict[str, Any],
+                     deadline: Deadline) -> Dict[str, Any]:
+        """The request as forwarded: no client id, remaining budget."""
+        forward = {key: value for key, value in doc.items() if key != "id"}
+        remaining = deadline.remaining()
+        if remaining is not None:
+            forward["timeout_ms"] = max(1, int(remaining * 1000))
+        return forward
+
+    def _handle_status(self) -> Dict[str, Any]:
+        obs.counter_inc("repro_fleet_requests_total", op="status")
+        return {
+            "ok": True,
+            "op": "status",
+            "fleet": {
+                "replicas": {
+                    name: replica.snapshot()
+                    for name, replica in self.replicas.items()
+                },
+                "rotation": sorted(self._rotation()),
+                "fleet_version": self.fleet_version,
+                "vnodes": self.config.vnodes,
+            },
+            "server": dict(self.counters),
+            "lifecycle": self._lifecycle_payload(),
+            "observability": obs.describe(),
+        }
+
+    # -- queries -------------------------------------------------------------
+    async def _handle_query(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        self.counters["queries"] += 1
+        obs.counter_inc("repro_fleet_requests_total", op="query")
+        source = doc["source"]
+        deadline = self._request_deadline(doc)
+        tried: Set[str] = set()
+        failovers = 0
+        last_error: Optional[BaseException] = None
+        with obs.phase_span("router", "query", label=f"src:{source}"):
+            # Each pass recomputes the owner list: an ejection mid-loop
+            # reassigns the source's hash range to the survivors.
+            for _ in range(len(self.replicas) + 1):
+                deadline.check(f"route query for source {source}")
+                rotation = self._rotation()
+                candidates = [
+                    name for name in (
+                        self.ring.owners(source, len(rotation))
+                        if rotation else []
+                    )
+                    if name not in tried
+                ]
+                if not candidates:
+                    break
+                name = candidates[0]
+                replica = self.replicas[name]
+                try:
+                    replica.breaker.before_call(f"query via {name}")
+                except CircuitOpenError as exc:
+                    # The breaker remembers this replica failing
+                    # recently; skip it without another connection
+                    # attempt, but leave it in rotation — the breaker's
+                    # own half-open probe decides when to try again.
+                    tried.add(name)
+                    last_error = exc
+                    continue
+                try:
+                    response = await replica.transport.request(
+                        self._forward_doc(doc, deadline), deadline
+                    )
+                except DeadlineExceededError:
+                    # The caller's budget died; that says nothing
+                    # definitive about the replica.
+                    replica.breaker.record_neutral()
+                    raise
+                except (ServiceUnavailableError, ProtocolError) as exc:
+                    replica.breaker.record_failure()
+                    self._eject(name, "unreachable")
+                    tried.add(name)
+                    failovers += 1
+                    last_error = exc
+                    self.counters["failovers"] += 1
+                    obs.counter_inc("repro_fleet_failover_total")
+                    continue
+                replica.breaker.record_success()
+                if (not response.get("ok") and response.get("overloaded")
+                        and response.get("draining")):
+                    # The replica is being rolled: reroute instead of
+                    # bouncing the caller off a shutdown in progress.
+                    self._eject(name, "draining")
+                    tried.add(name)
+                    failovers += 1
+                    self.counters["failovers"] += 1
+                    obs.counter_inc("repro_fleet_failover_total")
+                    continue
+                if not response.get("ok"):
+                    if response.get("overloaded"):
+                        self.counters["shed"] += 1
+                    else:
+                        self.counters["errors"] += 1
+                else:
+                    self.counters["answered"] += 1
+                response["replica"] = name
+                if failovers:
+                    response["failovers"] = failovers
+                return response
+        raise ServiceUnavailableError(
+            f"no replica in rotation could answer the query for source "
+            f"{source} (tried {sorted(tried) or 'none'}): {last_error!r}"
+        )
+
+    # -- ingest --------------------------------------------------------------
+    async def _handle_ingest(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        protocol.parse_ingest_batch(doc)  # reject garbage before fan-out
+        obs.counter_inc("repro_fleet_requests_total", op="ingest")
+        deadline = self._request_deadline(doc)
+        assert self._ingest_lock is not None
+        # Serialised: receipts can only be strictly consecutive if
+        # batches reach every replica in one global order.
+        async with self._ingest_lock:
+            rotation = self._rotation()
+            if not rotation:
+                raise ServiceUnavailableError(
+                    "no replicas in rotation to ingest into"
+                )
+            forward = self._forward_doc(doc, deadline)
+            with obs.phase_span("router", "ingest",
+                                replicas=len(rotation)):
+                legs = await asyncio.gather(*(
+                    self._ingest_leg(name, forward, deadline)
+                    for name in rotation
+                ))
+            return self._settle_receipts(rotation, legs)
+
+    async def _ingest_leg(
+        self, name: str, forward: Dict[str, Any], deadline: Deadline,
+    ) -> Tuple[str, Optional[Dict[str, Any]], Optional[BaseException], float]:
+        """One fan-out leg: ``(name, response, error, elapsed)``."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        replica = self.replicas[name]
+        try:
+            replica.breaker.before_call(f"ingest via {name}")
+        except CircuitOpenError as exc:
+            return name, None, exc, loop.time() - started
+        try:
+            response = await replica.transport.request(forward, deadline)
+        except (ServiceError, DeadlineExceededError) as exc:
+            replica.breaker.record_failure()
+            return name, None, exc, loop.time() - started
+        replica.breaker.record_success()
+        return name, response, None, loop.time() - started
+
+    def _settle_receipts(
+        self,
+        rotation: List[str],
+        legs: List[Tuple[str, Optional[Dict[str, Any]],
+                         Optional[BaseException], float]],
+    ) -> Dict[str, Any]:
+        """Verify fan-out receipts; quarantine divergent replicas.
+
+        The consistency law: every replica that applied the batch must
+        report the same absolute version, and that version must be the
+        fleet's next consecutive receipt.  Violators leave rotation —
+        a replica whose history no longer matches the fleet's cannot be
+        allowed to answer queries.
+        """
+        receipts: Dict[str, Dict[str, Any]] = {}
+        shed: Optional[Dict[str, Any]] = None
+        failed: List[str] = []
+        for name, response, error, _elapsed in legs:
+            if error is not None:
+                # Unknown whether the batch landed on this replica —
+                # its store may or may not carry it.  Quarantine: only
+                # a resync can reconcile it with the fleet history.
+                failed.append(name)
+                continue
+            if response.get("ok"):
+                receipts[name] = response
+            elif response.get("overloaded"):
+                shed = response  # admission refused: batch NOT applied
+            else:
+                failed.append(name)
+        if not receipts:
+            if shed is not None and not failed:
+                # Every replica shed the batch: nothing was applied
+                # anywhere, the fleet is still consistent — pass the
+                # backpressure through untouched.
+                self.counters["shed"] += 1
+                return dict(shed)
+            for name in failed:
+                self._quarantine(name, "ingest_failed")
+            raise FleetError(
+                f"ingest reached no replica (failed: {sorted(failed)}); "
+                "fleet needs supervisor attention"
+            )
+        # At least one replica applied the batch: anyone who didn't is
+        # now behind the fleet history.
+        for name, response, error, _elapsed in legs:
+            if name in receipts:
+                continue
+            reason = ("ingest_failed" if error is not None or shed is None
+                      else "missed_ingest")
+            self._quarantine(name, reason)
+        versions = {name: receipt.get("version")
+                    for name, receipt in receipts.items()}
+        tally = TallyCounter(versions.values())
+        expected = (None if self.fleet_version is None
+                    else self.fleet_version + 1)
+        if expected is not None and expected in tally:
+            agreed = expected
+        else:
+            agreed = tally.most_common(1)[0][0]
+        for name, version in versions.items():
+            if version != agreed:
+                self.counters["receipt_divergences"] += 1
+                self._quarantine(name, "divergence")
+                del receipts[name]
+        if not receipts:
+            raise FleetError(
+                f"ingest receipts diverged beyond reconciliation "
+                f"({versions}); fleet needs supervisor attention"
+            )
+        self.fleet_version = int(agreed)
+        for name in receipts:
+            self.replicas[name].version = int(agreed)
+        elapsed = [leg_elapsed for name, _, _, leg_elapsed in legs
+                   if name in receipts]
+        if len(elapsed) > 1:
+            obs.observe("repro_fleet_fanout_lag_seconds",
+                        max(elapsed) - min(elapsed))
+        self.counters["ingests"] += 1
+        self.counters["answered"] += 1
+        reference = next(receipts[name] for name in rotation
+                         if name in receipts)
+        response = dict(reference)
+        response.update({
+            "ok": True,
+            "op": "ingest",
+            "replicas": len(receipts),
+            "fleet_version": self.fleet_version,
+        })
+        return response
+
+
+class FleetRunner:
+    """Run a :class:`FleetRouter` on a background thread.
+
+    Mirrors :class:`~repro.service.server.ServiceRunner`, plus
+    thread-safe control methods (:meth:`eject`, :meth:`restore`,
+    :meth:`mark_draining`, :meth:`set_address`, :meth:`probe`) that the
+    supervisor and tests use to drive rotation changes — each one runs
+    the corresponding coroutine on the router's own event loop, which
+    is what keeps the router free of locks.
+    """
+
+    def __init__(self, router: FleetRouter) -> None:
+        self.router = router
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "FleetRunner":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-fleet-router", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ServiceError("fleet router failed to start within 30s")
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"fleet router failed to start: {self._startup_error!r}"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.router.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def call(self, factory, timeout: float = 30.0):
+        """Run ``factory()`` (a coroutine) on the router's event loop."""
+        if self._loop is None:
+            raise ServiceError("the fleet router never started")
+        future = asyncio.run_coroutine_threadsafe(factory(), self._loop)
+        return future.result(timeout=timeout)
+
+    def eject(self, name: str, reason: str = "operator") -> None:
+        self.call(lambda: self.router.eject(name, reason))
+
+    def mark_draining(self, name: str) -> None:
+        self.call(lambda: self.router.mark_draining(name))
+
+    def restore(self, name: str, version: Optional[int] = None) -> None:
+        self.call(lambda: self.router.restore(name, version=version))
+
+    def set_address(self, name: str, host: str, port: int) -> None:
+        self.call(lambda: self.router.set_address(name, host, port))
+
+    def probe(self) -> Dict[str, str]:
+        return self.call(self.router.probe)
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures
+            if not self._started.is_set():
+                self._startup_error = exc
+                self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.router.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self.port = self.router.port
+        self._started.set()
+        await self.router.wait_closed()
+
+    def __enter__(self) -> "FleetRunner":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

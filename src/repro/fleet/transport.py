@@ -1,0 +1,137 @@
+"""Async JSON-lines transport from the router to one replica.
+
+The router lives on an event loop, so it cannot reuse the blocking
+:class:`~repro.service.client.ServiceClient`.  This module provides the
+asyncio counterpart, deliberately minimal: **one connection per
+request**.  That costs a loopback TCP handshake per forward but buys
+exact failure semantics — a dead, hung or partitioned replica affects
+only the request in flight, there is no shared connection whose state
+must be reconciled after an error, and concurrent forwards to the same
+replica can never interleave frames.
+
+Fault surface: every forward passes
+:func:`repro.faults.service_check` with label
+``route:<replica>:<op>`` *before* any byte is sent.  A chaos plan can
+therefore partition the router from one replica
+(``fail_service(match="route:replica-1:*")``) or make one replica look
+hung (``delay_service(..., match="route:replica-2:query")``) without
+touching the replica process itself — the failure is injected on the
+wire, which is where real partitions live.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro import faults
+from repro.errors import ProtocolError, ServiceUnavailableError
+from repro.resilience import Deadline
+from repro.service import protocol
+
+__all__ = ["ReplicaTransport"]
+
+
+class ReplicaTransport:
+    """Forward single requests to one replica over fresh connections."""
+
+    def __init__(self, name: str, host: str, port: int, *,
+                 connect_timeout: float = 2.0,
+                 max_line_bytes: int = 1 << 20) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.max_line_bytes = max_line_bytes
+
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def request(self, doc: Dict[str, Any],
+                      deadline: Deadline) -> Dict[str, Any]:
+        """Send one request document, await its response document.
+
+        Raises :class:`ServiceUnavailableError` when the replica cannot
+        be reached or drops the connection mid-request (the router
+        treats either as replica failure and fails over), and
+        :class:`~repro.errors.DeadlineExceededError` when the caller's
+        budget dies first.  Protocol-level garbage raises
+        :class:`ProtocolError` — a replica speaking garbage is as
+        ejectable as a dead one.
+        """
+        op = str(doc.get("op", "?"))
+        deadline.check(f"route to {self.name}")
+        # The partition/hang injection point: before any byte is sent,
+        # so an injected partition drops the request exactly like a
+        # network that ate the SYN.  An injected delay sleeps inside
+        # the hook, so it runs in an executor — a "hung replica" must
+        # stall only this forward, never the router's event loop.
+        if faults.has_active_plan():
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, faults.service_check, "route", f"{self.name}:{op}"
+                )
+            except OSError as exc:  # InjectedFault: the wire ate the request
+                raise ServiceUnavailableError(
+                    f"replica {self.name} ({self.address()}) is "
+                    f"partitioned from the router: {exc}"
+                ) from exc
+        budget = deadline.remaining()
+        connect_budget = self.connect_timeout
+        if budget is not None:
+            connect_budget = min(connect_budget, budget)
+        reader: Optional[asyncio.StreamReader] = None
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(
+                        self.host, self.port, limit=self.max_line_bytes,
+                    ),
+                    timeout=connect_budget,
+                )
+            except asyncio.TimeoutError:
+                raise ServiceUnavailableError(
+                    f"replica {self.name} ({self.address()}) did not "
+                    f"accept a connection within {connect_budget:.3f}s"
+                ) from None
+            except (ConnectionError, OSError) as exc:
+                raise ServiceUnavailableError(
+                    f"replica {self.name} ({self.address()}) refused "
+                    f"the connection: {exc}"
+                ) from exc
+            writer.write(protocol.encode_line(doc))
+            try:
+                await asyncio.wait_for(writer.drain(),
+                                       timeout=deadline.remaining())
+                line = await asyncio.wait_for(reader.readline(),
+                                              timeout=deadline.remaining())
+            except asyncio.TimeoutError:
+                deadline.check(f"response from {self.name}")
+                raise ServiceUnavailableError(
+                    f"replica {self.name} ({self.address()}) timed out "
+                    f"mid-request"
+                ) from None
+            except (ConnectionError, OSError) as exc:
+                raise ServiceUnavailableError(
+                    f"replica {self.name} ({self.address()}) dropped "
+                    f"the connection mid-request: {exc}"
+                ) from exc
+            if not line:
+                raise ServiceUnavailableError(
+                    f"replica {self.name} ({self.address()}) closed "
+                    f"the connection without answering"
+                )
+            response = protocol.decode_line(line)
+            if not isinstance(response.get("ok"), bool):
+                raise ProtocolError(
+                    f"replica {self.name} sent a response without an "
+                    f"'ok' field"
+                )
+            return response
+        finally:
+            if writer is not None:
+                writer.close()
+
+    def __repr__(self) -> str:
+        return f"ReplicaTransport({self.name!r}, {self.address()})"

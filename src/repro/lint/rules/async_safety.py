@@ -1,7 +1,8 @@
 """Async-safety: no blocking calls on the event loop.
 
-Scans every ``async def`` under ``repro/service/`` (and in
-``repro/resilience.py``, whose retry/breaker helpers run on the loop)
+Scans every ``async def`` under ``repro/service/`` and
+``repro/fleet/`` (and in ``repro/resilience.py``, whose retry/breaker
+helpers run on the loop)
 for calls that stall the event loop: ``time.sleep``, the *sync*
 ``retry_call``, file/socket/subprocess I/O, bare ``Future.result()``
 joins, and zero-argument synchronisation joins (``.acquire()`` /
@@ -70,6 +71,7 @@ class AsyncSafetyRule(Rule):
 
     def applies_to(self, relpath: str) -> bool:
         return (relpath.startswith("repro/service/")
+                or relpath.startswith("repro/fleet/")
                 or relpath == "repro/resilience.py")
 
     def check(self, module, project) -> Iterator[Finding]:

@@ -120,6 +120,31 @@ INSTRUMENTS: Dict[str, InstrumentSpec] = {
     "repro_store_appends_total": InstrumentSpec(
         "counter", "Durable batch appends committed by the snapshot store.",
     ),
+    # -- fleet (router + replicas) ------------------------------------------
+    "repro_fleet_requests_total": InstrumentSpec(
+        "counter", "Requests handled by the fleet router, by operation.",
+        ("op",),
+    ),
+    "repro_fleet_replica_up": InstrumentSpec(
+        "gauge", "1 while a replica is in rotation, else 0.",
+        ("replica",),
+    ),
+    "repro_fleet_ejections_total": InstrumentSpec(
+        "counter",
+        "Replicas taken out of rotation, by replica and reason.",
+        ("replica", "reason"),
+    ),
+    "repro_fleet_rebalance_total": InstrumentSpec(
+        "counter",
+        "Hash-ring membership changes (ejections and restores).",
+    ),
+    "repro_fleet_failover_total": InstrumentSpec(
+        "counter", "Queries retried on another replica after a failure.",
+    ),
+    "repro_fleet_fanout_lag_seconds": InstrumentSpec(
+        "histogram",
+        "Spread between the fastest and slowest ingest fan-out leg.",
+    ),
     # -- phases (engine, parallel, planner, store, kernels) -----------------
     "repro_phase_seconds": InstrumentSpec(
         "histogram", "Duration of one instrumented phase, by layer.",

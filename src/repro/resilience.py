@@ -325,12 +325,21 @@ class CircuitBreaker:
     def snapshot(self) -> Dict[str, Any]:
         """JSON-safe health payload for status endpoints and tests."""
         with self._lock:
+            if self._state != self.OPEN:
+                retry_after = 0.0
+            else:
+                retry_after = max(
+                    0.0,
+                    self.reset_timeout
+                    - (self._clock.now() - self._opened_at),
+                )
             return {
                 "name": self.name,
                 "state": self._state,
                 "consecutive_failures": self._failures,
                 "failure_threshold": self.failure_threshold,
                 "reset_timeout": self.reset_timeout,
+                "retry_after": retry_after,
                 "opens": sum(
                     1 for t in self._transitions if t.endswith("->" + self.OPEN)
                 ),

@@ -13,6 +13,18 @@ true`` with a ``retry_after_ms`` hint) the client raises
 ``max_retry_sleep``).  The jitter RNG is seeded, so tests replay the
 exact backoff schedule; the jitter itself keeps a fleet of shed clients
 from re-arriving as one synchronised stampede.
+
+Connection handling: a dropped TCP connection (refused connect, reset
+mid-write, server gone mid-read) is retried with a fresh connection up
+to ``reconnect_attempts`` times, sleeping a capped jittered backoff
+between attempts; exhaustion raises
+:class:`~repro.errors.ServiceUnavailableError`.  This is at-least-once
+delivery — a request that died after the server read it may execute
+twice on resend — which is safe for the idempotent operations this
+client speaks (queries re-answer, a duplicate ingest is rejected by
+batch validation rather than applied twice).  A response *timeout* is
+deliberately not retried: the request may still be executing, and only
+the caller knows whether resending is safe.
 """
 
 from __future__ import annotations
@@ -24,7 +36,12 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import ProtocolError, ServiceError, ServiceOverloadedError
+from repro.errors import (
+    ProtocolError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
 from repro.service import protocol
 
 __all__ = ["ServiceClient"]
@@ -37,16 +54,24 @@ class ServiceClient:
                  timeout: Optional[float] = 30.0, *,
                  overload_retries: int = 2,
                  max_retry_sleep: float = 1.0,
+                 reconnect_attempts: int = 2,
+                 reconnect_backoff: float = 0.05,
                  seed: int = 0) -> None:
         if overload_retries < 0:
             raise ValueError("overload_retries must be >= 0")
         if max_retry_sleep < 0:
             raise ValueError("max_retry_sleep must be >= 0")
+        if reconnect_attempts < 0:
+            raise ValueError("reconnect_attempts must be >= 0")
+        if reconnect_backoff < 0:
+            raise ValueError("reconnect_backoff must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.overload_retries = overload_retries
         self.max_retry_sleep = max_retry_sleep
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
         self._rng = random.Random(seed)
         self._sock: Optional[socket.socket] = None
         self._file = None
@@ -82,15 +107,57 @@ class ServiceClient:
 
     # -- raw requests -----------------------------------------------------------
     def request(self, doc: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request, return its (raw) response document."""
-        self.connect()
-        assert self._file is not None
-        self._file.write(protocol.encode_line(doc))
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ServiceError("connection closed by server")
-        return protocol.decode_line(line)
+        """Send one request, return its (raw) response document.
+
+        A dropped connection (at connect, write or read) is retried on
+        a fresh connection up to ``reconnect_attempts`` times with a
+        capped jittered backoff; exhaustion raises
+        :class:`ServiceUnavailableError`.  A response timeout is not
+        retried (the request may still be executing server-side) and
+        propagates as-is after dropping the now-desynchronised
+        connection.
+        """
+        attempts = self.reconnect_attempts + 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                self.connect()
+                assert self._file is not None
+                self._file.write(protocol.encode_line(doc))
+                self._file.flush()
+                line = self._file.readline()
+            except TimeoutError:
+                # The server may still answer this request later; the
+                # connection is desynchronised either way, and a resend
+                # could execute the operation twice.  Drop the socket
+                # and let the caller decide.
+                self.close()
+                raise
+            except (ConnectionError, OSError) as exc:
+                self.close()
+                last_error = exc
+                if attempt + 1 < attempts:
+                    self._reconnect_sleep(attempt)
+                continue
+            if not line:
+                # The server closed the connection without answering —
+                # indistinguishable from a reset for our purposes.
+                self.close()
+                last_error = ServiceError("connection closed by server")
+                if attempt + 1 < attempts:
+                    self._reconnect_sleep(attempt)
+                continue
+            return protocol.decode_line(line)
+        raise ServiceUnavailableError(
+            f"service at {self.host}:{self.port} unreachable after "
+            f"{attempts} attempt(s): {last_error}"
+        ) from last_error
+
+    def _reconnect_sleep(self, attempt: int) -> None:
+        """Capped, jittered exponential backoff between reconnects."""
+        delay = min(self.reconnect_backoff * (2 ** attempt),
+                    self.max_retry_sleep)
+        time.sleep(delay * (0.5 + self._rng.random() / 2))
 
     def request_ok(self, doc: Dict[str, Any]) -> Dict[str, Any]:
         """Like :meth:`request`, raising :class:`ServiceError` on errors.

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import os
+import re
+
 import numpy as np
 import pytest
 
@@ -13,6 +17,40 @@ from repro.graph.generators import rmat_edges
 from repro.graph.weights import HashWeights
 
 ALL_ALGORITHMS = ("BFS", "SSSP", "SSWP", "SSNP", "Viterbi")
+
+# Storm tests are the hardest to debug from a red X alone.  When
+# REPRO_ARTIFACT_DIR is set (CI exports it), a failing chaos/fleet test
+# leaves behind its Prometheus metrics dump and the tracer's recent-span
+# ring buffer so the post-mortem starts from data, not guesses.
+_ARTIFACT_MARKERS = ("chaos", "fleet")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    artifact_dir = os.environ.get("REPRO_ARTIFACT_DIR")
+    if (not artifact_dir
+            or report.when != "call"
+            or not report.failed
+            or not any(item.get_closest_marker(m) for m in _ARTIFACT_MARKERS)):
+        return
+    from repro import obs
+
+    runtime = obs.current()
+    if runtime is None:
+        return
+    os.makedirs(artifact_dir, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", item.nodeid)
+    try:
+        with open(os.path.join(artifact_dir, f"{stem}.prom"), "w") as fh:
+            fh.write(runtime.registry.render_prometheus())
+        with open(os.path.join(artifact_dir,
+                               f"{stem}.trace.jsonl"), "w") as fh:
+            for span in runtime.tracer.recent():
+                fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    except OSError:
+        pass  # artifact capture must never mask the real failure
 
 
 @pytest.fixture(params=ALL_ALGORITHMS)

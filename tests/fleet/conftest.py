@@ -1,0 +1,68 @@
+"""Fixtures for the fleet tests: a base store and a live 3-replica fleet."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.evolving.generator import generate_evolving_graph
+from repro.evolving.store import SnapshotStore
+from repro.fleet import FleetSupervisor
+from repro.graph.edgeset import decode_edges
+from repro.graph.generators import rmat_edges
+from repro.graph.weights import HashWeights
+
+from tests.service.conftest import valid_batch
+
+
+def pairs(edges) -> List[List[int]]:
+    """An EdgeSet as the wire-format pair list."""
+    sources, targets = decode_edges(edges.codes)
+    return [[int(u), int(v)] for u, v in zip(sources.tolist(),
+                                             targets.tolist())]
+
+
+def fleet_batch(supervisor, donor: str = "replica-0"):
+    """A batch valid against the fleet's current tip, as wire pairs.
+
+    Derived from ``donor``'s on-disk store, which holds the fleet tip
+    whenever that replica is in rotation.
+    """
+    batch = valid_batch(SnapshotStore(supervisor.replicas[donor].store_dir))
+    return pairs(batch.additions), pairs(batch.deletions)
+
+
+@pytest.fixture(scope="session")
+def fleet_evolving():
+    """Same shape as the service suite's graph: 64 vertices, 5 snapshots."""
+    return generate_evolving_graph(
+        num_vertices=64,
+        base=rmat_edges(scale=6, num_edges=240, seed=5),
+        num_snapshots=5,
+        batch_size=16,
+        readd_fraction=0.5,
+        seed=11,
+        name="fleet",
+    )
+
+
+@pytest.fixture
+def base_store(tmp_path, fleet_evolving):
+    return SnapshotStore.create(tmp_path / "base", fleet_evolving)
+
+
+@pytest.fixture
+def fleet_weights():
+    return HashWeights(max_weight=8, seed=7)
+
+
+@pytest.fixture
+def fleet(tmp_path, base_store, fleet_weights):
+    """A running 3-replica fleet behind one router."""
+    supervisor = FleetSupervisor(
+        base_store.directory, tmp_path / "fleet",
+        replicas=3, weight_fn=fleet_weights,
+    )
+    with supervisor:
+        yield supervisor

@@ -1,0 +1,84 @@
+"""Unit tests for the consistent hash ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import ConsistentHashRing
+
+pytestmark = pytest.mark.fleet
+
+MEMBERS = ("replica-0", "replica-1", "replica-2")
+SOURCES = range(256)
+
+
+class TestDeterminism:
+    def test_same_members_same_layout(self):
+        a = ConsistentHashRing(MEMBERS)
+        b = ConsistentHashRing(reversed(MEMBERS))
+        assert [a.owner(s) for s in SOURCES] == [b.owner(s) for s in SOURCES]
+
+    def test_readding_a_member_restores_its_share(self):
+        ring = ConsistentHashRing(MEMBERS)
+        before = {s: ring.owner(s) for s in SOURCES}
+        ring.remove("replica-1")
+        ring.add("replica-1")
+        assert {s: ring.owner(s) for s in SOURCES} == before
+
+
+class TestMembership:
+    def test_add_and_remove_are_idempotent(self):
+        ring = ConsistentHashRing(MEMBERS)
+        ring.add("replica-0")
+        assert len(ring) == 3
+        ring.remove("replica-0")
+        ring.remove("replica-0")
+        assert len(ring) == 2
+        assert "replica-0" not in ring
+        assert ring.members() == ("replica-1", "replica-2")
+
+    def test_empty_ring_raises_fleet_error(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(FleetError):
+            ring.owner(0)
+
+
+class TestStability:
+    def test_removal_moves_only_the_removed_members_share(self):
+        ring = ConsistentHashRing(MEMBERS)
+        before = {s: ring.owner(s) for s in SOURCES}
+        ring.remove("replica-1")
+        after = {s: ring.owner(s) for s in SOURCES}
+        for source in SOURCES:
+            if before[source] != "replica-1":
+                assert after[source] == before[source]
+            else:
+                assert after[source] in ("replica-0", "replica-2")
+
+    def test_every_member_owns_some_sources(self):
+        counts = ConsistentHashRing(MEMBERS).assignment(SOURCES)
+        assert set(counts) == set(MEMBERS)
+        assert all(count > 0 for count in counts.values())
+
+
+class TestFailoverOrder:
+    def test_owners_are_distinct_and_start_with_the_owner(self):
+        ring = ConsistentHashRing(MEMBERS)
+        for source in SOURCES:
+            order = ring.owners(source, 3)
+            assert order[0] == ring.owner(source)
+            assert sorted(order) == sorted(MEMBERS)
+
+    def test_owners_caps_at_member_count(self):
+        ring = ConsistentHashRing(MEMBERS)
+        assert len(ring.owners(7, 99)) == 3
+
+    def test_failover_order_survives_ejection(self):
+        """After ejecting the owner, the old second choice owns the key."""
+        ring = ConsistentHashRing(MEMBERS)
+        for source in range(32):
+            first, second, _ = ring.owners(source, 3)
+            ring.remove(first)
+            assert ring.owner(source) == second
+            ring.add(first)

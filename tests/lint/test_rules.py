@@ -185,6 +185,15 @@ def test_async_blocking_bare_future_result(lint_project):
     assert findings[0].context == "joiner"
 
 
+def test_async_blocking_covers_fleet_package(lint_project):
+    # The fleet router is a second asyncio surface: the same offender
+    # under repro/fleet/ is in scope.
+    result = lint_project({"repro/fleet/router.py": ASYNC_HANDLERS})
+    findings = rule_findings(result, "async-blocking")
+    assert len(findings) == 1
+    assert findings[0].context == "bad_handler"
+
+
 def test_async_blocking_covers_resilience_module(lint_project):
     # The retry/breaker helpers run on the event loop too: the same
     # time.sleep that is flagged under repro/service/ is flagged in

@@ -1,0 +1,108 @@
+"""Client auto-reconnect: dropped connections heal, timeouts do not."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServiceUnavailableError
+from repro.service import ServiceConfig, ServiceRunner, ServiceState
+from repro.service.client import ServiceClient
+
+pytestmark = pytest.mark.service
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"reconnect_attempts": -1},
+        {"reconnect_backoff": -0.1},
+        {"overload_retries": -1},
+        {"max_retry_sleep": -1.0},
+    ])
+    def test_negative_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceClient(**kwargs)
+
+
+class TestReconnect:
+    def test_survives_a_server_restart_on_the_same_port(
+        self, service_store, service_weights
+    ):
+        """The client's socket dies with the old server process; the
+        next request reconnects transparently and succeeds."""
+        port = free_port()
+        state = ServiceState(service_store, weight_fn=service_weights)
+        try:
+            config = ServiceConfig(port=port)
+            runner = ServiceRunner(state, config).start()
+            client = ServiceClient(port=port, reconnect_backoff=0.01)
+            try:
+                assert client.ping()
+                first = client.query("SSSP", 0)
+                runner.stop()
+                runner = ServiceRunner(state, ServiceConfig(port=port)).start()
+                # Same client object, stale socket: must heal itself.
+                assert client.ping()
+                again = client.query("SSSP", 0)
+            finally:
+                client.close()
+                runner.stop()
+            assert len(again["values"]) == len(first["values"])
+        finally:
+            state.close()
+
+    def test_exhaustion_raises_service_unavailable(self):
+        client = ServiceClient(port=free_port(), timeout=0.5,
+                               reconnect_attempts=2,
+                               reconnect_backoff=0.01)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            client.request({"op": "ping"})
+        assert "3 attempt(s)" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_zero_attempts_means_no_retry(self):
+        client = ServiceClient(port=free_port(), timeout=0.5,
+                               reconnect_attempts=0)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            client.request({"op": "ping"})
+        assert "1 attempt(s)" in str(excinfo.value)
+
+    def test_timeout_is_not_retried(self):
+        """A response timeout propagates: the request may still be
+        executing server-side, so a blind resend could double-apply."""
+        accepted = threading.Event()
+        server = socket.socket()
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+        conns = []
+
+        def silent_server():
+            conn, _ = server.accept()
+            conns.append(conn)  # accept, read nothing, answer nothing
+            accepted.set()
+
+        thread = threading.Thread(target=silent_server, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(port=port, timeout=0.2,
+                                   reconnect_attempts=5)
+            with pytest.raises(TimeoutError):
+                client.request({"op": "ping"})
+            assert accepted.wait(5)
+            # The desynchronised socket was dropped, not resent on.
+            assert client._sock is None
+        finally:
+            for conn in conns:
+                conn.close()
+            server.close()
+            thread.join(timeout=5)
