@@ -20,6 +20,11 @@ Subcommands
     store) behind a consistent-hashing router that fans ingests to all
     of them.  Clients speak the same protocol as ``serve``, so
     ``query`` and ``info --connect`` work against the router port.
+``temporal``
+    Historical analytics against a running service: point-in-time
+    answers (``as_of`` a version or ingest timestamp), per-vertex
+    timelines, temporal aggregates, snapshot diffs and sliding-window
+    rollups.  See ``docs/temporal.md``.
 ``obs dump`` / ``obs tail``
     Inspect a live service's observability data: fetch the metrics
     endpoint, or render a span file as per-trace trees.
@@ -540,6 +545,134 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _temporal_spec_from_args(args: argparse.Namespace) -> dict:
+    """One temporal spec document from the parsed mode sub-arguments."""
+    mode = args.temporal_mode
+    spec: dict = {"mode": mode}
+    if mode == "point":
+        if args.as_of is not None:
+            spec["as_of"] = args.as_of
+        if args.as_of_timestamp is not None:
+            spec["as_of_timestamp"] = args.as_of_timestamp
+    elif mode == "timeline":
+        spec["vertex"] = args.vertex
+    elif mode == "aggregate":
+        spec["agg"] = args.agg
+        if args.agg == "top_volatile" and args.k is not None:
+            spec["k"] = args.k
+    elif mode == "diff":
+        spec["a"] = args.a
+        spec["b"] = args.b
+    elif mode == "rollup":
+        spec["vertex"] = args.vertex
+        spec["agg"] = args.agg
+        spec["width"] = args.width
+    if getattr(args, "first", None) is not None:
+        spec["first"] = args.first
+    if getattr(args, "last", None) is not None:
+        spec["last"] = args.last
+    return spec
+
+
+def _render_temporal_result(result: dict) -> str:
+    """One temporal result as an operator-readable table."""
+    mode = result["mode"]
+    if mode == "point":
+        values = result["values"]
+        finite = values[np.isfinite(values)]
+        rows = [
+            ["version", result["version"]],
+            ["reached", int(finite.size)],
+            ["mean", round(float(finite.mean()), 3) if finite.size else "-"],
+            ["max", round(float(finite.max()), 3) if finite.size else "-"],
+        ]
+        return render_table(["property", "value"], rows,
+                            title="point-in-time")
+    if mode == "timeline":
+        rows = [[result["first"] + k,
+                 "unreached" if np.isinf(v) else round(float(v), 3)]
+                for k, v in enumerate(result["values"])]
+        return render_table(
+            ["version", "value"], rows,
+            title=f"timeline of vertex {result['vertex']}",
+        )
+    if mode == "aggregate":
+        if result["agg"] == "top_volatile":
+            rows = [[int(v), int(c)] for v, c in
+                    zip(result["vertices"], result["counts"])]
+            return render_table(
+                ["vertex", "changes"], rows,
+                title=(f"top-{result['k']} most volatile over "
+                       f"{result['first']}..{result['last']}"),
+            )
+        values = result["values"]
+        finite = values[np.isfinite(values)] if values.dtype.kind == "f" \
+            else values
+        rows = [
+            ["vertices", int(values.size)],
+            ["finite", int(finite.size)],
+            ["mean", round(float(finite.mean()), 3) if finite.size else "-"],
+            ["min", round(float(finite.min()), 3) if finite.size else "-"],
+            ["max", round(float(finite.max()), 3) if finite.size else "-"],
+        ]
+        return render_table(
+            ["property", "value"], rows,
+            title=(f"{result['agg']} over versions "
+                   f"{result['first']}..{result['last']}"),
+        )
+    if mode == "diff":
+        rows = [
+            ["became reachable", result["became_reachable"]],
+            ["became unreachable", result["became_unreachable"]],
+            ["value changed", result["value_changed"]],
+        ]
+        if "edge_additions" in result:
+            rows.append(["edge additions", result["edge_additions"]])
+            rows.append(["edge deletions", result["edge_deletions"]])
+        return render_table(
+            ["property", "value"], rows,
+            title=f"diff version {result['a']} -> {result['b']}",
+        )
+    rows = [[first, "unreached" if np.isinf(v) else round(float(v), 3)]
+            for first, v in zip(result["window_firsts"], result["values"])]
+    return render_table(
+        ["window start", result["agg"]], rows,
+        title=(f"rollup of vertex {result['vertex']} "
+               f"(width {result['width']})"),
+    )
+
+
+def _cmd_temporal(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    spec = _temporal_spec_from_args(args)
+    host, _, port = args.connect.rpartition(":")
+    try:
+        with ServiceClient(host or "127.0.0.1", int(port),
+                           timeout=args.timeout) as client:
+            response = client.temporal(args.algorithm, args.source, [spec])
+    except (ServiceError, OSError) as exc:
+        print(f"temporal: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        from repro.temporal import encode_results
+
+        response["results"] = encode_results(response["results"])
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    print(f"{response['algorithm']} from {response['source']}, window "
+          f"{response['window_first']}..{response['window_last']} "
+          f"(epoch {response['epoch']}, outcome {response['outcome']}, "
+          f"{response['ranges_evaluated']} range(s), "
+          f"{response['snapshots_scanned']} snapshot(s) scanned)")
+    for result in response["results"]:
+        print()
+        print(_render_temporal_result(result))
+    return 0
+
+
 def _cmd_store_verify(args: argparse.Namespace) -> int:
     report = SnapshotStore.verify_store(args.store, deep=args.deep)
     rows = [
@@ -774,6 +907,73 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--json", action="store_true",
                        help="print the raw response as JSON")
     query.set_defaults(func=_cmd_query)
+
+    temporal = sub.add_parser(
+        "temporal",
+        help="time-travel and historical analytics against a service",
+    )
+    temporal_sub = temporal.add_subparsers(dest="temporal_mode",
+                                           required=True)
+
+    def _temporal_common(p: argparse.ArgumentParser,
+                         ranged: bool = True) -> None:
+        p.add_argument("--connect", default="127.0.0.1:7421",
+                       metavar="HOST:PORT")
+        p.add_argument("--algorithm", default="SSSP",
+                       help=f"one of {algorithm_names()}")
+        p.add_argument("--source", type=int, default=0)
+        p.add_argument("--timeout", type=float, default=30.0)
+        p.add_argument("--json", action="store_true",
+                       help="print the raw response as JSON")
+        if ranged:
+            p.add_argument("--first", type=int, default=None,
+                           help="first version (default: window start)")
+            p.add_argument("--last", type=int, default=None,
+                           help="last version (default: window end)")
+        p.set_defaults(func=_cmd_temporal)
+
+    tp = temporal_sub.add_parser(
+        "point", help="full answer vector as of one version or timestamp"
+    )
+    tp.add_argument("--as-of", type=int, default=None, metavar="VERSION")
+    tp.add_argument("--as-of-timestamp", type=float, default=None,
+                    metavar="UNIX_TS",
+                    help="latest version ingested at or before this time")
+    _temporal_common(tp, ranged=False)
+
+    tt = temporal_sub.add_parser(
+        "timeline", help="one vertex's value across a version range"
+    )
+    tt.add_argument("--vertex", type=int, required=True)
+    _temporal_common(tt)
+
+    ta = temporal_sub.add_parser(
+        "aggregate", help="per-vertex aggregate over a version range"
+    )
+    ta.add_argument("--agg", required=True,
+                    choices=["min", "max", "mean", "argmin", "argmax",
+                             "first_reachable", "changed_count",
+                             "top_volatile"])
+    ta.add_argument("-k", type=int, default=None,
+                    help="result size for top_volatile")
+    _temporal_common(ta)
+
+    td = temporal_sub.add_parser(
+        "diff", help="value and reachability churn between two versions"
+    )
+    td.add_argument("--a", type=int, required=True, metavar="VERSION")
+    td.add_argument("--b", type=int, required=True, metavar="VERSION")
+    _temporal_common(td, ranged=False)
+
+    tr = temporal_sub.add_parser(
+        "rollup", help="sliding-window aggregate of one vertex"
+    )
+    tr.add_argument("--vertex", type=int, required=True)
+    tr.add_argument("--agg", required=True,
+                    choices=["min", "max", "mean", "changed_count"])
+    tr.add_argument("--width", type=int, required=True,
+                    help="sliding window width in snapshots")
+    _temporal_common(tr)
 
     trend = sub.add_parser("trend", help="track metric trends over snapshots")
     trend.add_argument("store")

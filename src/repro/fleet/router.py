@@ -3,7 +3,8 @@
 Request lifecycle::
 
     client line ──> validate (protocol) ──> dispatch
-        query  ──> consistent-hash owner of the source vertex
+        query / temporal
+               ──> consistent-hash owner of the source vertex
                    ──> per-replica circuit breaker ──> forward
                    ──> on replica failure: eject + fail over to the
                    next ring owner, caller's Deadline still honoured
@@ -170,10 +171,10 @@ class FleetRouter:
         self.fleet_version: Optional[int] = None
         self.port: Optional[int] = None
         self.counters: Dict[str, int] = {
-            "connections": 0, "requests": 0, "queries": 0, "ingests": 0,
-            "answered": 0, "shed": 0, "errors": 0, "failovers": 0,
-            "ejections": 0, "rebalances": 0, "receipt_divergences": 0,
-            "probes": 0,
+            "connections": 0, "requests": 0, "queries": 0, "temporals": 0,
+            "ingests": 0, "answered": 0, "shed": 0, "errors": 0,
+            "failovers": 0, "ejections": 0, "rebalances": 0,
+            "receipt_divergences": 0, "probes": 0,
         }
         self._ingest_lock: Optional[asyncio.Lock] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -494,6 +495,9 @@ class FleetRouter:
             return self._handle_status()
         if op == "ingest":
             return await self._handle_ingest(doc)
+        # query and temporal are both source-affine reads: route them by
+        # the same consistent hash so a temporal batch lands on the
+        # replica whose planner cache already holds that source's ranges.
         return await self._handle_query(doc)
 
     def _request_deadline(self, doc: Dict[str, Any]) -> Deadline:
@@ -536,14 +540,15 @@ class FleetRouter:
 
     # -- queries -------------------------------------------------------------
     async def _handle_query(self, doc: Dict[str, Any]) -> Dict[str, Any]:
-        self.counters["queries"] += 1
-        obs.counter_inc("repro_fleet_requests_total", op="query")
+        op = doc["op"]
+        self.counters["temporals" if op == "temporal" else "queries"] += 1
+        obs.counter_inc("repro_fleet_requests_total", op=op)
         source = doc["source"]
         deadline = self._request_deadline(doc)
         tried: Set[str] = set()
         failovers = 0
         last_error: Optional[BaseException] = None
-        with obs.phase_span("router", "query", label=f"src:{source}"):
+        with obs.phase_span("router", op, label=f"src:{source}"):
             # Each pass recomputes the owner list: an ejection mid-loop
             # reassigns the source's hash range to the survivors.
             for _ in range(len(self.replicas) + 1):

@@ -1,9 +1,13 @@
 """Determinism: algorithm paths never read the wall clock or global RNG.
 
 Fault-injection reproducibility (``repro.faults``) and the bit-exact
-equivalence tests between evaluators both depend on ``repro/core/``
-and ``repro/kickstarter/`` being pure functions of their inputs plus
-an explicit seed.  This rule flags, in those packages only:
+equivalence tests between evaluators both depend on ``repro/core/``,
+``repro/kickstarter/`` and ``repro/temporal/`` being pure functions of
+their inputs plus an explicit seed.  (The temporal engine resolves
+``as_of_timestamp`` from a version→timestamp mapping *passed in* by the
+service state, never by reading the clock itself — exactly the
+discipline this rule enforces.)  This rule flags, in those packages
+only:
 
 * wall-clock reads — ``time.time``, ``datetime.now`` and friends,
   including through import aliases (``from time import time``,
@@ -106,7 +110,9 @@ class DeterminismRule(Rule):
     title = "no wall-clock reads or unseeded RNG in algorithm paths"
 
     def applies_to(self, relpath: str) -> bool:
-        return relpath.startswith(("repro/core/", "repro/kickstarter/"))
+        return relpath.startswith(
+            ("repro/core/", "repro/kickstarter/", "repro/temporal/")
+        )
 
     def check(self, module, project) -> Iterator[Finding]:
         aliases = _import_aliases(module.tree)

@@ -116,6 +116,23 @@ INSTRUMENTS: Dict[str, InstrumentSpec] = {
     "repro_poisoned": InstrumentSpec(
         "gauge", "1 when the state diverged from the store, else 0.",
     ),
+    # -- temporal analytics -------------------------------------------------
+    "repro_temporal_queries_total": InstrumentSpec(
+        "counter", "Temporal specs answered, by query mode.",
+        ("mode",),
+    ),
+    "repro_temporal_snapshots_scanned_total": InstrumentSpec(
+        "counter",
+        "Snapshots materialised by temporal evaluation (one per version "
+        "in each coalesced range; the coalescing win is this counter "
+        "staying flat while specs pile up).",
+    ),
+    "repro_temporal_range_width": InstrumentSpec(
+        "histogram",
+        "Width (snapshots) of each coalesced range a temporal batch "
+        "evaluated.",
+        buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+    ),
     # -- storage ------------------------------------------------------------
     "repro_store_appends_total": InstrumentSpec(
         "counter", "Durable batch appends committed by the snapshot store.",
@@ -195,8 +212,13 @@ def prime(registry: MetricsRegistry) -> None:
             outcomes.labels(component=component, status=status)
     for name in ("repro_requests_total",):
         requests = family(registry, name)
-        for op in ("query", "ingest", "status"):
+        for op in ("query", "temporal", "ingest", "status"):
             requests.labels(op=op)
+    temporal_queries = family(registry, "repro_temporal_queries_total")
+    for mode in ("point", "timeline", "aggregate", "diff", "rollup"):
+        temporal_queries.labels(mode=mode)
+    family(registry, "repro_temporal_snapshots_scanned_total").labels()
+    family(registry, "repro_temporal_range_width").labels()
     for name in ("repro_errors_total", "repro_coalesced_total",
                  "repro_store_appends_total", "repro_spans_total",
                  "repro_query_seconds", "repro_ingest_seconds"):

@@ -229,8 +229,40 @@ class ServiceClient:
             doc["last"] = last
         if timeout_ms is not None:
             doc["timeout_ms"] = timeout_ms
+        # Face-invalid ranges (negative, reversed) die here with a
+        # ProtocolError, before a socket is even opened.
+        protocol.validate_request(doc)
         response = self._request_retrying_overload(doc)
         response["values"] = self.decode_values(response.get("values", []))
+        return response
+
+    def temporal(
+        self,
+        algorithm: str,
+        source: int,
+        queries: Any,
+        timeout_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Run a temporal batch; ``results`` is decoded to NumPy arrays.
+
+        ``queries`` is one spec dict or a list of them (see
+        ``docs/temporal.md`` for the vocabulary).  The batch is
+        validated client-side first, so a malformed spec raises
+        :class:`ProtocolError` without touching the server.
+        """
+        from repro.temporal.timeline import decode_results
+
+        if isinstance(queries, dict):
+            queries = [queries]
+        doc: Dict[str, Any] = {
+            "op": "temporal", "algorithm": algorithm, "source": source,
+            "queries": queries,
+        }
+        if timeout_ms is not None:
+            doc["timeout_ms"] = timeout_ms
+        protocol.validate_request(doc)
+        response = self._request_retrying_overload(doc)
+        response["results"] = decode_results(response.get("results", []))
         return response
 
     def ingest(

@@ -12,11 +12,13 @@ Operations::
     {"op": "status"}
     {"op": "query", "algorithm": "SSSP", "source": 3,
      "first": 2, "last": 5}            # first/last optional => window
+    {"op": "temporal", "algorithm": "SSSP", "source": 3,
+     "queries": [{"mode": "timeline", "vertex": 7}, ...]}
     {"op": "ingest", "additions": [[u, v], ...],
      "deletions": [[u, v], ...]}
     {"op": "shutdown"}
 
-Query and ingest requests may carry an optional ``timeout_ms`` — the
+Query, temporal and ingest requests may carry an optional ``timeout_ms`` — the
 client's end-to-end budget for the request, capped server-side by the
 configured ``request_timeout``.
 
@@ -56,10 +58,12 @@ __all__ = [
 #: Hard cap on one protocol line; a longer line is a malformed request.
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
-OPS = ("ping", "status", "query", "ingest", "shutdown")
+OPS = ("ping", "status", "query", "temporal", "ingest", "shutdown")
 
 _QUERY_FIELDS = {"op", "id", "algorithm", "source", "first", "last",
                  "timeout_ms"}
+_TEMPORAL_FIELDS = {"op", "id", "algorithm", "source", "queries",
+                    "timeout_ms"}
 _INGEST_FIELDS = {"op", "id", "additions", "deletions", "timeout_ms"}
 
 
@@ -96,8 +100,12 @@ def _require_int(doc: Dict[str, Any], field: str,
 def validate_request(doc: Dict[str, Any]) -> Dict[str, Any]:
     """Check shape and types of a request; returns it unchanged.
 
-    Field semantics (ranges, algorithm names) are validated by the
-    service state — this layer only rejects structurally bad frames.
+    Snapshot ranges are rejected here when they are malformed *on
+    their face* (negative versions, ``first > last``) — the client
+    gets a clean :class:`ProtocolError` payload instead of a
+    server-side evaluation error.  Semantics that need live state
+    (window bounds, algorithm names) are validated by the service
+    state, which raises the same error type for out-of-window ranges.
     """
     op = doc.get("op")
     if op not in OPS:
@@ -109,8 +117,32 @@ def validate_request(doc: Dict[str, Any]) -> Dict[str, Any]:
         if not isinstance(doc.get("algorithm"), str):
             raise ProtocolError("field 'algorithm' must be a string")
         _require_int(doc, "source")
-        _require_int(doc, "first", optional=True)
-        _require_int(doc, "last", optional=True)
+        first = _require_int(doc, "first", optional=True)
+        last = _require_int(doc, "last", optional=True)
+        for name, value in (("first", first), ("last", last)):
+            if value is not None and value < 0:
+                raise ProtocolError(
+                    f"field {name!r} must be a non-negative snapshot "
+                    f"version, got {value}"
+                )
+        if first is not None and last is not None and first > last:
+            raise ProtocolError(
+                f"version range [{first}, {last}] is reversed "
+                "(first > last)"
+            )
+        _require_timeout(doc)
+    elif op == "temporal":
+        from repro.temporal.plan import parse_specs
+
+        unknown = set(doc) - _TEMPORAL_FIELDS
+        if unknown:
+            raise ProtocolError(
+                f"unknown temporal fields {sorted(unknown)}"
+            )
+        if not isinstance(doc.get("algorithm"), str):
+            raise ProtocolError("field 'algorithm' must be a string")
+        _require_int(doc, "source")
+        parse_specs(doc.get("queries"))
         _require_timeout(doc)
     elif op == "ingest":
         unknown = set(doc) - _INGEST_FIELDS

@@ -139,8 +139,8 @@ class GraphService:
         self.port: Optional[int] = None
         self.counters: Dict[str, int] = {
             "connections": 0, "requests": 0, "queries": 0, "coalesced": 0,
-            "ingests": 0, "retried": 0, "degraded": 0, "errors": 0,
-            "shed": 0, "breaker_fastfail": 0,
+            "temporals": 0, "ingests": 0, "retried": 0, "degraded": 0,
+            "errors": 0, "shed": 0, "breaker_fastfail": 0,
         }
         self.admission = AdmissionController(
             query=self.config.query_admission,
@@ -383,6 +383,8 @@ class GraphService:
             return await self._handle_status()
         if op == "ingest":
             return await self._handle_ingest(doc)
+        if op == "temporal":
+            return await self._handle_temporal(doc)
         return await self._handle_query(doc)
 
     def _request_deadline(self, doc: Dict[str, Any]) -> Deadline:
@@ -551,8 +553,9 @@ class GraphService:
                                 source=source) as root_span:
                 async with self.admission.slot("query", deadline,
                                                what=f"query {label}"):
-                    answer, outcome = await self._execute_query(
-                        doc, attempt, attempts, deadline, label,
+                    answer, outcome = await self._execute_gated(
+                        attempt, attempts, deadline, f"query {label}",
+                        lambda: self._degraded_query(doc, deadline),
                     )
                 root_span.annotate(outcome=outcome, attempts=attempts[0])
         obs.counter_inc("repro_task_outcomes_total",
@@ -575,11 +578,13 @@ class GraphService:
             response["trace_id"] = root_span.trace_id
         return response
 
-    async def _execute_query(self, doc, attempt, attempts, deadline, label):
-        """The breaker-gated primary path, falling back to degraded.
+    async def _execute_gated(self, attempt, attempts, deadline, label,
+                             degraded):
+        """The breaker-gated primary path, falling back to ``degraded``.
 
-        Returns ``(answer, outcome)``.  The breaker counts *requests*
-        (one ``before_call`` each), not attempts: a retried-then-healed
+        Shared by the query and temporal paths.  Returns
+        ``(answer, outcome)``.  The breaker counts *requests* (one
+        ``before_call`` each), not attempts: a retried-then-healed
         request records one success, an exhausted one records one
         failure, and anything that says nothing about the planner's
         health (client errors, expired budgets) records neutrally so a
@@ -587,19 +592,19 @@ class GraphService:
         """
         breaker = self.query_breaker
         try:
-            breaker.before_call(f"query {label}")
+            breaker.before_call(label)
         except CircuitOpenError:
             # Short-circuit: no retries against a path that keeps
             # failing — answer from the offline evaluator immediately.
             self.counters["breaker_fastfail"] += 1
             obs.annotate(breaker="open")
-            answer = await self._degraded_query(doc, deadline)
+            answer = await degraded()
             return answer, "degraded"
         recorded = False
         try:
             answer = await retry_call_async(
                 attempt, policy=self.config.retry, deadline=deadline,
-                label=f"query {label}",
+                label=label,
             )
             breaker.record_success()
             recorded = True
@@ -614,7 +619,7 @@ class GraphService:
             # propagate straight to the error response.
             breaker.record_failure()
             recorded = True
-            answer = await self._degraded_query(doc, deadline)
+            answer = await degraded()
             return answer, "degraded"
         finally:
             if not recorded:
@@ -648,6 +653,99 @@ class GraphService:
                 raise DeadlineExceededError(
                     "degraded query exceeded its deadline"
                 ) from None
+
+    # -- temporal -------------------------------------------------------------
+    async def _handle_temporal(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """One temporal batch through the query lane.
+
+        Shares the query admission lane, the planner breaker and the
+        retry/degrade ladder with plain queries — a temporal batch is
+        just a bigger read.  The degraded fallback is the cache-free
+        :meth:`ServiceState.temporal_offline`, which still coalesces
+        ranges, so even a degraded answer costs one offline evaluation
+        per merged range.
+        """
+        from repro.temporal.plan import parse_specs
+        from repro.temporal.timeline import encode_results
+
+        self.counters["temporals"] += 1
+        obs.counter_inc("repro_requests_total", op="temporal")
+        algorithm = doc["algorithm"]
+        source = doc["source"]
+        specs = parse_specs(doc["queries"])
+        deadline = self._request_deadline(doc)
+        loop = asyncio.get_running_loop()
+        attempts = [0]
+        label = f"{algorithm}:{source}:{len(specs)} specs"
+
+        def primary():
+            attempts[0] += 1
+            faults.service_check("temporal", label)
+            return self.state.temporal(algorithm, source, specs)
+
+        async def attempt():
+            deadline.check("temporal")
+            # run_in_executor does not propagate contextvars: carry the
+            # root span into the worker thread so the temporal/planner
+            # spans of this attempt nest under one trace.
+            ctx = contextvars.copy_context()
+            try:
+                return await asyncio.wait_for(
+                    loop.run_in_executor(None, lambda: ctx.run(primary)),
+                    timeout=deadline.remaining(),
+                )
+            except asyncio.TimeoutError:
+                raise DeadlineExceededError(
+                    f"temporal {label} exceeded its deadline"
+                ) from None
+
+        async def degraded():
+            self.counters["degraded"] += 1
+            deadline.check("degraded temporal")
+            with obs.phase_span("server", "degraded", label=algorithm):
+                ctx = contextvars.copy_context()
+                try:
+                    return await asyncio.wait_for(
+                        loop.run_in_executor(
+                            None, ctx.run, self.state.temporal_offline,
+                            algorithm, source, specs,
+                        ),
+                        timeout=deadline.remaining(),
+                    )
+                except asyncio.TimeoutError:
+                    raise DeadlineExceededError(
+                        "degraded temporal exceeded its deadline"
+                    ) from None
+
+        with obs.timer("repro_query_seconds"):
+            with obs.phase_span("server", "temporal", label=label,
+                                algorithm=algorithm, source=source,
+                                specs=len(specs)) as root_span:
+                async with self.admission.slot("query", deadline,
+                                               what=f"temporal {label}"):
+                    answer, outcome = await self._execute_gated(
+                        attempt, attempts, deadline, f"temporal {label}",
+                        degraded,
+                    )
+                root_span.annotate(outcome=outcome, attempts=attempts[0])
+        obs.counter_inc("repro_task_outcomes_total",
+                        component="service", status=outcome)
+        response = {
+            "ok": True,
+            "op": "temporal",
+            "algorithm": answer.algorithm,
+            "source": answer.source,
+            "window_first": answer.window_first,
+            "window_last": answer.window_last,
+            "epoch": answer.epoch,
+            "outcome": outcome,
+            "ranges_evaluated": answer.ranges_evaluated,
+            "snapshots_scanned": answer.snapshots_scanned,
+            "results": encode_results(answer.results),
+        }
+        if root_span.trace_id is not None:
+            response["trace_id"] = root_span.trace_id
+        return response
 
 
 class ServiceRunner:

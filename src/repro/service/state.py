@@ -41,15 +41,17 @@ that no longer matches the store.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
+from repro.algorithms.base import MonotonicAlgorithm
 from repro.algorithms.registry import get_algorithm
 from repro.core.common import CommonGraphDecomposition
-from repro.errors import ServiceError
+from repro.errors import ProtocolError, ServiceError
 from repro.evolving.delta import DeltaBatch
 from repro.evolving.store import SnapshotStore
 from repro.graph.weights import UnitWeights, WeightFn
@@ -57,6 +59,9 @@ from repro.kickstarter.engine import VertexState
 from repro.service.cache import LRUCache
 from repro.service.planner import MemoizingPlanner
 from repro.service.status import store_summary
+from repro.temporal.engine import TemporalEngine
+from repro.temporal.plan import TemporalSpec
+from repro.temporal.timeline import TemporalAnswer
 
 __all__ = ["QueryAnswer", "ServiceState"]
 
@@ -91,6 +96,7 @@ class ServiceState:
         window: Optional[int] = None,
         result_cache_entries: int = 256,
         node_cache_entries: int = 1024,
+        time_fn: Callable[[], float] = time.time,
     ) -> None:
         if window is not None and window < 1:
             raise ServiceError("window must be >= 1 snapshot")
@@ -120,6 +126,18 @@ class ServiceState:
         #: Absolute version number of the window's first snapshot.
         self.base_version = base  # guarded-by: _lock
         self.decomposition = decomposition  # guarded-by: _lock
+        #: Ingest timestamps *as observed by this service instance*:
+        #: versions already in the store at startup are stamped at
+        #: init, later versions as their batch lands.  The temporal
+        #: ``as_of_timestamp`` queries resolve against this map; the
+        #: store itself records no timestamps, so the semantics are
+        #: deliberately instance-local (documented in docs/temporal.md).
+        self._time_fn = time_fn
+        now = time_fn()
+        self.version_times: Dict[int, float] = {  # guarded-by: _lock
+            version: now
+            for version in range(base, base + decomposition.num_snapshots)
+        }
         # Appends made through the store handle (by us or any other
         # same-process caller) keep the decomposition in sync.
         self._unsubscribe = store.subscribe(self._on_append)
@@ -221,6 +239,11 @@ class ServiceState:
             self._poisoned = None
             self.decomposition = decomp
             self.base_version = base
+            now = self._time_fn()
+            for version in range(base, base + decomp.num_snapshots):
+                self.version_times.setdefault(version, now)
+            for version in [v for v in self.version_times if v < base]:
+                del self.version_times[version]  # slid out of the window
             self.epoch += 1
             self.ingests += 1
             epoch = self.epoch
@@ -254,10 +277,35 @@ class ServiceState:
                 f"[0, {decomposition.num_vertices})"
             )
         if not base <= first <= last <= latest:
-            raise ServiceError(
+            # ProtocolError (a ServiceError subclass): the request named
+            # versions this window cannot answer — a client mistake, not
+            # a server fault, so the client sees a clean payload.
+            raise ProtocolError(
                 f"version range [{first}, {last}] outside the window "
                 f"[{base}, {latest}]"
             )
+        return self._answer_range(
+            decomposition, epoch, base, alg, source, first, last
+        )
+
+    def _answer_range(
+        self,
+        decomposition: CommonGraphDecomposition,
+        epoch: int,
+        base: int,
+        alg: MonotonicAlgorithm,
+        source: int,
+        first: int,
+        last: int,
+    ) -> QueryAnswer:
+        """Answer one validated range on a captured state snapshot.
+
+        All evaluations of a temporal batch run through here against
+        the *same* ``(decomposition, epoch, base)`` triple, so a batch
+        shares the result cache and the memoizing planner's node cache
+        with plain queries — and an ingest landing mid-batch can never
+        mix epochs within one answer.
+        """
         answer = QueryAnswer(
             algorithm=alg.name, source=source, first=first, last=last,
             epoch=epoch,
@@ -308,6 +356,103 @@ class ServiceState:
             first=first, last=last, epoch=epoch,
             values=list(result.snapshot_values),
         )
+
+    # -- temporal queries ----------------------------------------------------
+    def _capture(self) -> Tuple[CommonGraphDecomposition, int, int,
+                                Dict[int, float]]:
+        """One atomic snapshot of the mutable state for a temporal batch."""
+        with self._lock:
+            self._check_serviceable()
+            return (self.decomposition, self.epoch, self.base_version,
+                    dict(self.version_times))
+
+    @staticmethod
+    def _structural_diff(
+        decomposition: CommonGraphDecomposition, base: int,
+    ) -> Callable[[int, int], DeltaBatch]:
+        """``VersionController.diff`` semantics on the captured window.
+
+        Identical construction (surplus-set difference; the common
+        graph cancels), computed against the window decomposition so a
+        temporal diff never races an ingest.
+        """
+        def diff(a: int, b: int) -> DeltaBatch:
+            surplus_a = decomposition.direct_hop_batch(a - base)
+            surplus_b = decomposition.direct_hop_batch(b - base)
+            return DeltaBatch(additions=surplus_b - surplus_a,
+                              deletions=surplus_a - surplus_b)
+
+        return diff
+
+    def temporal(
+        self, algorithm: str, source: int, specs: Sequence[TemporalSpec],
+    ) -> TemporalAnswer:
+        """Answer a temporal batch through the cached evaluation path.
+
+        Every coalesced range the engine descends goes through
+        :meth:`_answer_range` — the result cache and the memoizing
+        planner — against one atomically captured
+        ``(decomposition, epoch, base)``, so a batch costs one TG
+        descent per merged range at most, fewer when caches hit.
+        """
+        decomposition, epoch, base, version_times = self._capture()
+        latest = base + decomposition.num_snapshots - 1
+        alg = get_algorithm(algorithm)
+
+        def evaluate_range(first: int, last: int) -> List[np.ndarray]:
+            return self._answer_range(
+                decomposition, epoch, base, alg, source, first, last
+            ).values
+
+        engine = TemporalEngine(
+            algorithm=alg,
+            source=source,
+            num_vertices=decomposition.num_vertices,
+            window_first=base,
+            window_last=latest,
+            evaluate_range=evaluate_range,
+            structural_diff=self._structural_diff(decomposition, base),
+            version_times=version_times,
+        )
+        answer = engine.run(specs)
+        answer.epoch = epoch
+        return answer
+
+    def temporal_offline(
+        self, algorithm: str, source: int, specs: Sequence[TemporalSpec],
+    ) -> TemporalAnswer:
+        """Cache-free temporal fallback (the server's degraded path).
+
+        Ranges are still coalesced — each merged range is one plain
+        offline work-sharing evaluation — but no planner or cache is
+        touched, mirroring :meth:`offline_answer`.
+        """
+        from repro.core.engine import WorkSharingEvaluator
+
+        decomposition, epoch, base, version_times = self._capture()
+        latest = base + decomposition.num_snapshots - 1
+        alg = get_algorithm(algorithm)
+
+        def evaluate_range(first: int, last: int) -> List[np.ndarray]:
+            window = decomposition.restrict(first - base, last - base)
+            result = WorkSharingEvaluator(
+                window, alg, source, weight_fn=self.weight_fn,
+            ).run()
+            return list(result.snapshot_values)
+
+        engine = TemporalEngine(
+            algorithm=alg,
+            source=source,
+            num_vertices=decomposition.num_vertices,
+            window_first=base,
+            window_last=latest,
+            evaluate_range=evaluate_range,
+            structural_diff=self._structural_diff(decomposition, base),
+            version_times=version_times,
+        )
+        answer = engine.run(specs)
+        answer.epoch = epoch
+        return answer
 
     # -- status ------------------------------------------------------------
     def status(self) -> Dict[str, Any]:

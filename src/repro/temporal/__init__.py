@@ -1,0 +1,55 @@
+"""Time-travel and historical analytics over the Triangular Grid.
+
+The temporal subsystem turns the service's single-range Q&A into an
+evolving-graph analytics API: point-in-time queries (``as_of`` a
+version or ingest timestamp), per-vertex timelines, temporal
+aggregates (min/max/mean/argmin/argmax, first-reachable, change
+counts, top-k volatility), snapshot diffs, and sliding-window rollups
+— all compiled onto the same Triangular Grid descents the service
+already memoizes, with overlapping ranges coalesced so each merged
+range costs exactly one descent.
+
+Layout::
+
+    plan.py        spec vocabulary + structural validator (ProtocolError)
+    aggregates.py  vectorised NumPy kernels over (snapshots, vertices)
+    engine.py      resolve -> coalesce -> evaluate -> aggregate executor
+    timeline.py    result types + stable JSON wire encoding
+
+See ``docs/temporal.md`` for the query vocabulary and cost model.
+"""
+
+from repro.temporal.engine import TemporalEngine, coalesce_ranges
+from repro.temporal.plan import (
+    AGGREGATES,
+    MODES,
+    ROLLUP_AGGREGATES,
+    TemporalPlan,
+    TemporalSpec,
+    compile_plan,
+    parse_spec,
+    parse_specs,
+)
+from repro.temporal.timeline import (
+    TemporalAnswer,
+    decode_results,
+    dumps_stable,
+    encode_results,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "MODES",
+    "ROLLUP_AGGREGATES",
+    "TemporalAnswer",
+    "TemporalEngine",
+    "TemporalPlan",
+    "TemporalSpec",
+    "coalesce_ranges",
+    "compile_plan",
+    "decode_results",
+    "dumps_stable",
+    "encode_results",
+    "parse_spec",
+    "parse_specs",
+]

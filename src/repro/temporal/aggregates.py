@@ -1,0 +1,136 @@
+"""Vectorised temporal aggregate kernels.
+
+Every kernel takes the *value matrix* of a snapshot range — shape
+``(S, N)``, row ``i`` the per-vertex converged values of the range's
+``i``-th snapshot — and reduces along the snapshot axis with plain
+NumPy, so a whole window aggregates in one sweep.
+
+Semantics shared by the kernels:
+
+* *reachable* means ``value != algorithm.worst`` (the unreached-vertex
+  marker, ``inf`` for the distance algorithms);
+* ``argmin``/``argmax`` return the **first** row achieving the
+  extremum (NumPy's tie rule), as a row index the engine converts to
+  an absolute version;
+* a *change* is any pair of consecutive rows with different values —
+  ``inf != inf`` is ``False`` under IEEE, so a vertex that stays
+  unreached never counts as changing;
+* the value delta between two snapshots is ``b - a`` computed only
+  where the values differ (equal values, including two ``inf``,
+  yield exactly ``0.0`` — never ``nan``).
+
+Determinism: every kernel is a pure function of its arguments; ties
+break by lowest vertex id.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "changed_count",
+    "first_reachable",
+    "reachable_mask",
+    "temporal_argmax",
+    "temporal_argmin",
+    "temporal_max",
+    "temporal_mean",
+    "temporal_min",
+    "top_volatile",
+    "value_delta",
+]
+
+
+def _matrix(matrix: np.ndarray) -> np.ndarray:
+    out = np.asarray(matrix, dtype=np.float64)
+    if out.ndim != 2 or out.shape[0] < 1:
+        raise ValueError(
+            f"value matrix must be (snapshots, vertices), got {out.shape}"
+        )
+    return out
+
+
+def reachable_mask(matrix: np.ndarray, worst: float) -> np.ndarray:
+    """Boolean ``(S, N)`` mask of vertices with a converged value."""
+    return _matrix(matrix) != worst
+
+
+def temporal_min(matrix: np.ndarray) -> np.ndarray:
+    """Per-vertex minimum value over the range."""
+    return _matrix(matrix).min(axis=0)
+
+
+def temporal_max(matrix: np.ndarray) -> np.ndarray:
+    """Per-vertex maximum value over the range."""
+    return _matrix(matrix).max(axis=0)
+
+
+def temporal_mean(matrix: np.ndarray) -> np.ndarray:
+    """Per-vertex mean over the range (``inf`` if ever unreached)."""
+    return _matrix(matrix).mean(axis=0)
+
+
+def temporal_argmin(matrix: np.ndarray) -> np.ndarray:
+    """Row index (first occurrence) of each vertex's minimum."""
+    return _matrix(matrix).argmin(axis=0)
+
+
+def temporal_argmax(matrix: np.ndarray) -> np.ndarray:
+    """Row index (first occurrence) of each vertex's maximum."""
+    return _matrix(matrix).argmax(axis=0)
+
+
+def first_reachable(matrix: np.ndarray, worst: float) -> np.ndarray:
+    """First row where each vertex is reachable; ``-1`` if never.
+
+    ``argmax`` on the boolean mask returns the first ``True`` row —
+    or row 0 when a column is all-``False``, which the any-mask turns
+    back into ``-1``.
+    """
+    mask = reachable_mask(matrix, worst)
+    first = mask.argmax(axis=0).astype(np.int64)
+    first[~mask.any(axis=0)] = -1
+    return first
+
+
+def changed_count(matrix: np.ndarray) -> np.ndarray:
+    """Per-vertex count of consecutive-snapshot value changes."""
+    values = _matrix(matrix)
+    if values.shape[0] < 2:
+        return np.zeros(values.shape[1], dtype=np.int64)
+    return (values[1:] != values[:-1]).sum(axis=0).astype(np.int64)
+
+
+def top_volatile(matrix: np.ndarray,
+                 k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``k`` vertices with the most value changes over the range.
+
+    Returns ``(vertices, counts)`` ordered by count descending, vertex
+    id ascending on ties — a total order, so the result is stable.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    counts = changed_count(matrix)
+    vertices = np.arange(counts.size, dtype=np.int64)
+    # lexsort: last key is primary — count descending, then vertex id.
+    order = np.lexsort((vertices, -counts))[:k]
+    return vertices[order], counts[order]
+
+
+def value_delta(values_a: np.ndarray, values_b: np.ndarray) -> np.ndarray:
+    """Per-vertex ``b - a``, defined even at infinities.
+
+    Where the two values are equal (including both ``inf``) the delta
+    is exactly ``0.0``; subtracting only where they differ keeps
+    ``inf - inf`` (which would be ``nan``) out of the result.
+    """
+    a = np.asarray(values_a, dtype=np.float64)
+    b = np.asarray(values_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"value shapes differ: {a.shape} vs {b.shape}")
+    delta = np.zeros_like(a)
+    changed = a != b
+    delta[changed] = b[changed] - a[changed]
+    return delta

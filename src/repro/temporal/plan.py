@@ -1,0 +1,231 @@
+"""The temporal plan IR: parsed, validated temporal query specs.
+
+A temporal request carries a batch of *specs* — small JSON objects,
+one per temporal question — that the engine compiles into Triangular
+Grid range evaluations.  This module owns the vocabulary and the
+structural validator; anything malformed is rejected here with a
+:class:`~repro.errors.ProtocolError` before a single snapshot is
+touched.  Semantics that need the live window (range bounds, timestamp
+resolution) are checked by the engine at resolve time.
+
+Spec vocabulary (``mode`` selects the shape)::
+
+    {"mode": "point", "as_of": 4}                  # one version
+    {"mode": "point", "as_of_timestamp": 1699.5}   # latest ingest <= t
+    {"mode": "timeline", "vertex": 7,
+     "first": 2, "last": 9}                        # value of v across i..j
+    {"mode": "aggregate", "agg": "min" | "max" | "mean" | "argmin" |
+     "argmax" | "first_reachable" | "changed_count" | "top_volatile",
+     "k": 10, "first": 2, "last": 9}               # per-vertex over window
+    {"mode": "diff", "a": 2, "b": 7}               # delta + churn a -> b
+    {"mode": "rollup", "vertex": 7, "agg": "mean",
+     "width": 3, "first": 2, "last": 9}            # sliding windows
+
+``first``/``last`` default to the service window; ``k`` (top-volatile
+only) defaults to 10.  All versions are *absolute* snapshot numbers,
+matching the service's version vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "AGGREGATES",
+    "INT_AGGREGATES",
+    "MODES",
+    "ROLLUP_AGGREGATES",
+    "TemporalPlan",
+    "TemporalSpec",
+    "compile_plan",
+    "parse_spec",
+    "parse_specs",
+]
+
+MODES = ("point", "timeline", "aggregate", "diff", "rollup")
+
+AGGREGATES = ("min", "max", "mean", "argmin", "argmax",
+              "first_reachable", "changed_count", "top_volatile")
+
+#: Aggregates whose result vectors are integers (versions or counts);
+#: everything else is a float vector.  The wire codec keys off this.
+INT_AGGREGATES = frozenset(
+    {"argmin", "argmax", "first_reachable", "changed_count"}
+)
+
+ROLLUP_AGGREGATES = ("min", "max", "mean", "changed_count")
+
+#: Default ``k`` for ``top_volatile``.
+DEFAULT_TOP_K = 10
+
+_FIELDS_BY_MODE = {
+    "point": {"mode", "as_of", "as_of_timestamp"},
+    "timeline": {"mode", "vertex", "first", "last"},
+    "aggregate": {"mode", "agg", "k", "first", "last"},
+    "diff": {"mode", "a", "b"},
+    "rollup": {"mode", "vertex", "agg", "width", "first", "last"},
+}
+
+
+@dataclass(frozen=True)
+class TemporalSpec:
+    """One validated temporal question (wire spec, structurally checked)."""
+
+    mode: str
+    as_of: Optional[int] = None
+    as_of_timestamp: Optional[float] = None
+    vertex: Optional[int] = None
+    first: Optional[int] = None
+    last: Optional[int] = None
+    agg: Optional[str] = None
+    k: Optional[int] = None
+    width: Optional[int] = None
+    a: Optional[int] = None
+    b: Optional[int] = None
+
+    def to_doc(self) -> Dict[str, Any]:
+        """The wire form: only the fields this mode carries."""
+        doc: Dict[str, Any] = {"mode": self.mode}
+        for name in sorted(_FIELDS_BY_MODE[self.mode] - {"mode"}):
+            value = getattr(self, name)
+            if value is not None:
+                doc[name] = value
+        return doc
+
+
+@dataclass(frozen=True)
+class TemporalPlan:
+    """A batch of specs against one ``(algorithm, source)`` pair."""
+
+    algorithm: str
+    source: int
+    specs: Tuple[TemporalSpec, ...]
+
+
+def _spec_int(doc: Dict[str, Any], field: str, *,
+              optional: bool = False, minimum: int = 0) -> Optional[int]:
+    value = doc.get(field)
+    if value is None:
+        if optional:
+            return None
+        raise ProtocolError(f"temporal spec missing required field {field!r}")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"temporal field {field!r} must be an integer")
+    if value < minimum:
+        raise ProtocolError(
+            f"temporal field {field!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def _spec_range(doc: Dict[str, Any]) -> Tuple[Optional[int], Optional[int]]:
+    first = _spec_int(doc, "first", optional=True)
+    last = _spec_int(doc, "last", optional=True)
+    if first is not None and last is not None and first > last:
+        raise ProtocolError(
+            f"temporal range [{first}, {last}] is reversed (first > last)"
+        )
+    return first, last
+
+
+def parse_spec(doc: Any) -> TemporalSpec:
+    """Validate one raw spec document into a :class:`TemporalSpec`.
+
+    Raises :class:`ProtocolError` on anything structurally wrong:
+    unknown modes or fields, missing required fields, wrong types,
+    negative versions, reversed ranges.
+    """
+    if not isinstance(doc, dict):
+        raise ProtocolError("each temporal query must be a JSON object")
+    mode = doc.get("mode")
+    if mode not in MODES:
+        raise ProtocolError(
+            f"unknown temporal mode {mode!r}; expected one of {MODES}"
+        )
+    unknown = set(doc) - _FIELDS_BY_MODE[mode]
+    if unknown:
+        raise ProtocolError(
+            f"unknown fields {sorted(unknown)} for temporal mode {mode!r}"
+        )
+    if mode == "point":
+        as_of = _spec_int(doc, "as_of", optional=True)
+        timestamp = doc.get("as_of_timestamp")
+        if timestamp is not None and (
+                isinstance(timestamp, bool)
+                or not isinstance(timestamp, (int, float))):
+            raise ProtocolError(
+                "temporal field 'as_of_timestamp' must be a number"
+            )
+        if (as_of is None) == (timestamp is None):
+            raise ProtocolError(
+                "a point spec needs exactly one of "
+                "'as_of' or 'as_of_timestamp'"
+            )
+        return TemporalSpec(
+            mode="point", as_of=as_of,
+            as_of_timestamp=None if timestamp is None else float(timestamp),
+        )
+    if mode == "timeline":
+        first, last = _spec_range(doc)
+        return TemporalSpec(
+            mode="timeline", vertex=_spec_int(doc, "vertex"),
+            first=first, last=last,
+        )
+    if mode == "aggregate":
+        agg = doc.get("agg")
+        if agg not in AGGREGATES:
+            raise ProtocolError(
+                f"unknown aggregate {agg!r}; expected one of {AGGREGATES}"
+            )
+        k = _spec_int(doc, "k", optional=True, minimum=1)
+        if k is not None and agg != "top_volatile":
+            raise ProtocolError(
+                "temporal field 'k' only applies to the "
+                "'top_volatile' aggregate"
+            )
+        if agg == "top_volatile" and k is None:
+            k = DEFAULT_TOP_K
+        first, last = _spec_range(doc)
+        return TemporalSpec(mode="aggregate", agg=agg, k=k,
+                            first=first, last=last)
+    if mode == "diff":
+        return TemporalSpec(
+            mode="diff", a=_spec_int(doc, "a"), b=_spec_int(doc, "b"),
+        )
+    # mode == "rollup"
+    agg = doc.get("agg")
+    if agg not in ROLLUP_AGGREGATES:
+        raise ProtocolError(
+            f"unknown rollup aggregate {agg!r}; expected one of "
+            f"{ROLLUP_AGGREGATES}"
+        )
+    first, last = _spec_range(doc)
+    return TemporalSpec(
+        mode="rollup", vertex=_spec_int(doc, "vertex"), agg=agg,
+        width=_spec_int(doc, "width", minimum=1), first=first, last=last,
+    )
+
+
+def parse_specs(docs: Any) -> List[TemporalSpec]:
+    """Validate a request's ``queries`` list (non-empty, each a spec)."""
+    if not isinstance(docs, list) or not docs:
+        raise ProtocolError(
+            "field 'queries' must be a non-empty list of temporal specs"
+        )
+    return [parse_spec(doc) for doc in docs]
+
+
+def compile_plan(algorithm: str, source: int,
+                 queries: Sequence[Any]) -> TemporalPlan:
+    """Parse a raw request into a :class:`TemporalPlan`."""
+    if not isinstance(algorithm, str):
+        raise ProtocolError("field 'algorithm' must be a string")
+    if isinstance(source, bool) or not isinstance(source, int) or source < 0:
+        raise ProtocolError("field 'source' must be a non-negative integer")
+    return TemporalPlan(
+        algorithm=algorithm, source=source,
+        specs=tuple(parse_specs(list(queries))),
+    )

@@ -57,9 +57,30 @@ class TestDiff:
         diff = controller.diff(1, 1)
         assert diff.size == 0
 
+    def test_self_diff_empty_at_every_version(self, controller):
+        for version in range(controller.num_versions):
+            diff = controller.diff(version, version)
+            assert diff.size == 0
+            assert diff.additions == EdgeSet.empty()
+            assert diff.deletions == EdgeSet.empty()
+
+    def test_reversed_order_is_inverse_batch(self, controller):
+        forward = controller.diff(0, 2)
+        backward = controller.diff(2, 0)
+        assert backward == forward.inverse()
+        # Round-tripping restores the starting snapshot exactly.
+        start = controller.evolving.snapshot_edges(0)
+        assert backward.apply(forward.apply(start)) == start
+
     def test_out_of_range(self, controller):
         with pytest.raises(SnapshotError):
             controller.diff(0, 9)
+
+    def test_out_of_range_each_argument(self, controller):
+        n = controller.num_versions
+        for a, b in ((n, 0), (0, n), (-1, 0), (0, -1)):
+            with pytest.raises(SnapshotError, match="out of range"):
+                controller.diff(a, b)
 
 
 class TestNewVersion:

@@ -429,6 +429,16 @@ def test_determinism_scoped_to_algorithm_packages(lint_project):
     assert [f.path for f in findings] == ["repro/kickstarter/algo.py"]
 
 
+def test_determinism_covers_temporal_package(lint_project):
+    # Temporal answers must be replayable: as-of-timestamp resolution
+    # works off ingest stamps passed *in* (version_times), never off a
+    # wall clock read inside repro/temporal/.
+    result = lint_project({"repro/temporal/engine2.py": IMPURE})
+    findings = rule_findings(result, "determinism")
+    contexts = sorted(f.context for f in findings)
+    assert contexts == ["draw", "stall", "unseeded", "wall"]
+
+
 ALIASED_CLOCKS = """\
     import time as t
     from time import time

@@ -71,9 +71,56 @@ class TestValidateRequest:
                "first": 1, "last": 2, "id": 7}
         assert protocol.validate_request(doc) is doc
 
+    def test_query_rejects_negative_versions(self):
+        # Regression: these used to reach the server and surface as a
+        # SnapshotError from deep inside the evaluator.
+        for field in ("first", "last"):
+            with pytest.raises(ProtocolError, match="non-negative"):
+                protocol.validate_request({"op": "query",
+                                           "algorithm": "BFS",
+                                           "source": 0, field: -1})
+
+    def test_query_rejects_reversed_range(self):
+        with pytest.raises(ProtocolError, match="reversed"):
+            protocol.validate_request({"op": "query", "algorithm": "BFS",
+                                       "source": 0, "first": 5, "last": 2})
+
     def test_ingest_rejects_unknown_fields(self):
         with pytest.raises(ProtocolError, match="unknown ingest fields"):
             protocol.validate_request({"op": "ingest", "edges": []})
+
+    def test_temporal_is_a_known_op(self):
+        assert "temporal" in protocol.OPS
+
+    def test_temporal_wellformed(self):
+        doc = {"op": "temporal", "algorithm": "SSSP", "source": 3,
+               "queries": [{"mode": "point", "as_of": 1}], "id": 9}
+        assert protocol.validate_request(doc) is doc
+
+    def test_temporal_rejects_unknown_fields(self):
+        with pytest.raises(ProtocolError, match="unknown temporal fields"):
+            protocol.validate_request({
+                "op": "temporal", "algorithm": "BFS", "source": 0,
+                "queries": [{"mode": "point", "as_of": 0}], "speed": "fast",
+            })
+
+    def test_temporal_rejects_non_list_queries(self):
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            protocol.validate_request({
+                "op": "temporal", "algorithm": "BFS", "source": 0,
+                "queries": {"mode": "point", "as_of": 0},
+            })
+
+    def test_temporal_rejects_bad_specs(self):
+        for bad in ([{"mode": "warp"}],
+                    [{"mode": "timeline", "vertex": 0,
+                      "first": 4, "last": 1}],
+                    [{"mode": "point", "as_of": -1}]):
+            with pytest.raises(ProtocolError):
+                protocol.validate_request({
+                    "op": "temporal", "algorithm": "BFS", "source": 0,
+                    "queries": bad,
+                })
 
     def test_simple_ops(self):
         for op in ("ping", "status", "shutdown"):

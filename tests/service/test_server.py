@@ -113,10 +113,12 @@ class TestErrors:
         assert response["error_type"] == "AlgorithmError"
 
     def test_range_outside_window(self, client):
+        # A request naming versions the window cannot answer is a client
+        # mistake: ProtocolError, like every other bad-range rejection.
         response = client.request({"op": "query", "algorithm": "BFS",
                                    "source": 0, "first": 0, "last": 99})
         assert response["ok"] is False
-        assert response["error_type"] == "ServiceError"
+        assert response["error_type"] == "ProtocolError"
         assert "outside the window" in response["error"]
 
     def test_empty_ingest(self, client):

@@ -1,0 +1,60 @@
+"""Fixtures for the temporal suite: a small history + brute force.
+
+The correctness oracle for every temporal aggregate is *brute force*:
+evaluate each snapshot of the range independently through the offline
+evaluator (no Triangular Grid sharing, no caches), stack the value
+vectors into a matrix, and reduce with the plain formula.  Each test
+asserts the engine's answer is **bit-identical** to that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.evolving.generator import generate_evolving_graph
+from repro.evolving.version_control import VersionController
+from repro.graph.generators import rmat_edges
+from repro.graph.weights import HashWeights
+
+
+@pytest.fixture(scope="session")
+def temporal_weights():
+    return HashWeights(max_weight=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def temporal_evolving():
+    """An 8-snapshot history, small enough for brute-force oracles."""
+    return generate_evolving_graph(
+        num_vertices=64,
+        base=rmat_edges(scale=6, num_edges=180, seed=9),
+        num_snapshots=8,
+        batch_size=14,
+        readd_fraction=0.5,
+        seed=21,
+        name="temporal",
+    )
+
+
+@pytest.fixture(scope="session")
+def controller(temporal_evolving, temporal_weights):
+    return VersionController(temporal_evolving, weight_fn=temporal_weights)
+
+
+def brute_matrix(controller, algorithm, source, first, last):
+    """Per-snapshot *independent* recomputation, stacked to ``(S, N)``.
+
+    Every version is evaluated on its own — a one-snapshot window
+    through the offline evaluator — so no work sharing, memoization or
+    coalescing can leak into the oracle.
+    """
+    alg = (get_algorithm(algorithm) if isinstance(algorithm, str)
+           else algorithm)
+    rows = []
+    for version in range(first, last + 1):
+        result = controller.evaluate(alg, source, first=version,
+                                     last=version)
+        rows.append(np.asarray(result.snapshot_values[0], dtype=np.float64))
+    return np.stack(rows)

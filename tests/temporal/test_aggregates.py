@@ -1,0 +1,139 @@
+"""The aggregate kernels against scalar reference loops.
+
+Each vectorised kernel is checked bit-identically against the obvious
+per-vertex Python loop, on hand-built matrices and on hypothesis-drawn
+random ones (including infinities, the unreached-vertex marker).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.temporal import aggregates
+
+pytestmark = pytest.mark.temporal
+
+INF = float("inf")
+
+
+def matrices(max_snapshots: int = 6, max_vertices: int = 8):
+    """Random (S, N) float matrices with a healthy dose of infs."""
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, max_snapshots),
+                        st.integers(1, max_vertices)),
+        elements=st.one_of(
+            st.just(INF),
+            st.integers(0, 12).map(float),
+        ),
+    )
+
+
+MATRIX = np.array([
+    [0.0, 2.0, INF, INF],
+    [0.0, 1.0, 5.0, INF],
+    [0.0, 3.0, 5.0, INF],
+])
+
+
+class TestHandBuilt:
+    def test_min_max_mean(self):
+        assert aggregates.temporal_min(MATRIX).tolist() == [0, 1, 5, INF]
+        assert aggregates.temporal_max(MATRIX).tolist() == [0, 3, INF, INF]
+        mean = aggregates.temporal_mean(MATRIX)
+        assert mean[0] == 0.0 and mean[1] == 2.0
+        assert math.isinf(mean[2]) and math.isinf(mean[3])
+
+    def test_arg_extrema_first_occurrence(self):
+        assert aggregates.temporal_argmin(MATRIX).tolist() == [0, 1, 1, 0]
+        assert aggregates.temporal_argmax(MATRIX).tolist() == [0, 2, 0, 0]
+
+    def test_first_reachable(self):
+        rows = aggregates.first_reachable(MATRIX, INF)
+        assert rows.tolist() == [0, 0, 1, -1]
+        assert rows.dtype == np.int64
+
+    def test_changed_count_inf_is_stable(self):
+        # inf != inf is False: a never-reached vertex never "changes".
+        counts = aggregates.changed_count(MATRIX)
+        assert counts.tolist() == [0, 2, 1, 0]
+
+    def test_changed_count_single_row(self):
+        assert aggregates.changed_count(MATRIX[:1]).tolist() == [0, 0, 0, 0]
+
+    def test_top_volatile_ordering(self):
+        vertices, counts = aggregates.top_volatile(MATRIX, 3)
+        # count desc, vertex asc on ties — a total order.
+        assert vertices.tolist() == [1, 2, 0]
+        assert counts.tolist() == [2, 1, 0]
+
+    def test_top_volatile_k_larger_than_n(self):
+        vertices, counts = aggregates.top_volatile(MATRIX, 99)
+        assert vertices.size == MATRIX.shape[1]
+
+    def test_top_volatile_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            aggregates.top_volatile(MATRIX, 0)
+
+    def test_value_delta_no_nan_at_infinity(self):
+        a = np.array([1.0, INF, INF, 2.0])
+        b = np.array([1.0, INF, 3.0, INF])
+        delta = aggregates.value_delta(a, b)
+        assert delta[0] == 0.0
+        assert delta[1] == 0.0  # inf == inf: no change, not nan
+        assert delta[2] == -INF
+        assert delta[3] == INF
+        assert not np.isnan(delta).any()
+
+    def test_value_delta_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            aggregates.value_delta(np.zeros(3), np.zeros(4))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="snapshots, vertices"):
+            aggregates.temporal_min(np.zeros(4))
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_kernels_match_scalar_loops(matrix):
+    snapshots, vertices = matrix.shape
+    for v in range(vertices):
+        column = [matrix[s, v] for s in range(snapshots)]
+        assert aggregates.temporal_min(matrix)[v] == min(column)
+        assert aggregates.temporal_max(matrix)[v] == max(column)
+        assert aggregates.temporal_argmin(matrix)[v] == column.index(
+            min(column))
+        assert aggregates.temporal_argmax(matrix)[v] == column.index(
+            max(column))
+        reached = [s for s, value in enumerate(column)
+                   if value != INF]
+        assert aggregates.first_reachable(matrix, INF)[v] == (
+            reached[0] if reached else -1)
+        changes = sum(1 for s in range(1, snapshots)
+                      if column[s] != column[s - 1])
+        assert aggregates.changed_count(matrix)[v] == changes
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(), st.integers(1, 10))
+def test_top_volatile_is_a_total_order(matrix, k):
+    vertices, counts = aggregates.top_volatile(matrix, k)
+    full_counts = aggregates.changed_count(matrix)
+    assert vertices.size == min(k, matrix.shape[1])
+    # Ordered by count desc, vertex asc; values match changed_count.
+    pairs = list(zip((-counts).tolist(), vertices.tolist()))
+    assert pairs == sorted(pairs)
+    for vertex, count in zip(vertices, counts):
+        assert full_counts[vertex] == count
+    # Nothing outside the selection beats anything inside it.
+    if vertices.size < matrix.shape[1]:
+        cutoff = counts.min()
+        outside = np.setdiff1d(np.arange(matrix.shape[1]), vertices)
+        assert full_counts[outside].max(initial=0) <= cutoff

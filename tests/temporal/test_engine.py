@@ -1,0 +1,307 @@
+"""The temporal engine against brute-force per-snapshot recomputation.
+
+Every aggregate the engine produces must be bit-identical to stacking
+independently recomputed snapshots and applying the plain formula —
+the Triangular Grid sharing and the range coalescing are performance
+properties, never allowed to change a single bit of the answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.temporal import TemporalEngine, coalesce_ranges, parse_specs
+from repro.temporal import aggregates
+
+from tests.temporal.conftest import brute_matrix
+
+pytestmark = pytest.mark.temporal
+
+
+class TestCoalesceRanges:
+    def test_empty(self):
+        assert coalesce_ranges([]) == []
+
+    def test_disjoint_stay_separate(self):
+        assert coalesce_ranges([(2, 5), (7, 8)]) == [(2, 5), (7, 8)]
+
+    def test_overlap_merges(self):
+        assert coalesce_ranges([(2, 5), (4, 8)]) == [(2, 8)]
+
+    def test_adjacent_merges(self):
+        assert coalesce_ranges([(2, 5), (6, 8)]) == [(2, 8)]
+
+    def test_containment_collapses(self):
+        assert coalesce_ranges([(2, 9), (4, 5), (9, 9)]) == [(2, 9)]
+
+    def test_unsorted_input(self):
+        assert coalesce_ranges([(7, 8), (0, 1), (2, 5), (1, 2)]) == [
+            (0, 5), (7, 8)
+        ]
+
+    def test_never_bridges_a_gap(self):
+        merged = coalesce_ranges([(0, 2), (4, 6)])
+        covered = {v for first, last in merged
+                   for v in range(first, last + 1)}
+        assert 3 not in covered
+
+
+@pytest.fixture
+def engine(controller):
+    return TemporalEngine.for_controller(controller, "SSSP", 0)
+
+
+class TestAgainstBruteForce:
+    def test_point(self, engine, controller):
+        for version in range(controller.num_versions):
+            (result,) = engine.run(
+                parse_specs([{"mode": "point", "as_of": version}])
+            ).results
+            expected = brute_matrix(controller, "SSSP", 0, version,
+                                    version)[0]
+            np.testing.assert_array_equal(result["values"], expected)
+
+    def test_timeline(self, engine, controller):
+        matrix = brute_matrix(controller, "SSSP", 0, 1, 6)
+        (result,) = engine.run(parse_specs([
+            {"mode": "timeline", "vertex": 5, "first": 1, "last": 6},
+        ])).results
+        np.testing.assert_array_equal(result["values"], matrix[:, 5])
+
+    @pytest.mark.parametrize("agg", ["min", "max", "mean", "argmin",
+                                     "argmax", "first_reachable",
+                                     "changed_count"])
+    def test_vector_aggregates(self, engine, controller, agg):
+        first, last = 1, 6
+        matrix = brute_matrix(controller, "SSSP", 0, first, last)
+        (result,) = engine.run(parse_specs([
+            {"mode": "aggregate", "agg": agg, "first": first, "last": last},
+        ])).results
+        if agg in ("min", "max", "mean"):
+            kernel = getattr(aggregates, f"temporal_{agg}")
+            expected = kernel(matrix)
+        elif agg in ("argmin", "argmax"):
+            kernel = getattr(aggregates, f"temporal_{agg}")
+            expected = kernel(matrix) + first
+        elif agg == "first_reachable":
+            expected = aggregates.first_reachable(matrix, float("inf"))
+            expected[expected >= 0] += first
+        else:
+            expected = aggregates.changed_count(matrix)
+        np.testing.assert_array_equal(result["values"], expected)
+
+    def test_top_volatile(self, engine, controller):
+        matrix = brute_matrix(controller, "SSSP", 0, 0, 7)
+        (result,) = engine.run(parse_specs([
+            {"mode": "aggregate", "agg": "top_volatile", "k": 6},
+        ])).results
+        vertices, counts = aggregates.top_volatile(matrix, 6)
+        np.testing.assert_array_equal(result["vertices"], vertices)
+        np.testing.assert_array_equal(result["counts"], counts)
+
+    def test_diff(self, engine, controller):
+        a, b = 1, 6
+        matrix = brute_matrix(controller, "SSSP", 0, a, b)
+        values_a, values_b = matrix[0], matrix[-1]
+        (result,) = engine.run(
+            parse_specs([{"mode": "diff", "a": a, "b": b}])
+        ).results
+        np.testing.assert_array_equal(
+            result["delta"], aggregates.value_delta(values_a, values_b)
+        )
+        reach_a = values_a != float("inf")
+        reach_b = values_b != float("inf")
+        assert result["became_reachable"] == int((~reach_a & reach_b).sum())
+        assert result["became_unreachable"] == int((reach_a & ~reach_b).sum())
+        assert result["value_changed"] == int((values_a != values_b).sum())
+        # Structural churn agrees with VersionController.diff.
+        batch = controller.diff(a, b)
+        assert result["edge_additions"] == len(batch.additions)
+        assert result["edge_deletions"] == len(batch.deletions)
+
+    @pytest.mark.parametrize("agg", ["min", "max", "mean", "changed_count"])
+    def test_rollup(self, engine, controller, agg):
+        first, last, width = 0, 7, 3
+        matrix = brute_matrix(controller, "SSSP", 0, first, last)
+        series = matrix[:, 4]
+        (result,) = engine.run(parse_specs([
+            {"mode": "rollup", "vertex": 4, "agg": agg, "width": width,
+             "first": first, "last": last},
+        ])).results
+        expected = []
+        for start in range(last - first - width + 2):
+            window = series[start:start + width]
+            if agg == "min":
+                expected.append(window.min())
+            elif agg == "max":
+                expected.append(window.max())
+            elif agg == "mean":
+                expected.append(window.mean())
+            else:
+                expected.append(float(
+                    (window[1:] != window[:-1]).sum()
+                ))
+        assert result["window_firsts"] == list(
+            range(first, first + len(expected))
+        )
+        np.testing.assert_array_equal(
+            result["values"], np.asarray(expected, dtype=np.float64)
+        )
+
+    def test_every_algorithm(self, controller, algorithm):
+        engine = TemporalEngine.for_controller(controller, algorithm, 0)
+        matrix = brute_matrix(controller, algorithm, 0, 0,
+                              controller.num_versions - 1)
+        (result,) = engine.run(
+            parse_specs([{"mode": "aggregate", "agg": "min"}])
+        ).results
+        np.testing.assert_array_equal(result["values"], matrix.min(axis=0))
+
+
+class TestAccounting:
+    def test_one_descent_per_coalesced_range(self, engine):
+        answer = engine.run(parse_specs([
+            {"mode": "point", "as_of": 0},
+            {"mode": "timeline", "vertex": 3, "first": 0, "last": 3},
+            {"mode": "point", "as_of": 2},       # inside the first range
+            {"mode": "diff", "a": 6, "b": 7},    # gap at 4..5, then 6..7
+        ]))
+        # 0..3 swallows both points; 6,6 and 7,7 coalesce to 6..7; the
+        # gap 4..5 is never scanned.
+        assert answer.ranges_evaluated == 2
+        assert answer.snapshots_scanned == 6
+
+    def test_whole_window_batch_is_one_descent(self, engine, controller):
+        specs = [{"mode": "point", "as_of": v}
+                 for v in range(controller.num_versions)]
+        answer = engine.run(parse_specs(specs))
+        assert answer.ranges_evaluated == 1
+        assert answer.snapshots_scanned == controller.num_versions
+
+    def test_evaluator_called_once_per_range(self, controller):
+        calls = []
+        inner = TemporalEngine.for_controller(controller, "BFS", 0)
+
+        def counting(first, last):
+            calls.append((first, last))
+            return inner.evaluate_range(first, last)
+
+        engine = TemporalEngine(
+            algorithm=inner.algorithm, source=0,
+            num_vertices=inner.num_vertices,
+            window_first=0, window_last=controller.num_versions - 1,
+            evaluate_range=counting,
+        )
+        engine.run(parse_specs([
+            {"mode": "point", "as_of": 1},
+            {"mode": "timeline", "vertex": 2, "first": 0, "last": 2},
+            {"mode": "point", "as_of": 6},
+        ]))
+        assert calls == [(0, 2), (6, 6)]
+
+
+class TestResolution:
+    def test_window_defaults_fill_in(self, engine, controller):
+        (result,) = engine.run(
+            parse_specs([{"mode": "aggregate", "agg": "max"}])
+        ).results
+        assert result["first"] == 0
+        assert result["last"] == controller.num_versions - 1
+
+    def test_out_of_window_rejected(self, engine, controller):
+        n = controller.num_versions
+        for spec in (
+            {"mode": "point", "as_of": n},
+            {"mode": "timeline", "vertex": 0, "first": 0, "last": n},
+            {"mode": "diff", "a": 0, "b": n + 3},
+        ):
+            with pytest.raises(ProtocolError, match="outside the window"):
+                engine.run(parse_specs([spec]))
+
+    def test_vertex_bounds_checked(self, engine, controller):
+        with pytest.raises(ProtocolError, match="vertex"):
+            engine.run(parse_specs([
+                {"mode": "timeline",
+                 "vertex": controller.decomposition.num_vertices},
+            ]))
+
+    def test_rollup_width_capped_by_span(self, engine):
+        with pytest.raises(ProtocolError, match="width"):
+            engine.run(parse_specs([
+                {"mode": "rollup", "vertex": 0, "agg": "min",
+                 "width": 4, "first": 0, "last": 2},
+            ]))
+
+    def test_empty_batch_rejected(self, engine):
+        with pytest.raises(ProtocolError, match="at least one spec"):
+            engine.run([])
+
+    def test_bad_source_rejected(self, controller):
+        with pytest.raises(ProtocolError, match="source"):
+            TemporalEngine.for_controller(controller, "BFS", 10_000)
+
+
+class TestTimestampResolution:
+    def test_latest_at_or_before(self, controller):
+        times = {v: 100.0 + 10 * v for v in range(controller.num_versions)}
+        engine = TemporalEngine.for_controller(
+            controller, "BFS", 0, version_times=times
+        )
+        (result,) = engine.run(parse_specs([
+            {"mode": "point", "as_of_timestamp": 125.0},
+        ])).results
+        assert result["version"] == 2  # stamped 120, latest <= 125
+        assert result["as_of_timestamp"] == 125.0
+
+    def test_exact_stamp_is_inclusive(self, controller):
+        times = {v: 100.0 + 10 * v for v in range(controller.num_versions)}
+        engine = TemporalEngine.for_controller(
+            controller, "BFS", 0, version_times=times
+        )
+        (result,) = engine.run(parse_specs([
+            {"mode": "point", "as_of_timestamp": 130.0},
+        ])).results
+        assert result["version"] == 3
+
+    def test_before_history_rejected(self, controller):
+        engine = TemporalEngine.for_controller(
+            controller, "BFS", 0, version_times={0: 100.0}
+        )
+        with pytest.raises(ProtocolError, match="no snapshot ingested"):
+            engine.run(parse_specs([
+                {"mode": "point", "as_of_timestamp": 99.0},
+            ]))
+
+    def test_no_timestamps_rejected(self, engine):
+        with pytest.raises(ProtocolError, match="no ingest timestamps"):
+            engine.run(parse_specs([
+                {"mode": "point", "as_of_timestamp": 1.0},
+            ]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_random_windows_match_brute_force(controller, data):
+    """Any random window of any mode agrees with brute force."""
+    n = controller.num_versions
+    first = data.draw(st.integers(0, n - 1), label="first")
+    last = data.draw(st.integers(first, n - 1), label="last")
+    agg = data.draw(st.sampled_from(
+        ["min", "max", "mean", "changed_count"]), label="agg")
+    engine = TemporalEngine.for_controller(controller, "SSSP", 0)
+    matrix = brute_matrix(controller, "SSSP", 0, first, last)
+    answer = engine.run(parse_specs([
+        {"mode": "aggregate", "agg": agg, "first": first, "last": last},
+        {"mode": "timeline", "vertex": 1, "first": first, "last": last},
+    ]))
+    agg_result, timeline = answer.results
+    kernel = (aggregates.changed_count if agg == "changed_count"
+              else getattr(aggregates, f"temporal_{agg}"))
+    np.testing.assert_array_equal(agg_result["values"], kernel(matrix))
+    np.testing.assert_array_equal(timeline["values"], matrix[:, 1])
+    assert answer.ranges_evaluated == 1
+    assert answer.snapshots_scanned == last - first + 1

@@ -1,0 +1,138 @@
+"""Structural validation of temporal specs (the plan IR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.temporal.plan import (
+    DEFAULT_TOP_K,
+    TemporalSpec,
+    compile_plan,
+    parse_spec,
+    parse_specs,
+)
+
+pytestmark = pytest.mark.temporal
+
+
+class TestParseSpec:
+    def test_point_by_version(self):
+        spec = parse_spec({"mode": "point", "as_of": 3})
+        assert spec.mode == "point" and spec.as_of == 3
+        assert spec.as_of_timestamp is None
+
+    def test_point_by_timestamp(self):
+        spec = parse_spec({"mode": "point", "as_of_timestamp": 12.5})
+        assert spec.as_of is None and spec.as_of_timestamp == 12.5
+
+    def test_point_needs_exactly_one_selector(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            parse_spec({"mode": "point"})
+        with pytest.raises(ProtocolError, match="exactly one"):
+            parse_spec({"mode": "point", "as_of": 1,
+                        "as_of_timestamp": 2.0})
+
+    def test_unknown_mode(self):
+        with pytest.raises(ProtocolError, match="unknown temporal mode"):
+            parse_spec({"mode": "rewind"})
+
+    def test_unknown_fields_rejected_per_mode(self):
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            parse_spec({"mode": "timeline", "vertex": 1, "width": 2})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_spec(["mode", "point"])
+
+    def test_timeline_requires_vertex(self):
+        with pytest.raises(ProtocolError, match="vertex"):
+            parse_spec({"mode": "timeline"})
+
+    def test_integer_fields_reject_bool_and_str(self):
+        with pytest.raises(ProtocolError, match="integer"):
+            parse_spec({"mode": "timeline", "vertex": True})
+        with pytest.raises(ProtocolError, match="integer"):
+            parse_spec({"mode": "point", "as_of": "3"})
+
+    def test_negative_versions_rejected(self):
+        with pytest.raises(ProtocolError, match=">= 0"):
+            parse_spec({"mode": "point", "as_of": -1})
+        with pytest.raises(ProtocolError, match=">= 0"):
+            parse_spec({"mode": "timeline", "vertex": 0, "first": -2})
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ProtocolError, match="reversed"):
+            parse_spec({"mode": "timeline", "vertex": 0,
+                        "first": 5, "last": 2})
+
+    def test_aggregate_vocabulary(self):
+        spec = parse_spec({"mode": "aggregate", "agg": "mean"})
+        assert spec.agg == "mean" and spec.k is None
+        with pytest.raises(ProtocolError, match="unknown aggregate"):
+            parse_spec({"mode": "aggregate", "agg": "median"})
+
+    def test_k_only_with_top_volatile(self):
+        with pytest.raises(ProtocolError, match="top_volatile"):
+            parse_spec({"mode": "aggregate", "agg": "min", "k": 3})
+        spec = parse_spec({"mode": "aggregate", "agg": "top_volatile"})
+        assert spec.k == DEFAULT_TOP_K
+        assert parse_spec({"mode": "aggregate", "agg": "top_volatile",
+                           "k": 4}).k == 4
+        with pytest.raises(ProtocolError, match=">= 1"):
+            parse_spec({"mode": "aggregate", "agg": "top_volatile", "k": 0})
+
+    def test_diff_requires_both_endpoints(self):
+        spec = parse_spec({"mode": "diff", "a": 1, "b": 4})
+        assert (spec.a, spec.b) == (1, 4)
+        with pytest.raises(ProtocolError, match="'b'"):
+            parse_spec({"mode": "diff", "a": 1})
+
+    def test_rollup_vocabulary(self):
+        spec = parse_spec({"mode": "rollup", "vertex": 2, "agg": "max",
+                           "width": 3})
+        assert spec.width == 3
+        with pytest.raises(ProtocolError, match="rollup aggregate"):
+            parse_spec({"mode": "rollup", "vertex": 2,
+                        "agg": "top_volatile", "width": 3})
+        with pytest.raises(ProtocolError, match=">= 1"):
+            parse_spec({"mode": "rollup", "vertex": 2, "agg": "min",
+                        "width": 0})
+
+    def test_to_doc_roundtrip(self):
+        docs = [
+            {"mode": "point", "as_of": 3},
+            {"mode": "timeline", "vertex": 7, "first": 2, "last": 9},
+            {"mode": "aggregate", "agg": "top_volatile", "k": 5},
+            {"mode": "diff", "a": 2, "b": 7},
+            {"mode": "rollup", "agg": "mean", "vertex": 1, "width": 2},
+        ]
+        for doc in docs:
+            spec = parse_spec(doc)
+            assert parse_spec(spec.to_doc()) == spec
+
+
+class TestParseSpecs:
+    def test_empty_and_non_list_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            parse_specs([])
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            parse_specs({"mode": "point", "as_of": 1})
+
+    def test_batch(self):
+        specs = parse_specs([{"mode": "point", "as_of": 1},
+                             {"mode": "diff", "a": 0, "b": 1}])
+        assert [s.mode for s in specs] == ["point", "diff"]
+
+
+class TestCompilePlan:
+    def test_plan_carries_target(self):
+        plan = compile_plan("SSSP", 3, [{"mode": "point", "as_of": 0}])
+        assert plan.algorithm == "SSSP" and plan.source == 3
+        assert plan.specs == (TemporalSpec(mode="point", as_of=0),)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ProtocolError, match="algorithm"):
+            compile_plan(7, 3, [{"mode": "point", "as_of": 0}])
+        with pytest.raises(ProtocolError, match="source"):
+            compile_plan("SSSP", -1, [{"mode": "point", "as_of": 0}])
