@@ -500,6 +500,76 @@ def _cmd_obs_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ping(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    host, _, port = args.connect.rpartition(":")
+    try:
+        with ServiceClient(host or "127.0.0.1", int(port),
+                           timeout=args.timeout) as client:
+            alive = client.ping()
+    except (ServiceError, OSError) as exc:
+        print(f"ping: {exc}", file=sys.stderr)
+        return 2
+    print(f"ping {args.connect}: {'ok' if alive else 'not ok'}")
+    return 0 if alive else 2
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    host, _, port = args.connect.rpartition(":")
+    try:
+        with ServiceClient(host or "127.0.0.1", int(port),
+                           timeout=args.timeout) as client:
+            client.shutdown()
+    except (ServiceError, OSError) as exc:
+        print(f"shutdown: {exc}", file=sys.stderr)
+        return 2
+    print(f"shutdown {args.connect}: requested")
+    return 0
+
+
+def _parse_edges(pairs: list, what: str) -> list:
+    edges = []
+    for pair in pairs or []:
+        u, sep, v = pair.partition(",")
+        if not sep:
+            raise ValueError(f"--{what} expects U,V (got {pair!r})")
+        edges.append([int(u), int(v)])
+    return edges
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    try:
+        additions = _parse_edges(args.add, "add")
+        deletions = _parse_edges(args.delete, "delete")
+    except ValueError as exc:
+        print(f"ingest: {exc}", file=sys.stderr)
+        return 2
+    host, _, port = args.connect.rpartition(":")
+    try:
+        with ServiceClient(host or "127.0.0.1", int(port),
+                           timeout=args.timeout) as client:
+            response = client.ingest(additions=additions,
+                                     deletions=deletions)
+    except (ServiceError, OSError) as exc:
+        print(f"ingest: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"ingested +{len(additions)}/-{len(deletions)} edges: "
+        f"version {response.get('version')}, epoch {response.get('epoch')}"
+    )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     import json
 
@@ -722,14 +792,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import LintError
 
     root = Path(args.root) if args.root else lint.package_root()
-    engine = lint.LintEngine(root)
+    rules = lint.default_rules()
+    if args.select:
+        wanted = [name.strip()
+                  for chunk in args.select for name in chunk.split(",")
+                  if name.strip()]
+        known = {rule.name for rule in rules}
+        unknown = sorted(set(wanted) - known)
+        if unknown:
+            print(
+                f"lint: --select names unknown rule(s) "
+                f"{', '.join(unknown)}; known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.name in set(wanted)]
+    engine = lint.LintEngine(root, rules=rules)
     if args.list_rules:
         for rule in engine.rules:
             print(f"{rule.name}: {rule.title}")
         return 0
     paths = [Path(p) for p in args.paths] if args.paths else [root / "repro"]
+    restrict = None
+    if args.changed:
+        restrict = _changed_relpaths(root)
+        if restrict is None:
+            print(
+                "lint: --changed could not consult git; linting everything",
+                file=sys.stderr,
+            )
     try:
-        result = engine.run(paths)
+        result = engine.run(paths, restrict=restrict)
     except LintError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
@@ -769,8 +862,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     active, baselined, stale = lint.apply_baseline(result.findings, entries)
     result.findings = active
-    if args.json:
+    if args.select or restrict is not None:
+        # A scoped run (--select / --changed) sees only a slice of the
+        # findings, so an unmatched baseline entry proves nothing.
+        stale = []
+    fmt = "json" if args.json else (args.format or "text")
+    if fmt == "json":
         print(lint.render_json(result, baselined, stale))
+    elif fmt == "sarif":
+        print(lint.render_sarif(
+            result, baselined,
+            uri_prefix=_sarif_uri_prefix(root),
+            rules=engine.rules,
+        ))
     else:
         print(lint.render_text(result, baselined, stale))
     return 0 if result.ok else 1
@@ -784,6 +888,68 @@ def _default_baseline_path(root):
         if (Path(candidate) / "pyproject.toml").is_file():
             return Path(candidate) / "lint-baseline.json"
     return Path(root) / "lint-baseline.json"
+
+
+def _sarif_uri_prefix(root) -> str:
+    """Engine root relative to the repository root (``src`` here).
+
+    SARIF artifact URIs must be repository-relative for hosts to
+    annotate diffs; finding paths are engine-root-relative.
+    """
+    from pathlib import Path
+
+    resolved = Path(root).resolve()
+    for candidate in (resolved, *resolved.parents):
+        if (candidate / "pyproject.toml").is_file():
+            try:
+                return resolved.relative_to(candidate).as_posix().strip(".")
+            except ValueError:
+                return ""
+    return ""
+
+
+def _changed_relpaths(root):
+    """Engine-relative paths of files touched per git, or ``None``.
+
+    Uncommitted changes (``git diff HEAD``) plus untracked files; a
+    missing git or a non-repo root fails open (``None`` → full run), so
+    ``--changed`` can never hide findings behind a broken invocation.
+    """
+    import subprocess
+    from pathlib import Path
+
+    resolved = Path(root).resolve()
+    try:
+        top = subprocess.run(
+            ["git", "-C", str(resolved), "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, timeout=30,
+        )
+        if top.returncode != 0:
+            return None
+        repo = Path(top.stdout.strip())
+        listed = []
+        for argv in (
+            ["git", "-C", str(repo), "diff", "--name-only", "HEAD", "--"],
+            ["git", "-C", str(repo), "ls-files", "--others",
+             "--exclude-standard"],
+        ):
+            proc = subprocess.run(argv, capture_output=True, text=True,
+                                  timeout=30)
+            if proc.returncode != 0:
+                return None
+            listed.extend(proc.stdout.splitlines())
+    except (OSError, subprocess.SubprocessError):
+        return None
+    restrict = set()
+    for name in listed:
+        if not name.endswith(".py"):
+            continue
+        try:
+            relpath = (repo / name).resolve().relative_to(resolved)
+        except ValueError:
+            continue
+        restrict.add(relpath.as_posix())
+    return restrict
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -908,6 +1074,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the raw response as JSON")
     query.set_defaults(func=_cmd_query)
 
+    ping = sub.add_parser("ping", help="health-check a running service")
+    ping.add_argument("--connect", default="127.0.0.1:7421",
+                      metavar="HOST:PORT")
+    ping.add_argument("--timeout", type=float, default=5.0)
+    ping.set_defaults(func=_cmd_ping)
+
+    shutdown = sub.add_parser(
+        "shutdown", help="ask a running service to drain and exit"
+    )
+    shutdown.add_argument("--connect", default="127.0.0.1:7421",
+                          metavar="HOST:PORT")
+    shutdown.add_argument("--timeout", type=float, default=30.0)
+    shutdown.set_defaults(func=_cmd_shutdown)
+
+    ingest = sub.add_parser(
+        "ingest", help="apply an edge batch to a running service"
+    )
+    ingest.add_argument("--connect", default="127.0.0.1:7421",
+                        metavar="HOST:PORT")
+    ingest.add_argument("--add", action="append", metavar="U,V",
+                        help="edge to add (repeatable)")
+    ingest.add_argument("--delete", action="append", metavar="U,V",
+                        help="edge to delete (repeatable)")
+    ingest.add_argument("--timeout", type=float, default=30.0)
+    ingest.add_argument("--json", action="store_true",
+                        help="print the raw response as JSON")
+    ingest.set_defaults(func=_cmd_ingest)
+
     temporal = sub.add_parser(
         "temporal",
         help="time-travel and historical analytics against a service",
@@ -1017,7 +1211,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="source root anchoring relative paths (default: auto-detect)",
     )
     lint_parser.add_argument("--json", action="store_true",
-                             help="machine-readable report")
+                             help="machine-readable report "
+                                  "(alias for --format json)")
+    lint_parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        help="report format (default: text; sarif for PR annotation)",
+    )
+    lint_parser.add_argument(
+        "--select", action="append", default=None, metavar="RULE[,RULE...]",
+        help="run only the named rules (repeatable, comma-separable)",
+    )
+    lint_parser.add_argument(
+        "--changed", action="store_true",
+        help="scope per-module rules to files changed per git; "
+             "project-wide rules still see the whole tree",
+    )
     lint_parser.add_argument(
         "--baseline", default=None, metavar="FILE",
         help="baseline file (default: lint-baseline.json at the "

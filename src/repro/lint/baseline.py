@@ -16,6 +16,7 @@ the author must replace (the engine refuses to load placeholders).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,7 +35,17 @@ __all__ = [
 
 PLACEHOLDER_JUSTIFICATION = "FIXME: justify why this finding is benign"
 
-_VERSION = 1
+#: v2 fingerprints hash ``(rule, context, message)`` — path-independent,
+#: so renames don't invalidate entries.  v1 files (which hashed the path
+#: too) are accepted and migrated on load; the next ``--update-baseline``
+#: rewrites them as v2.
+_VERSION = 2
+_LEGACY_VERSIONS = (1,)
+
+
+def _v2_fingerprint(rule: str, context: str, message: str) -> str:
+    payload = "|".join((rule, context, message))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -63,10 +74,12 @@ def load_baseline(path: Path) -> List[BaselineEntry]:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+    version = payload.get("version") if isinstance(payload, dict) else None
+    if version not in (_VERSION, *_LEGACY_VERSIONS):
         raise LintError(
             f"baseline {path} must be a JSON object with 'version': {_VERSION}"
         )
+    legacy = version != _VERSION
     entries: List[BaselineEntry] = []
     seen: Dict[str, int] = {}
     for position, doc in enumerate(payload.get("entries", [])):
@@ -84,12 +97,24 @@ def load_baseline(path: Path) -> List[BaselineEntry]:
                 f"({doc['rule']} in {doc['path']}) has no justification; "
                 "every grandfathered finding must explain why it is benign"
             )
-        fingerprint = str(doc["fingerprint"])
-        if fingerprint in seen:
-            raise LintError(
-                f"baseline {path}: duplicate fingerprint {fingerprint} "
-                f"(entries {seen[fingerprint]} and {position})"
+        if legacy:
+            # v1 hashed the path into the fingerprint; recompute the v2
+            # identity from the recorded fields.  Entries that collapse
+            # onto one v2 fingerprint (same defect recorded under two
+            # paths) merge silently — the first justification wins.
+            fingerprint = _v2_fingerprint(
+                str(doc["rule"]), str(doc.get("context", "")),
+                str(doc["message"]),
             )
+            if fingerprint in seen:
+                continue
+        else:
+            fingerprint = str(doc["fingerprint"])
+            if fingerprint in seen:
+                raise LintError(
+                    f"baseline {path}: duplicate fingerprint {fingerprint} "
+                    f"(entries {seen[fingerprint]} and {position})"
+                )
         seen[fingerprint] = position
         entries.append(BaselineEntry(
             rule=str(doc["rule"]),
@@ -143,8 +168,15 @@ def write_baseline(
     usable.
     """
     keep = {entry.fingerprint: entry.justification for entry in previous}
-    entries = [
-        BaselineEntry(
+    entries = []
+    written = set()
+    for finding in findings:
+        # Path-independent fingerprints can collide when the same
+        # defect appears in several files; one entry covers them all.
+        if finding.fingerprint in written:
+            continue
+        written.add(finding.fingerprint)
+        entries.append(BaselineEntry(
             rule=finding.rule,
             path=finding.path,
             context=finding.context,
@@ -153,9 +185,7 @@ def write_baseline(
             justification=keep.get(
                 finding.fingerprint, PLACEHOLDER_JUSTIFICATION
             ),
-        )
-        for finding in findings
-    ]
+        ))
     payload = {
         "version": _VERSION,
         "entries": [entry.as_dict() for entry in entries],

@@ -19,7 +19,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import LintError
 from repro.lint.annotations import ModuleAnnotations, extract_annotations
 from repro.lint.findings import Finding
+from repro.lint.project import ProgramIndex, build_program_index
 from repro.lint.rules import Rule, default_rules, rule_names
+from repro.lint.rules.base import ProjectRule
 
 __all__ = ["LintEngine", "LintResult", "ModuleUnit", "ProjectIndex"]
 
@@ -83,7 +85,14 @@ class ModuleUnit:
 
 @dataclass
 class ProjectIndex:
-    """Cross-module annotation index consumed by the rules."""
+    """Cross-module annotation index consumed by the rules.
+
+    v2: besides the pragma maps, the index now carries every parsed
+    :class:`ModuleUnit` (``module_units``) and lazily builds the phase-1
+    :class:`~repro.lint.project.ProgramIndex` — symbol table, literal
+    vocabulary, call graph with lock summaries — the first time a
+    project-scoped rule asks for it via :attr:`program`.
+    """
 
     #: ``(module relpath, class name) -> {attribute: (lock, ...)}``.
     guarded_attrs: Dict[Tuple[str, str], Dict[str, Tuple[str, ...]]] = field(
@@ -91,6 +100,20 @@ class ProjectIndex:
     )
     #: ``id(FunctionDef node) -> (lock, ...)`` for holds-lock methods.
     holds_lock: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: Every parsed module in the run, keyed by package-relative path.
+    module_units: Dict[str, ModuleUnit] = field(default_factory=dict)
+    #: Engine root, so project rules can locate docs/ next to the tree.
+    root: Optional[Path] = None
+    _program: Optional[ProgramIndex] = field(default=None, repr=False)
+
+    @property
+    def program(self) -> ProgramIndex:
+        """The phase-1 whole-program summary (built on first access)."""
+        if self._program is None:
+            self._program = build_program_index(
+                [self.module_units[k] for k in sorted(self.module_units)]
+            )
+        return self._program
 
     def index_module(self, module: ModuleUnit) -> List[Finding]:
         problems: List[Finding] = []
@@ -243,7 +266,19 @@ class LintEngine:
             return path.name
 
     # -- execution -------------------------------------------------------
-    def run(self, paths: Optional[Iterable[Path]] = None) -> LintResult:
+    def run(
+        self,
+        paths: Optional[Iterable[Path]] = None,
+        *,
+        restrict: Optional[Iterable[str]] = None,
+    ) -> LintResult:
+        """Run phase 1 (parse + index) then phase 2 (rules).
+
+        ``restrict`` limits the *per-module* rule pass to the named
+        relpaths (``--changed`` uses this) while the whole tree is still
+        parsed, so project-scoped rules always see every module — a
+        contract broken by an unchanged file must still surface.
+        """
         result = LintResult(rules_run=[rule.name for rule in self.rules])
         modules: List[ModuleUnit] = []
         for path in self.discover(paths):
@@ -260,8 +295,9 @@ class LintEngine:
                 ))
         result.modules_scanned = len(modules)
 
-        index = ProjectIndex()
+        index = ProjectIndex(root=self.root)
         for module in modules:
+            index.module_units[module.relpath] = module
             result.findings.extend(index.index_module(module))
 
         known = set(rule_names()) | {rule.name for rule in self.rules} | {"all"}
@@ -276,18 +312,37 @@ class LintEngine:
                             f"{', '.join(sorted(known - {'all'}))}",
                         ))
 
+        restricted = set(restrict) if restrict is not None else None
+        module_rules = [r for r in self.rules
+                        if not isinstance(r, ProjectRule)]
+        project_rules = [r for r in self.rules if isinstance(r, ProjectRule)]
+
+        def record(module: ModuleUnit, finding: Finding) -> None:
+            if module.annotations.allows_for(finding.line, finding.rule):
+                result.suppressed.append(dataclasses.replace(
+                    finding, suppressed_by="inline-allow",
+                ))
+            else:
+                result.findings.append(finding)
+
         for module in modules:
-            for rule in self.rules:
+            if restricted is not None and module.relpath not in restricted:
+                continue
+            for rule in module_rules:
                 if not rule.applies_to(module.relpath):
                     continue
                 for finding in rule.check(module, index):
-                    if module.annotations.allows_for(finding.line,
-                                                     finding.rule):
-                        result.suppressed.append(dataclasses.replace(
-                            finding, suppressed_by="inline-allow",
-                        ))
-                    else:
-                        result.findings.append(finding)
+                    record(module, finding)
+
+        # Phase 2: project-scoped rules run over the whole tree exactly
+        # once; inline allows are honoured via the owning module.
+        for rule in project_rules:
+            for finding in rule.check_project(index):
+                owner = index.module_units.get(finding.path)
+                if owner is not None:
+                    record(owner, finding)
+                else:
+                    result.findings.append(finding)
 
         result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

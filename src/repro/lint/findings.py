@@ -1,10 +1,15 @@
 """Finding records produced by the lint engine.
 
 A :class:`Finding` pins one rule violation to a file, line and column.
-Its *fingerprint* deliberately excludes the line/column: baselined
-findings must survive unrelated edits that shift code up or down, so
-the identity of a finding is ``(rule, path, context, message)`` where
-``context`` is the enclosing ``Class.method`` qualname.
+Its *fingerprint* deliberately excludes the line/column — baselined
+findings must survive unrelated edits that shift code up or down — and,
+since v2, the path as well: moving a module (``repro/service/x.py`` →
+``repro/fleet/x.py``) does not invalidate a justified baseline entry.
+The identity of a finding is ``(rule, context, message)`` where
+``context`` is the enclosing ``Class.method`` qualname; messages are
+written to name their subject (op, instrument, lock), which keeps the
+triple unique in practice, and the baseline writer de-duplicates the
+rare collision.
 """
 
 from __future__ import annotations
@@ -36,8 +41,8 @@ class Finding:
 
     @property
     def fingerprint(self) -> str:
-        """Location-independent identity used for baseline matching."""
-        payload = "|".join((self.rule, self.path, self.context, self.message))
+        """Location- and path-independent identity for baseline matching."""
+        payload = "|".join((self.rule, self.context, self.message))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def as_dict(self) -> Dict[str, Any]:

@@ -12,19 +12,25 @@ from typing import Dict, List, Type
 
 from repro.errors import LintError
 from repro.lint.rules.async_safety import AsyncSafetyRule
-from repro.lint.rules.base import Rule
+from repro.lint.rules.base import ProjectRule, Rule
+from repro.lint.rules.contracts import InstrumentContractRule, WireContractRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.immutability import FrozenGraphRule
+from repro.lint.rules.lockorder import LockOrderRule
 from repro.lint.rules.locks import LockDisciplineRule
 from repro.lint.rules.taxonomy import ErrorTaxonomyRule
 
 __all__ = [
+    "ProjectRule",
     "Rule",
     "AsyncSafetyRule",
     "DeterminismRule",
     "ErrorTaxonomyRule",
     "FrozenGraphRule",
+    "InstrumentContractRule",
     "LockDisciplineRule",
+    "LockOrderRule",
+    "WireContractRule",
     "default_rules",
     "register_rule",
     "rule_names",
@@ -51,6 +57,9 @@ for _cls in (
     FrozenGraphRule,
     ErrorTaxonomyRule,
     DeterminismRule,
+    WireContractRule,
+    InstrumentContractRule,
+    LockOrderRule,
 ):
     register_rule(_cls)
 

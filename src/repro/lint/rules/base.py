@@ -17,7 +17,7 @@ from repro.lint.findings import Finding
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.lint.engine import ModuleUnit, ProjectIndex
 
-__all__ = ["Rule", "dotted_name", "iter_statements"]
+__all__ = ["ProjectRule", "Rule", "dotted_name", "iter_statements"]
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:
@@ -89,3 +89,45 @@ class Rule:
 
     def __repr__(self) -> str:
         return f"<Rule {self.name}>"
+
+
+class ProjectRule(Rule):
+    """A rule that runs once over the whole program, not per module.
+
+    The engine calls :meth:`check_project` exactly once per run, after
+    every module is parsed, handing it the :class:`ProjectIndex` whose
+    ``program`` attribute exposes the phase-1 whole-program summary
+    (symbol table, literal vocabulary, call graph with lock summaries).
+    ``check`` is inherited but never invoked for project rules.
+    """
+
+    def applies_to(self, relpath: str) -> bool:  # pragma: no cover - unused
+        return False
+
+    def check(
+        self, module: "ModuleUnit", project: "ProjectIndex"
+    ) -> Iterator[Finding]:  # pragma: no cover - project rules don't run per-module
+        return iter(())
+
+    def check_project(self, project: "ProjectIndex") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        project: "ProjectIndex",
+        relpath: str,
+        line: int,
+        message: str,
+        *,
+        col: int = 0,
+    ) -> Finding:
+        module = project.module_units.get(relpath)
+        context = module.context_at(line) if module is not None else ""
+        return Finding(
+            rule=self.name,
+            path=relpath,
+            line=line,
+            col=col,
+            message=message,
+            context=context,
+        )

@@ -39,15 +39,22 @@ def test_fingerprint_survives_line_shifts():
     assert a.fingerprint == b.fingerprint
 
 
-def test_fingerprint_distinguishes_rule_path_context_message():
+def test_fingerprint_distinguishes_rule_context_message():
     a = make_finding()
     for field, value in [
         ("rule", "frozen-graph"),
-        ("path", "repro/core/other.py"),
         ("context", "stall"),
         ("message", "different"),
     ]:
         assert make_finding(**{field: value}).fingerprint != a.fingerprint
+
+
+def test_fingerprint_survives_file_renames():
+    # v2 identity is path-independent: moving the module does not
+    # invalidate a justified baseline entry.
+    a = make_finding()
+    b = dataclasses.replace(a, path="repro/fleet/algo.py", line=3)
+    assert a.fingerprint == b.fingerprint
 
 
 # ----------------------------------------------------------- round-trip
@@ -122,7 +129,7 @@ def test_load_rejects_bad_json_and_bad_version(tmp_path):
     with pytest.raises(LintError, match="not valid JSON"):
         load_baseline(path)
     with pytest.raises(LintError, match="version"):
-        load_baseline(write_payload(tmp_path, {"version": 2, "entries": []}))
+        load_baseline(write_payload(tmp_path, {"version": 3, "entries": []}))
 
 
 def test_load_rejects_missing_keys(tmp_path):
@@ -145,11 +152,73 @@ def test_load_rejects_placeholder_and_empty_justification(tmp_path):
 
 def test_load_rejects_duplicate_fingerprints(tmp_path):
     path = write_payload(tmp_path, {
-        "version": 1,
+        "version": 2,
         "entries": [entry_dict(), entry_dict()],
     })
     with pytest.raises(LintError, match="duplicate fingerprint"):
         load_baseline(path)
+
+
+# ----------------------------------------------------------- migration
+
+def test_v1_baseline_loads_with_recomputed_fingerprints(tmp_path):
+    # A v1 file carries path-dependent fingerprints; loading migrates
+    # each entry to the v2 identity so it still suppresses findings.
+    finding = make_finding()
+    path = write_payload(tmp_path, {
+        "version": 1,
+        "entries": [entry_dict(fingerprint="0123456789abcdef")],
+    })
+    entries = load_baseline(path)
+    assert entries[0].fingerprint == finding.fingerprint
+    active, baselined, stale = apply_baseline([finding], entries)
+    assert not active and not stale
+    assert [f.message for f in baselined] == [finding.message]
+
+
+def test_v1_duplicate_entries_merge_on_load(tmp_path):
+    # Two v1 entries for the same defect under different paths collapse
+    # onto one v2 fingerprint; the first justification wins.
+    path = write_payload(tmp_path, {
+        "version": 1,
+        "entries": [
+            entry_dict(justification="first"),
+            entry_dict(path="repro/fleet/algo.py", justification="second"),
+        ],
+    })
+    entries = load_baseline(path)
+    assert len(entries) == 1
+    assert entries[0].justification == "first"
+
+
+def test_rename_keeps_baseline_entry_matching(tmp_path):
+    # Round-trip regression for the rename guarantee: write under one
+    # path, rename the module, the entry still matches.
+    path = tmp_path / "lint-baseline.json"
+    finding = make_finding()
+    write_baseline(path, [finding])
+    payload = json.loads(path.read_text())
+    payload["entries"][0]["justification"] = "benign: covered by tests"
+    path.write_text(json.dumps(payload))
+    entries = load_baseline(path)
+
+    moved = dataclasses.replace(finding, path="repro/fleet/algo.py", line=2)
+    active, baselined, stale = apply_baseline([moved], entries)
+    assert not active and not stale
+    assert baselined[0].path == "repro/fleet/algo.py"
+
+
+def test_write_baseline_dedupes_colliding_fingerprints(tmp_path):
+    # The same defect in two files produces one entry: v2 fingerprints
+    # are path-independent, and one justification covers both sites.
+    path = tmp_path / "lint-baseline.json"
+    a = make_finding()
+    b = dataclasses.replace(a, path="repro/fleet/algo.py")
+    entries = write_baseline(path, [a, b])
+    assert len(entries) == 1
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 2
+    assert len(payload["entries"]) == 1
 
 
 # -------------------------------------------------------------- reports

@@ -161,3 +161,78 @@ def test_self_lint_catches_a_seeded_regression(tmp_path):
         target.read_text() + "\n\ndef _stamp():\n    import time\n    return time.time()\n"
     )
     assert lint_cmd(root) == 1
+
+
+# ------------------------------------------------- select / changed / sarif
+
+def test_select_scopes_the_run_to_named_rules(tmp_path, capsys):
+    root = project(tmp_path, {"repro/core/ops.py": VIOLATION})
+    assert lint_cmd(root, "--select", "lock-discipline,frozen-graph") == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+    assert lint_cmd(root, "--select", "determinism") == 1
+
+
+def test_select_rejects_unknown_rule_names(tmp_path, capsys):
+    root = project(tmp_path, {"repro/core/ops.py": CLEAN})
+    assert lint_cmd(root, "--select", "no-such-rule") == 2
+    assert "no-such-rule" in capsys.readouterr().err
+
+
+def test_select_run_does_not_report_baseline_staleness(tmp_path, capsys):
+    # A scoped run proves nothing about entries for rules that did not
+    # run; it must not nag about (or prune) them.
+    root = project(tmp_path, {"repro/core/ops.py": VIOLATION})
+    baseline = root / "lint-baseline.json"
+    result = lint.LintEngine(root).run([root / "repro"])
+    lint.write_baseline(baseline, result.findings)
+    payload = json.loads(baseline.read_text())
+    payload["entries"][0]["justification"] = "benign"
+    baseline.write_text(json.dumps(payload))
+
+    assert lint_cmd(root, "--select", "frozen-graph") == 0
+    assert "stale" not in capsys.readouterr().out
+
+
+def test_changed_falls_open_to_a_full_run_outside_git(tmp_path, capsys):
+    # No repository to diff against: fail open rather than silently
+    # linting nothing.
+    root = project(tmp_path, {"repro/core/ops.py": VIOLATION})
+    assert lint_cmd(root, "--changed") == 1
+    captured = capsys.readouterr()
+    assert "determinism" in captured.out
+    assert "could not consult git" in captured.err
+
+
+def test_sarif_output_parses_and_carries_fingerprints(tmp_path, capsys):
+    root = project(tmp_path, {"repro/core/ops.py": VIOLATION})
+    assert lint_cmd(root, "--format", "sarif") == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "determinism" in rule_ids and "lock-order" in rule_ids
+    (res,) = [r for r in run["results"] if "suppressions" not in r]
+    assert res["ruleId"] == "determinism"
+    assert res["partialFingerprints"]["reproLint/v2"]
+    region = res["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1
+
+
+def test_sarif_marks_suppressed_findings(tmp_path, capsys):
+    root = project(tmp_path, {
+        "repro/core/ops.py": textwrap.dedent("""\
+            import time
+
+
+            def wall():
+                # lint: allow(determinism): fixture timestamp only
+                return time.time()
+        """),
+    })
+    assert lint_cmd(root, "--format", "sarif") == 0
+    doc = json.loads(capsys.readouterr().out)
+    (res,) = doc["runs"][0]["results"]
+    (suppression,) = res["suppressions"]
+    assert suppression["kind"] == "inSource"
