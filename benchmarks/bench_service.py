@@ -15,6 +15,11 @@ can track the trajectory:
 * **observability overhead** — the mixed plan again with
   :mod:`repro.obs` fully on (sampling every span, metrics collected),
   reported as a percentage against the obs-off throughput;
+* **live-tip updates** — absorbing a stream of single-edge updates
+  through the :mod:`repro.livetip` overlay (ops/second and per-update
+  p99, with a converged state under push repair) vs pushing each edge
+  through a one-edge batch ingest — the recorded speedup is the point
+  of the overlay and must be >= 5x;
 * **overload behaviour** — a seeded burst of near-simultaneous clients
   against a deliberately small admission lane, recording the shed rate
   and the p99 latency of the admitted requests;
@@ -39,6 +44,7 @@ import pytest
 from repro import faults, obs
 from repro.core.common import CommonGraphDecomposition
 from repro.errors import ServiceOverloadedError
+from repro.evolving.delta import DeltaBatch
 from repro.evolving.store import SnapshotStore
 from repro.fleet import FleetSupervisor
 from repro.graph.edgeset import EdgeSet
@@ -214,6 +220,113 @@ def test_from_scratch_rebuild(benchmark, workload):
             RESULTS["ingest_rebuild_ms"]
             / max(RESULTS["ingest_incremental_ms"], 1e-9), 2
         )
+
+
+LIVETIP_UPDATES = 16  # insert+delete pairs per round
+
+
+def _fresh_pairs(state, count):
+    """``count`` edges absent from the durable tip, deterministically."""
+    tip = state.store.load().snapshot_edges(-1)
+    present = set(tip)
+    n = state.decomposition.num_vertices
+    picked = []
+    for u in range(n):
+        for v in range(n):
+            if u != v and (u, v) not in present:
+                picked.append((u, v))
+                if len(picked) == count:
+                    return picked
+    raise AssertionError("graph too dense for fresh edges")
+
+
+@pytest.mark.benchmark(group="service-livetip")
+def test_livetip_update_stream(benchmark, tmp_path_factory, workload):
+    """Per-update absorb latency at the live tip.
+
+    A stream of insert/delete updates against a state holding one
+    converged SSSP answer, so every update pays the real cost: strict
+    validation, the overlay's graph mutation, and a KickStarter push
+    repair of the tracked state.  Folds are pushed out of the window
+    (``livetip_max_updates`` effectively infinite) — compaction cost
+    is the ingest benches' story, not this one's.
+    """
+    path = tmp_path_factory.mktemp("bench-livetip") / "store"
+    store = SnapshotStore.create(path, workload.evolving)
+    state = ServiceState(store, weight_fn=WF, livetip_max_updates=10**6)
+    latencies: list = []
+    try:
+        pool = iter(_fresh_pairs(state, 1 + ROUNDS * LIVETIP_UPDATES))
+        # Prime a tracked state: one pending update makes the next
+        # query capture-and-adopt its converged SSSP values, which the
+        # benchmarked stream then push-repairs on every update.
+        first = next(pool)
+        state.update("insert", *first)
+        assert state.query("SSSP", workload.source).livetip_seq == 1
+        state.update("delete", *first)
+
+        def run():
+            for _ in range(LIVETIP_UPDATES):
+                u, v = next(pool)
+                start = time.perf_counter()
+                state.update("insert", u, v)
+                latencies.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                state.update("delete", u, v)
+                latencies.append(time.perf_counter() - start)
+
+        benchmark.pedantic(run, rounds=ROUNDS, iterations=1,
+                           warmup_rounds=0)
+        # Every update was absorbed, none folded.
+        assert state._livetip.seq == 2 * (1 + ROUNDS * LIVETIP_UPDATES)
+    finally:
+        state.close()
+
+    mean = sum(latencies) / len(latencies)
+    ordered = sorted(latencies)
+    p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+    benchmark.extra_info["update_ops_per_second"] = round(1.0 / mean, 2)
+    benchmark.extra_info["update_p99_latency_ms"] = round(p99 * 1000, 3)
+    RESULTS["update_ops_per_second"] = round(1.0 / mean, 2)
+    RESULTS["update_p99_latency_ms"] = round(p99 * 1000, 3)
+    RESULTS["_livetip_update_mean_s"] = mean
+
+
+@pytest.mark.benchmark(group="service-livetip")
+def test_one_edge_batch_baseline(benchmark, tmp_path_factory, workload):
+    """The alternative a system without the overlay is stuck with:
+    every single-edge update as its own one-edge ``DeltaBatch`` through
+    the full ingest lane (decomposition extension, store append, epoch
+    bump).  The live tip must beat this per-update by >= 5x — that
+    multiple IS the overlay, measured through the same state object.
+    """
+    path = tmp_path_factory.mktemp("bench-livetip-batch") / "store"
+    store = SnapshotStore.create(path, workload.evolving)
+    state = ServiceState(store, weight_fn=WF, livetip=False)
+    try:
+        state.query("SSSP", workload.source)  # same warm planner
+        pool = iter(_fresh_pairs(state, ROUNDS * 3 + 4))
+
+        def run():
+            u, v = next(pool)
+            state.ingest(DeltaBatch(
+                additions=EdgeSet.from_pairs([(u, v)]),
+                deletions=EdgeSet.empty(),
+            ))
+
+        benchmark.pedantic(run, rounds=ROUNDS, iterations=3,
+                           warmup_rounds=0)
+    finally:
+        state.close()
+
+    batch_mean = benchmark.stats.stats.mean
+    benchmark.extra_info["batch_ingest_ms"] = round(batch_mean * 1000, 3)
+    update_mean = RESULTS.pop("_livetip_update_mean_s", None)
+    if update_mean:
+        speedup = batch_mean / update_mean
+        benchmark.extra_info["livetip_vs_batch_speedup"] = round(speedup, 2)
+        RESULTS["livetip_vs_batch_speedup"] = round(speedup, 2)
+        assert speedup >= 5.0
 
 
 BURST_CLIENTS = 24

@@ -20,6 +20,11 @@ Subcommands
     store) behind a consistent-hashing router that fans ingests to all
     of them.  Clients speak the same protocol as ``serve``, so
     ``query`` and ``info --connect`` work against the router port.
+``update``
+    Apply one single-edge insert/delete to a running service's
+    live-tip overlay (sub-batch latency, no Triangular-Grid rebuild),
+    or force a ``compact`` that folds the pending update log into a
+    durable batch.  See ``docs/livetip.md``.
 ``temporal``
     Historical analytics against a running service: point-in-time
     answers (``as_of`` a version or ingest timestamp), per-vertex
@@ -186,6 +191,18 @@ def _render_live_status(address: str, payload: dict) -> str:
             rows.append([key, server[key]])
     sections.append(render_table(["property", "value"], rows,
                                  title=f"status {address}"))
+    livetip = payload.get("livetip")
+    if livetip and livetip.get("enabled"):
+        rows = [
+            [key, livetip[key]]
+            for key in ("tip_version", "overlay_depth", "pending_updates",
+                        "updates_total", "tracked_states", "compactions",
+                        "updates_folded", "last_compaction_version")
+            if key in livetip
+        ]
+        sections.append(render_table(
+            ["property", "value"], rows, title="live tip",
+        ))
     breakers = payload.get("breakers", {})
     if breakers:
         rows = [
@@ -353,6 +370,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         window=args.window,
         result_cache_entries=args.result_cache,
         node_cache_entries=args.node_cache,
+        livetip=not args.no_livetip,
+        livetip_max_updates=args.livetip_max_updates,
+        livetip_max_tracked=args.livetip_max_tracked,
     )
     state.register_metrics()
     config = ServiceConfig(
@@ -567,6 +587,56 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         f"ingested +{len(additions)}/-{len(deletions)} edges: "
         f"version {response.get('version')}, epoch {response.get('epoch')}"
     )
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    edge = None
+    if args.edge is not None:
+        try:
+            (edge,) = _parse_edges([args.edge], "edge")
+        except ValueError as exc:
+            print(f"update: {exc}", file=sys.stderr)
+            return 2
+    if args.kind != "compact" and edge is None:
+        print(f"update: {args.kind} requires --edge U,V", file=sys.stderr)
+        return 2
+    if args.kind == "compact" and edge is not None:
+        print("update: compact carries no --edge", file=sys.stderr)
+        return 2
+    host, _, port = args.connect.rpartition(":")
+    try:
+        with ServiceClient(host or "127.0.0.1", int(port),
+                           timeout=args.timeout) as client:
+            response = client.update(
+                args.kind,
+                edge[0] if edge else None,
+                edge[1] if edge else None,
+            )
+    except (ServiceError, OSError) as exc:
+        print(f"update: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    if args.kind == "compact":
+        print(
+            f"compacted {response.get('updates_folded', 0)} update(s): "
+            f"tip version {response.get('tip_version')}, "
+            f"epoch {response.get('epoch')}"
+        )
+    else:
+        print(
+            f"{args.kind} edge {tuple(edge)}: seq {response.get('seq')}, "
+            f"overlay depth {response.get('overlay_depth')} at tip "
+            f"version {response.get('tip_version')}"
+            + (f" (folded {response.get('updates_folded')} update(s))"
+               if response.get("compacted") else "")
+        )
     return 0
 
 
@@ -1020,6 +1090,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="seconds SIGTERM-triggered drain waits for "
                             "in-flight requests")
+    serve.add_argument("--no-livetip", action="store_true",
+                       help="reject single-edge `update` requests "
+                            "instead of absorbing them in the live-tip "
+                            "overlay")
+    serve.add_argument("--livetip-max-updates", type=int, default=64,
+                       help="pending updates that trigger a live-tip "
+                            "compaction into a durable batch")
+    serve.add_argument("--livetip-max-tracked", type=int, default=8,
+                       help="(algorithm, source) states the overlay "
+                            "keeps repaired at the tip")
     serve.add_argument("--max-weight", type=int, default=64)
     serve.add_argument("--weight-seed", type=int, default=0)
     serve.add_argument("--metrics", type=int, default=None, metavar="PORT",
@@ -1101,6 +1181,23 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--json", action="store_true",
                         help="print the raw response as JSON")
     ingest.set_defaults(func=_cmd_ingest)
+
+    update = sub.add_parser(
+        "update",
+        help="apply one single-edge update to a running service's "
+             "live tip (or force a compaction)",
+    )
+    update.add_argument("kind", choices=["insert", "delete", "compact"],
+                        help="single-edge mutation, or `compact` to fold "
+                             "the pending update log into a batch")
+    update.add_argument("--edge", default=None, metavar="U,V",
+                        help="the edge (required for insert/delete)")
+    update.add_argument("--connect", default="127.0.0.1:7421",
+                        metavar="HOST:PORT")
+    update.add_argument("--timeout", type=float, default=30.0)
+    update.add_argument("--json", action="store_true",
+                        help="print the raw response as JSON")
+    update.set_defaults(func=_cmd_update)
 
     temporal = sub.add_parser(
         "temporal",

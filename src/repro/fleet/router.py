@@ -12,6 +12,13 @@ Request lifecycle::
                    ──> receipt-consistency check (same batch => same
                    version everywhere); a diverging or missing receipt
                    quarantines that replica until it is resynced
+        update ──> serialised fan-out of one single-edge live-tip
+                   update (same order as ingests); receipts must agree
+                   on ``(tip_version, overlay_depth)`` — the durable
+                   tip plus how deep the pending overlay log is —
+                   since deterministic compaction keeps replicas in
+                   lockstep; divergence quarantines, a refusal every
+                   replica agrees on passes through unchanged
         status ──> fleet health: per-replica state, ring, receipts
 
 Design points:
@@ -169,11 +176,14 @@ class FleetRouter:
         self.ring = ConsistentHashRing(names, vnodes=self.config.vnodes)
         #: Absolute version of the last fleet-agreed ingest receipt.
         self.fleet_version: Optional[int] = None
+        #: Pending live-tip updates per the last agreed update receipt
+        #: (0 after any ingest or compaction — both fold the log).
+        self.fleet_overlay_depth: int = 0
         self.port: Optional[int] = None
         self.counters: Dict[str, int] = {
             "connections": 0, "requests": 0, "queries": 0, "temporals": 0,
-            "ingests": 0, "answered": 0, "shed": 0, "errors": 0,
-            "failovers": 0, "ejections": 0, "rebalances": 0,
+            "ingests": 0, "updates": 0, "answered": 0, "shed": 0,
+            "errors": 0, "failovers": 0, "ejections": 0, "rebalances": 0,
             "receipt_divergences": 0, "probes": 0,
         }
         self._ingest_lock: Optional[asyncio.Lock] = None
@@ -348,6 +358,20 @@ class FleetRouter:
         replica = self._replica(name)
         assert self._ingest_lock is not None
         async with self._ingest_lock:
+            if self.fleet_overlay_depth and self._rotation():
+                # Pending live-tip updates exist only in the in-rotation
+                # replicas' overlays — no durable store a resync could
+                # have copied them from.  Fold them fleet-wide first, so
+                # the returning replica only has to match the durable
+                # tip.  The flush advances the fleet tip; the caller's
+                # resync/restore loop chases it.
+                deadline = Deadline.after(self.config.connect_timeout * 2)
+                await self._fanout_update(
+                    self._forward_doc(
+                        {"op": "update", "kind": "compact"}, deadline
+                    ),
+                    deadline,
+                )
             if version is not None:
                 replica.version = version
             if (self.fleet_version is not None
@@ -495,6 +519,8 @@ class FleetRouter:
             return self._handle_status()
         if op == "ingest":
             return await self._handle_ingest(doc)
+        if op == "update":
+            return await self._handle_update(doc)
         # query and temporal are both source-affine reads: route them by
         # the same consistent hash so a temporal batch lands on the
         # replica whose planner cache already holds that source's ranges.
@@ -531,6 +557,7 @@ class FleetRouter:
                 },
                 "rotation": sorted(self._rotation()),
                 "fleet_version": self.fleet_version,
+                "fleet_overlay_depth": self.fleet_overlay_depth,
                 "vnodes": self.config.vnodes,
             },
             "server": dict(self.counters),
@@ -733,6 +760,10 @@ class FleetRouter:
                 f"({versions}); fleet needs supervisor attention"
             )
         self.fleet_version = int(agreed)
+        # Every replica folds its pending live-tip updates before
+        # appending an ingested batch, so an agreed ingest receipt
+        # means the overlay log is empty fleet-wide.
+        self.fleet_overlay_depth = 0
         for name in receipts:
             self.replicas[name].version = int(agreed)
         elapsed = [leg_elapsed for name, _, _, leg_elapsed in legs
@@ -748,6 +779,127 @@ class FleetRouter:
         response.update({
             "ok": True,
             "op": "ingest",
+            "replicas": len(receipts),
+            "fleet_version": self.fleet_version,
+        })
+        return response
+
+    # -- live-tip updates ----------------------------------------------------
+    async def _handle_update(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        protocol.parse_update(doc)  # reject garbage before fan-out
+        obs.counter_inc("repro_fleet_requests_total", op="update")
+        deadline = self._request_deadline(doc)
+        assert self._ingest_lock is not None
+        # Serialised with ingests: overlay receipts only agree if every
+        # replica sees updates and batches in one global order.
+        async with self._ingest_lock:
+            return await self._fanout_update(
+                self._forward_doc(doc, deadline), deadline
+            )
+
+    async def _fanout_update(self, forward: Dict[str, Any],
+                             deadline: Deadline) -> Dict[str, Any]:
+        """Fan one update to the rotation (ingest lock must be held)."""
+        rotation = self._rotation()
+        if not rotation:
+            raise ServiceUnavailableError(
+                "no replicas in rotation to update"
+            )
+        with obs.phase_span("router", "update", replicas=len(rotation)):
+            legs = await asyncio.gather(*(
+                self._ingest_leg(name, forward, deadline)
+                for name in rotation
+            ))
+        return self._settle_update_receipts(rotation, legs)
+
+    def _settle_update_receipts(
+        self,
+        rotation: List[str],
+        legs: List[Tuple[str, Optional[Dict[str, Any]],
+                         Optional[BaseException], float]],
+    ) -> Dict[str, Any]:
+        """Verify update receipts; quarantine divergent replicas.
+
+        The consistency law for the live tip: every replica that
+        applied the update must agree on ``(tip_version,
+        overlay_depth)``.  The overlay ``seq`` is deliberately *not*
+        compared — it is monotonic per overlay instance and resets when
+        a replica restarts, while the durable tip plus pending depth
+        pins the actual stream position.  Deterministic count-based
+        compaction folds at the same stream point everywhere, so a
+        depth mismatch means a replica missed an update (or folded on
+        its own) and no longer matches the fleet's history.
+        """
+        receipts: Dict[str, Dict[str, Any]] = {}
+        errored: Dict[str, Dict[str, Any]] = {}
+        shed: Optional[Dict[str, Any]] = None
+        failed: List[str] = []
+        for name, response, error, _elapsed in legs:
+            if error is not None:
+                failed.append(name)
+            elif response.get("ok"):
+                receipts[name] = response
+            elif response.get("overloaded"):
+                shed = response  # live lane refused: update NOT applied
+            else:
+                errored[name] = response
+        if not receipts:
+            if not failed:
+                # Nothing was applied anywhere — the fleet is still
+                # consistent.  A deterministic refusal (insert of a
+                # present edge, live tip disabled) passes through; so
+                # does unanimous backpressure.
+                if errored:
+                    self.counters["errors"] += 1
+                    return dict(next(iter(errored.values())))
+                assert shed is not None
+                self.counters["shed"] += 1
+                return dict(shed)
+            for name in failed:
+                self._quarantine(name, "update_failed")
+            raise FleetError(
+                f"update reached no replica (failed: {sorted(failed)}); "
+                "fleet needs supervisor attention"
+            )
+        # At least one replica absorbed the update: anyone who didn't
+        # is now behind the fleet's update stream.
+        for name, response, error, _elapsed in legs:
+            if name in receipts:
+                continue
+            reason = ("update_failed" if error is not None
+                      else "missed_update")
+            self._quarantine(name, reason)
+        keys = {
+            name: (receipt.get("tip_version"),
+                   receipt.get("overlay_depth"))
+            for name, receipt in receipts.items()
+        }
+        tally = TallyCounter(keys.values())
+        agreed = tally.most_common(1)[0][0]
+        for name, key in keys.items():
+            if key != agreed:
+                self.counters["receipt_divergences"] += 1
+                self._quarantine(name, "divergence")
+                del receipts[name]
+        if not receipts:
+            raise FleetError(
+                f"update receipts diverged beyond reconciliation "
+                f"({keys}); fleet needs supervisor attention"
+            )
+        tip, depth = agreed
+        if tip is not None:
+            self.fleet_version = int(tip)
+            for name in receipts:
+                self.replicas[name].version = int(tip)
+        self.fleet_overlay_depth = int(depth or 0)
+        self.counters["updates"] += 1
+        self.counters["answered"] += 1
+        reference = next(receipts[name] for name in rotation
+                         if name in receipts)
+        response = dict(reference)
+        response.update({
+            "ok": True,
+            "op": "update",
             "replicas": len(receipts),
             "fleet_version": self.fleet_version,
         })

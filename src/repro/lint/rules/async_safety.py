@@ -72,6 +72,7 @@ class AsyncSafetyRule(Rule):
     def applies_to(self, relpath: str) -> bool:
         return (relpath.startswith("repro/service/")
                 or relpath.startswith("repro/fleet/")
+                or relpath.startswith("repro/livetip/")
                 or relpath == "repro/resilience.py")
 
     def check(self, module, project) -> Iterator[Finding]:

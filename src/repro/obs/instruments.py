@@ -133,6 +133,31 @@ INSTRUMENTS: Dict[str, InstrumentSpec] = {
         "evaluated.",
         buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
     ),
+    # -- live tip (per-update overlay + compaction) -------------------------
+    "repro_livetip_updates_total": InstrumentSpec(
+        "counter", "Single-edge updates absorbed by the live-tip overlay.",
+        ("kind",),
+    ),
+    "repro_livetip_update_seconds": InstrumentSpec(
+        "histogram", "End-to-end service update latency in seconds.",
+    ),
+    "repro_livetip_repair_frontier": InstrumentSpec(
+        "histogram",
+        "Vertices touched (updated + trimmed) repairing one tracked "
+        "state for one update.",
+        buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                 256.0, 1024.0),
+    ),
+    "repro_livetip_depth": InstrumentSpec(
+        "gauge", "Pending (not yet compacted) updates in the overlay log.",
+    ),
+    "repro_livetip_tracked_states": InstrumentSpec(
+        "gauge", "Converged per-(algorithm, source) states the overlay "
+                 "keeps repaired.",
+    ),
+    "repro_livetip_compactions_total": InstrumentSpec(
+        "counter", "Update-log folds into the Triangular Grid.",
+    ),
     # -- storage ------------------------------------------------------------
     "repro_store_appends_total": InstrumentSpec(
         "counter", "Durable batch appends committed by the snapshot store.",
@@ -212,8 +237,16 @@ def prime(registry: MetricsRegistry) -> None:
             outcomes.labels(component=component, status=status)
     for name in ("repro_requests_total",):
         requests = family(registry, name)
-        for op in ("query", "temporal", "ingest", "status"):
+        for op in ("query", "temporal", "ingest", "update", "status"):
             requests.labels(op=op)
+    updates = family(registry, "repro_livetip_updates_total")
+    for kind in ("insert", "delete"):
+        updates.labels(kind=kind)
+    for name in ("repro_livetip_update_seconds",
+                 "repro_livetip_repair_frontier",
+                 "repro_livetip_depth", "repro_livetip_tracked_states",
+                 "repro_livetip_compactions_total"):
+        family(registry, name).labels()
     temporal_queries = family(registry, "repro_temporal_queries_total")
     for mode in ("point", "timeline", "aggregate", "diff", "rollup"):
         temporal_queries.labels(mode=mode)
@@ -235,13 +268,13 @@ def prime(registry: MetricsRegistry) -> None:
                  "repro_resyncs", "repro_poisoned"):
         family(registry, name).labels()
     shed = family(registry, "repro_admission_shed_total")
-    for kind in ("query", "ingest"):
+    for kind in ("query", "ingest", "live"):
         for reason in ("queue_full", "timeout", "draining"):
             shed.labels(kind=kind, reason=reason)
     for name in ("repro_admission_depth", "repro_admission_active",
                  "repro_admission_queue_high_water"):
         fam = family(registry, name)
-        for kind in ("query", "ingest"):
+        for kind in ("query", "ingest", "live"):
             fam.labels(kind=kind)
     breaker_state = family(registry, "repro_breaker_state")
     transitions = family(registry, "repro_breaker_transitions_total")

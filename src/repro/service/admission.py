@@ -5,7 +5,7 @@ request without limit — a burst did not fail, it just grew the event
 loop's backlog until latency (or memory) blew up.  Admission control
 makes the capacity explicit:
 
-* each request class (``query`` / ``ingest``) owns an
+* each request class (``query`` / ``ingest`` / ``live``) owns an
   :class:`asyncio.Semaphore` of execution slots and a **bounded waiting
   room**; a request that finds the room full is *shed* immediately with
   :class:`~repro.errors.ServiceOverloadedError` and a ``retry_after_ms``
@@ -167,23 +167,34 @@ class _Gate:
 
 
 class AdmissionController:
-    """Separate bounded lanes for queries and ingests.
+    """Separate bounded lanes for queries, ingests, and live updates.
 
     Use as an async context manager factory::
 
         async with admission.slot("query", deadline, what=label):
             ...  # holds one query execution slot
 
+    The ``live`` lane serves single-edge ``update`` requests: one
+    execution slot (updates are serialised through the overlay lock
+    anyway, so extra slots would only hide queueing in lock
+    contention) but a deep waiting room with a short timeout — a
+    per-update stream is high-rate and each item is sub-millisecond,
+    so depth is cheap and staleness is not.
+
     The controller itself never blocks the event loop: queue waits are
     ``asyncio.Semaphore`` acquisitions under ``asyncio.wait_for``.
     """
 
     def __init__(self, *, query: Optional[AdmissionPolicy] = None,
-                 ingest: Optional[AdmissionPolicy] = None) -> None:
+                 ingest: Optional[AdmissionPolicy] = None,
+                 live: Optional[AdmissionPolicy] = None) -> None:
         self._gates: Dict[str, _Gate] = {
             "query": _Gate("query", query or AdmissionPolicy()),
             "ingest": _Gate("ingest", ingest or AdmissionPolicy(
                 max_concurrent=1, max_queue=32, queue_timeout=10.0,
+            )),
+            "live": _Gate("live", live or AdmissionPolicy(
+                max_concurrent=1, max_queue=256, queue_timeout=2.0,
             )),
         }
         self._draining = False  # event-loop-confined; read-only elsewhere

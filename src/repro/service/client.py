@@ -280,6 +280,33 @@ class ServiceClient:
             doc["timeout_ms"] = timeout_ms
         return self._request_retrying_overload(doc)
 
+    def update(
+        self,
+        kind: str,
+        u: Optional[int] = None,
+        v: Optional[int] = None,
+        timeout_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One single-edge live-tip update (or an explicit ``compact``).
+
+        ``kind`` is ``"insert"`` / ``"delete"`` with an ``(u, v)`` edge,
+        or ``"compact"`` with no edge to force the pending update log
+        into a durable batch.  The receipt carries the overlay ``seq``,
+        ``tip_version`` and ``overlay_depth`` the update landed at.
+
+        Unlike ``ingest``, a shed update is retried client-side only —
+        the server never retries it — so an applied insert is never
+        re-sent into the overlay's already-present validation.
+        """
+        doc: Dict[str, Any] = {"op": "update", "kind": kind}
+        if u is not None or v is not None:
+            doc["edge"] = [u, v]
+        if timeout_ms is not None:
+            doc["timeout_ms"] = timeout_ms
+        # Malformed kinds/edges die here, before a socket is opened.
+        protocol.validate_request(doc)
+        return self._request_retrying_overload(doc)
+
     @staticmethod
     def decode_values(encoded: Any) -> List[np.ndarray]:
         if not isinstance(encoded, list):

@@ -16,6 +16,8 @@ Operations::
      "queries": [{"mode": "timeline", "vertex": 7}, ...]}
     {"op": "ingest", "additions": [[u, v], ...],
      "deletions": [[u, v], ...]}
+    {"op": "update", "kind": "insert", "edge": [u, v]}
+    {"op": "update", "kind": "compact"}   # force a live-tip fold
     {"op": "shutdown"}
 
 Query, temporal and ingest requests may carry an optional ``timeout_ms`` — the
@@ -35,7 +37,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,25 +48,32 @@ from repro.graph.edgeset import EdgeSet
 __all__ = [
     "MAX_LINE_BYTES",
     "OPS",
+    "UPDATE_WIRE_KINDS",
     "decode_line",
     "decode_values",
     "encode_line",
     "encode_values",
     "parse_edge_pairs",
     "parse_ingest_batch",
+    "parse_update",
     "validate_request",
 ]
 
 #: Hard cap on one protocol line; a longer line is a malformed request.
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
-OPS = ("ping", "status", "query", "temporal", "ingest", "shutdown")
+OPS = ("ping", "status", "query", "temporal", "ingest", "update",
+       "shutdown")
 
 _QUERY_FIELDS = {"op", "id", "algorithm", "source", "first", "last",
                  "timeout_ms"}
 _TEMPORAL_FIELDS = {"op", "id", "algorithm", "source", "queries",
                     "timeout_ms"}
 _INGEST_FIELDS = {"op", "id", "additions", "deletions", "timeout_ms"}
+_UPDATE_FIELDS = {"op", "id", "kind", "edge", "timeout_ms"}
+
+#: ``update`` verbs: single-edge mutations plus the explicit fold.
+UPDATE_WIRE_KINDS = ("insert", "delete", "compact")
 
 
 def encode_line(message: Dict[str, Any]) -> bytes:
@@ -149,6 +158,12 @@ def validate_request(doc: Dict[str, Any]) -> Dict[str, Any]:
         if unknown:
             raise ProtocolError(f"unknown ingest fields {sorted(unknown)}")
         _require_timeout(doc)
+    elif op == "update":
+        unknown = set(doc) - _UPDATE_FIELDS
+        if unknown:
+            raise ProtocolError(f"unknown update fields {sorted(unknown)}")
+        parse_update(doc)
+        _require_timeout(doc)
     return doc
 
 
@@ -193,6 +208,35 @@ def parse_ingest_batch(doc: Dict[str, Any]) -> DeltaBatch:
         return DeltaBatch(additions=additions, deletions=deletions)
     except DeltaError as exc:
         raise ProtocolError(str(exc)) from exc
+
+
+def parse_update(
+    doc: Dict[str, Any],
+) -> Tuple[str, Optional[int], Optional[int]]:
+    """``(kind, u, v)`` of an ``update`` request.
+
+    ``kind`` is one of :data:`UPDATE_WIRE_KINDS`; ``insert``/``delete``
+    carry exactly one ``edge`` pair, ``compact`` (the explicit fold)
+    carries none — so ``(u, v)`` is ``(None, None)`` for it.
+    """
+    kind = doc.get("kind")
+    if kind not in UPDATE_WIRE_KINDS:
+        raise ProtocolError(
+            f"unknown update kind {kind!r}; expected one of "
+            f"{UPDATE_WIRE_KINDS}"
+        )
+    edge = doc.get("edge")
+    if kind == "compact":
+        if edge is not None:
+            raise ProtocolError("a compact update carries no 'edge'")
+        return kind, None, None
+    if (not isinstance(edge, (list, tuple)) or len(edge) != 2
+            or not all(isinstance(x, int) and not isinstance(x, bool)
+                       and x >= 0 for x in edge)):
+        raise ProtocolError(
+            "field 'edge' must be one [u, v] pair of non-negative integers"
+        )
+    return kind, int(edge[0]), int(edge[1])
 
 
 def encode_values(values: Sequence[np.ndarray]) -> List[List[Any]]:

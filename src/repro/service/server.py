@@ -117,6 +117,13 @@ class ServiceConfig:
         default_factory=lambda: AdmissionPolicy(
             max_concurrent=1, max_queue=32, queue_timeout=10.0,
         ))
+    #: The ``update`` lane: one slot (the overlay lock serialises
+    #: repairs anyway) with a deep, short-fused waiting room — see
+    #: :class:`~repro.service.admission.AdmissionController`.
+    live_admission: AdmissionPolicy = field(
+        default_factory=lambda: AdmissionPolicy(
+            max_concurrent=1, max_queue=256, queue_timeout=2.0,
+        ))
     #: Consecutive exhausted-retry failures before a breaker opens.
     breaker_failure_threshold: int = 5
     #: Seconds an open breaker waits before admitting a probe.
@@ -139,12 +146,13 @@ class GraphService:
         self.port: Optional[int] = None
         self.counters: Dict[str, int] = {
             "connections": 0, "requests": 0, "queries": 0, "coalesced": 0,
-            "temporals": 0, "ingests": 0, "retried": 0, "degraded": 0,
-            "errors": 0, "shed": 0, "breaker_fastfail": 0,
+            "temporals": 0, "ingests": 0, "updates": 0, "retried": 0,
+            "degraded": 0, "errors": 0, "shed": 0, "breaker_fastfail": 0,
         }
         self.admission = AdmissionController(
             query=self.config.query_admission,
             ingest=self.config.ingest_admission,
+            live=self.config.live_admission,
         )
         self.query_breaker = self._make_breaker("planner")
         self.store_breaker = self._make_breaker("store")
@@ -269,7 +277,7 @@ class GraphService:
             obs.instruments.family(registry, name).labels(**labels).set(value)
 
         snapshot = self.admission.snapshot()
-        for kind in ("query", "ingest"):
+        for kind in ("query", "ingest", "live"):
             gate = snapshot[kind]
             gauge("repro_admission_depth", gate["waiting"], kind=kind)
             gauge("repro_admission_active", gate["active"], kind=kind)
@@ -383,6 +391,8 @@ class GraphService:
             return await self._handle_status()
         if op == "ingest":
             return await self._handle_ingest(doc)
+        if op == "update":
+            return await self._handle_update(doc)
         if op == "temporal":
             return await self._handle_temporal(doc)
         return await self._handle_query(doc)
@@ -477,6 +487,47 @@ class GraphService:
         self.counters["ingests"] += 1
         receipt.update({"ok": True, "op": "ingest",
                         "batch_size": batch.size})
+        return receipt
+
+    async def _handle_update(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """One single-edge update (or explicit fold) through the live lane.
+
+        Deliberately *not* retried: a retried insert whose first attempt
+        landed would bounce off the overlay's strict already-present
+        validation and turn one applied update into an error response.
+        Each update either applies exactly once (receipt carries its
+        overlay ``seq``) or fails with the state untouched.
+        """
+        kind, u, v = protocol.parse_update(doc)
+        loop = asyncio.get_running_loop()
+        obs.counter_inc("repro_requests_total", op="update")
+        deadline = self._request_deadline(doc)
+
+        def primary() -> Dict[str, Any]:
+            faults.service_check("update", self.state.num_versions)
+            return self.state.update(kind, u, v)
+
+        with obs.timer("repro_livetip_update_seconds"):
+            async with self.admission.slot("live", deadline,
+                                           what=f"update:{kind}"):
+                deadline.check("update")
+                # run_in_executor does not propagate contextvars: carry
+                # the active span so the overlay's repair/compact spans
+                # nest under this update's trace.
+                ctx = contextvars.copy_context()
+                try:
+                    receipt = await asyncio.wait_for(
+                        loop.run_in_executor(
+                            None, lambda: ctx.run(primary)
+                        ),
+                        timeout=deadline.remaining(),
+                    )
+                except asyncio.TimeoutError:
+                    raise DeadlineExceededError(
+                        "update exceeded its deadline"
+                    ) from None
+        self.counters["updates"] += 1
+        receipt.update({"ok": True, "op": "update"})
         return receipt
 
     async def _handle_query(self, doc: Dict[str, Any]) -> Dict[str, Any]:
@@ -574,6 +625,11 @@ class GraphService:
             "outcome": outcome,
             "values": protocol.encode_values(answer.values),
         }
+        if answer.livetip_seq is not None:
+            # The tip column was patched by the live-tip overlay: expose
+            # which update stream position the answer reflects, so a
+            # client (or a chaos test) can pin expectations to it.
+            response["livetip_seq"] = answer.livetip_seq
         if root_span.trace_id is not None:
             response["trace_id"] = root_span.trace_id
         return response

@@ -56,6 +56,8 @@ from repro.evolving.delta import DeltaBatch
 from repro.evolving.store import SnapshotStore
 from repro.graph.weights import UnitWeights, WeightFn
 from repro.kickstarter.engine import VertexState
+from repro.livetip import CompactionPolicy, Compactor, LiveTipOverlay
+from repro.livetip.overlay import TipCapture
 from repro.service.cache import LRUCache
 from repro.service.planner import MemoizingPlanner
 from repro.service.status import store_summary
@@ -80,6 +82,9 @@ class QueryAnswer:
     node_hits: int = 0
     node_misses: int = 0
     additions_processed: int = 0
+    #: Set when the tip snapshot's values were patched from the
+    #: live-tip overlay: the overlay sequence number the patch reflects.
+    livetip_seq: Optional[int] = None
 
     def key(self) -> Tuple[str, int, int, int, int]:
         return (self.algorithm, self.source, self.first, self.last,
@@ -97,6 +102,10 @@ class ServiceState:
         result_cache_entries: int = 256,
         node_cache_entries: int = 1024,
         time_fn: Callable[[], float] = time.time,
+        livetip: bool = True,
+        livetip_max_updates: int = 64,
+        livetip_max_age: Optional[float] = None,
+        livetip_max_tracked: int = 8,
     ) -> None:
         if window is not None and window < 1:
             raise ServiceError("window must be >= 1 snapshot")
@@ -138,6 +147,19 @@ class ServiceState:
             version: now
             for version in range(base, base + decomposition.num_snapshots)
         }
+        #: Live-tip overlay (PR 9): sub-batch single-edge updates against
+        #: the tip, compacted into real batches on a threshold.  Created
+        #: lazily on the first update so batch-only deployments pay
+        #: nothing; ``None`` also after construction with
+        #: ``livetip=False``, where updates are refused.
+        self.livetip_enabled = livetip
+        self._livetip_policy = CompactionPolicy(
+            max_updates=livetip_max_updates,
+            max_age_seconds=livetip_max_age,
+        )
+        self._livetip_max_tracked = livetip_max_tracked
+        self._livetip: Optional[LiveTipOverlay] = None  # guarded-by: _lock
+        self._compactor: Optional[Compactor] = None  # guarded-by: _lock
         # Appends made through the store handle (by us or any other
         # same-process caller) keep the decomposition in sync.
         self._unsubscribe = store.subscribe(self._on_append)
@@ -180,9 +202,19 @@ class ServiceState:
     def ingest(self, batch: DeltaBatch) -> Dict[str, Any]:
         """Append one batch; the store notification updates the state.
 
-        Returns a small receipt (new version, epoch, window bounds) for
-        the service response.
+        Pending live-tip updates are folded *first* (their own version,
+        then the client batch lands on top), so the batch is validated
+        against the true tip and receipts stay strictly consecutive —
+        a batch never silently swallows or reorders acknowledged
+        single-edge updates.  Returns a small receipt (new version,
+        epoch, window bounds) for the service response.
         """
+        with self._lock:
+            compactor = self._compactor
+        # compact() outside the state lock: the fold appends through the
+        # store, whose notification re-enters _apply_append -> _lock.
+        if compactor is not None:
+            compactor.compact()
         self.store.append(batch)  # -> _on_append under the hood
         with self._lock:
             latest = self.base_version + self.decomposition.num_snapshots - 1
@@ -239,6 +271,16 @@ class ServiceState:
             self._poisoned = None
             self.decomposition = decomp
             self.base_version = base
+            if self._livetip is not None:
+                # Re-anchor the overlay on the new tip.  After our own
+                # compaction this empties the log; after a foreign
+                # append it replays pending updates (dropping ones the
+                # new tip already satisfies) so acknowledged updates
+                # are never lost.
+                tip = decomp.snapshot_edges(decomp.num_snapshots - 1)
+                self._livetip.rebase_onto(
+                    tip, base + decomp.num_snapshots - 1
+                )
             now = self._time_fn()
             for version in range(base, base + decomp.num_snapshots):
                 self.version_times.setdefault(version, now)
@@ -251,6 +293,90 @@ class ServiceState:
         self.result_cache.purge(lambda key: key[-1] != epoch)
         self.node_cache.purge(lambda key: key[2] != epoch)
 
+    # -- live-tip updates ----------------------------------------------------
+    def _ensure_livetip_locked(
+        self,
+    ) -> Tuple[LiveTipOverlay, Compactor]:  # holds-lock: _lock
+        """Create the overlay/compactor pair on first use."""
+        if not self.livetip_enabled:
+            raise ServiceError(
+                "live-tip updates are disabled on this service "
+                "(constructed with livetip=False)"
+            )
+        if self._livetip is None or self._compactor is None:
+            decomp = self.decomposition
+            tip = decomp.snapshot_edges(decomp.num_snapshots - 1)
+            self._livetip = LiveTipOverlay(
+                tip, decomp.num_vertices,
+                self.base_version + decomp.num_snapshots - 1,
+                weight_fn=self.weight_fn,
+                max_tracked=self._livetip_max_tracked,
+                time_fn=self._time_fn,
+            )
+            self._compactor = Compactor(
+                self._livetip, self.store.append,
+                policy=self._livetip_policy, time_fn=self._time_fn,
+            )
+        return self._livetip, self._compactor
+
+    def update(
+        self, kind: str, u: Optional[int] = None, v: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Absorb one single-edge update (or force a fold); returns a receipt.
+
+        ``insert``/``delete`` go through the overlay's exact repair and
+        return sub-millisecond; ``compact`` folds the pending log into
+        a real batch now.  A threshold-due fold runs inline after the
+        triggering update — deterministically at the same point of the
+        update stream on every replica, which is what keeps fleet
+        fan-out receipts comparable.
+        """
+        if kind == "compact":
+            if u is not None or v is not None:
+                raise ProtocolError("a compact update carries no edge")
+            return self.compact_tip()
+        if u is None or v is None:
+            raise ProtocolError(f"a {kind!r} update requires an edge")
+        with self._lock:
+            self._check_serviceable()
+            overlay, compactor = self._ensure_livetip_locked()
+        # The overlay lock serialises the mutation; the state lock is
+        # deliberately *not* held here so queries capture freely while
+        # the repair pushes.
+        receipt = overlay.apply_update(kind, int(u), int(v))
+        fold = compactor.maybe_compact()
+        result = {
+            "kind": kind,
+            "edge": [int(u), int(v)],
+            "seq": receipt["seq"],
+            "compacted": bool(fold is not None and fold["compacted"]),
+            "updates_folded": 0 if fold is None else fold["updates_folded"],
+        }
+        with self._lock:
+            result.update({
+                "tip_version": overlay.tip_version,
+                "overlay_depth": overlay.depth,
+                "epoch": self.epoch,
+            })
+        return result
+
+    def compact_tip(self) -> Dict[str, Any]:
+        """Fold pending live-tip updates into the TG now (receipt)."""
+        with self._lock:
+            self._check_serviceable()
+            overlay, compactor = self._ensure_livetip_locked()
+        fold = compactor.compact()
+        with self._lock:
+            return {
+                "kind": "compact",
+                "seq": overlay.seq,
+                "compacted": fold["compacted"],
+                "updates_folded": fold["updates_folded"],
+                "tip_version": overlay.tip_version,
+                "overlay_depth": overlay.depth,
+                "epoch": self.epoch,
+            }
+
     # -- queries ------------------------------------------------------------
     def query(
         self,
@@ -259,18 +385,31 @@ class ServiceState:
         first: Optional[int] = None,
         last: Optional[int] = None,
     ) -> QueryAnswer:
-        """Answer a range query, memoizing whole results and node states."""
+        """Answer a range query, memoizing whole results and node states.
+
+        When the live-tip overlay holds pending updates and the range
+        ends at the tip, the tip snapshot's values are *patched* from
+        the overlay's repaired state — captured under the same lock
+        hold as the decomposition, so the answer is exactly "TG at
+        history, overlay at tip" for one consistent instant.  Patched
+        values never enter the result cache (the cache stays pure-TG
+        and epoch-keyed; the overlay moves without epoch bumps).
+        """
+        alg = get_algorithm(algorithm)  # raises AlgorithmError if unknown
         with self._lock:
             self._check_serviceable()
             decomposition = self.decomposition
             epoch = self.epoch
             base = self.base_version
-        latest = base + decomposition.num_snapshots - 1
+            latest = base + decomposition.num_snapshots - 1
+            patch: Optional[TipCapture] = None
+            if self._livetip is not None and (last is None or last == latest):
+                patch = self._livetip.capture(alg, source,
+                                              tip_version=latest)
         if first is None:
             first = base
         if last is None:
             last = latest
-        alg = get_algorithm(algorithm)  # raises AlgorithmError if unknown
         if not 0 <= source < decomposition.num_vertices:
             raise ServiceError(
                 f"source {source} out of range "
@@ -284,9 +423,15 @@ class ServiceState:
                 f"version range [{first}, {last}] outside the window "
                 f"[{base}, {latest}]"
             )
-        return self._answer_range(
+        answer = self._answer_range(
             decomposition, epoch, base, alg, source, first, last
         )
+        if patch is not None and last == latest:
+            values = list(answer.values)
+            values[-1] = patch.resolve()
+            answer.values = values
+            answer.livetip_seq = patch.seq
+        return answer
 
     def _answer_range(
         self,
@@ -341,21 +486,31 @@ class ServiceState:
         """
         from repro.core.engine import WorkSharingEvaluator
 
+        alg = get_algorithm(algorithm)
         with self._lock:
             self._check_serviceable()
             decomposition = self.decomposition
             epoch = self.epoch
             base = self.base_version
+            latest = base + decomposition.num_snapshots - 1
+            patch: Optional[TipCapture] = None
+            if self._livetip is not None and last == latest:
+                patch = self._livetip.capture(alg, source,
+                                              tip_version=latest)
         window = decomposition.restrict(first - base, last - base)
         result = WorkSharingEvaluator(
-            window, get_algorithm(algorithm), source,
+            window, alg, source,
             weight_fn=self.weight_fn,
         ).run()
-        return QueryAnswer(
-            algorithm=get_algorithm(algorithm).name, source=source,
+        answer = QueryAnswer(
+            algorithm=alg.name, source=source,
             first=first, last=last, epoch=epoch,
             values=list(result.snapshot_values),
         )
+        if patch is not None:
+            answer.values[-1] = patch.resolve()
+            answer.livetip_seq = patch.seq
+        return answer
 
     # -- temporal queries ----------------------------------------------------
     def _capture(self) -> Tuple[CommonGraphDecomposition, int, int,
@@ -365,6 +520,30 @@ class ServiceState:
             self._check_serviceable()
             return (self.decomposition, self.epoch, self.base_version,
                     dict(self.version_times))
+
+    def _capture_with_patch(
+        self, alg: MonotonicAlgorithm, source: int,
+    ) -> Tuple[CommonGraphDecomposition, int, int, Dict[int, float],
+               Optional[TipCapture]]:
+        """:meth:`_capture` plus the live-tip patch, one lock hold.
+
+        The patch (``None`` when the overlay is clean or absent) is
+        what makes a temporal batch see "overlay at tip, TG at
+        history" consistently: every range the engine descends that
+        ends at the captured tip gets its last snapshot's values
+        replaced by the overlay's repaired state.
+        """
+        with self._lock:
+            self._check_serviceable()
+            decomposition = self.decomposition
+            base = self.base_version
+            latest = base + decomposition.num_snapshots - 1
+            patch: Optional[TipCapture] = None
+            if self._livetip is not None:
+                patch = self._livetip.capture(alg, source,
+                                              tip_version=latest)
+            return (decomposition, self.epoch, base,
+                    dict(self.version_times), patch)
 
     @staticmethod
     def _structural_diff(
@@ -395,14 +574,20 @@ class ServiceState:
         ``(decomposition, epoch, base)``, so a batch costs one TG
         descent per merged range at most, fewer when caches hit.
         """
-        decomposition, epoch, base, version_times = self._capture()
-        latest = base + decomposition.num_snapshots - 1
         alg = get_algorithm(algorithm)
+        decomposition, epoch, base, version_times, patch = (
+            self._capture_with_patch(alg, source)
+        )
+        latest = base + decomposition.num_snapshots - 1
 
         def evaluate_range(first: int, last: int) -> List[np.ndarray]:
-            return self._answer_range(
+            values = self._answer_range(
                 decomposition, epoch, base, alg, source, first, last
             ).values
+            if patch is not None and last == latest:
+                values = list(values)
+                values[-1] = patch.resolve()
+            return values
 
         engine = TemporalEngine(
             algorithm=alg,
@@ -429,16 +614,21 @@ class ServiceState:
         """
         from repro.core.engine import WorkSharingEvaluator
 
-        decomposition, epoch, base, version_times = self._capture()
-        latest = base + decomposition.num_snapshots - 1
         alg = get_algorithm(algorithm)
+        decomposition, epoch, base, version_times, patch = (
+            self._capture_with_patch(alg, source)
+        )
+        latest = base + decomposition.num_snapshots - 1
 
         def evaluate_range(first: int, last: int) -> List[np.ndarray]:
             window = decomposition.restrict(first - base, last - base)
             result = WorkSharingEvaluator(
                 window, alg, source, weight_fn=self.weight_fn,
             ).run()
-            return list(result.snapshot_values)
+            values = list(result.snapshot_values)
+            if patch is not None and last == latest:
+                values[-1] = patch.resolve()
+            return values
 
         engine = TemporalEngine(
             algorithm=alg,
@@ -464,6 +654,30 @@ class ServiceState:
             ingests = self.ingests
             resyncs = self.resyncs
             poisoned = self._poisoned is not None
+            overlay = self._livetip
+            compactor = self._compactor
+        livetip: Dict[str, Any] = {
+            "enabled": self.livetip_enabled,
+            "overlay_depth": 0,
+            "pending_updates": 0,
+            "updates_total": 0,
+            "tracked_states": 0,
+            "compactions": 0,
+            "updates_folded": 0,
+            "last_compaction_version": None,
+        }
+        if overlay is not None:
+            snap = overlay.snapshot()
+            livetip.update({
+                "tip_version": snap["tip_version"],
+                "overlay_depth": snap["overlay_depth"],
+                "pending_updates": snap["overlay_depth"],
+                "updates_total": snap["updates_total"],
+                "update_counts": snap["update_counts"],
+                "tracked_states": snap["tracked_states"],
+            })
+        if compactor is not None:
+            livetip.update(compactor.snapshot())
         payload = store_summary(self.store, decomposition=decomposition)
         payload.update({
             "serving": not poisoned,
@@ -485,6 +699,7 @@ class ServiceState:
                 "max_entries": self.node_cache.max_entries,
                 **self.node_cache.stats.as_dict(),
             },
+            "livetip": livetip,
             "observability": obs.describe(),
         })
         return payload
@@ -507,6 +722,7 @@ class ServiceState:
             ingests = self.ingests
             resyncs = self.resyncs
             poisoned = self._poisoned is not None
+            overlay = self._livetip
 
         def gauge(name: str, value: float, **labels: str) -> None:
             obs.instruments.family(registry, name).labels(**labels).set(value)
@@ -515,6 +731,9 @@ class ServiceState:
         gauge("repro_ingests", ingests)
         gauge("repro_resyncs", resyncs)
         gauge("repro_poisoned", 1 if poisoned else 0)
+        if overlay is not None:
+            gauge("repro_livetip_depth", overlay.depth)
+            gauge("repro_livetip_tracked_states", overlay.tracked_states)
         for label, cache in (("result", self.result_cache),
                              ("node", self.node_cache)):
             stats = cache.stats

@@ -22,7 +22,7 @@ ALL_ALGORITHMS = ("BFS", "SSSP", "SSWP", "SSNP", "Viterbi")
 # REPRO_ARTIFACT_DIR is set (CI exports it), a failing chaos/fleet test
 # leaves behind its Prometheus metrics dump and the tracer's recent-span
 # ring buffer so the post-mortem starts from data, not guesses.
-_ARTIFACT_MARKERS = ("chaos", "fleet")
+_ARTIFACT_MARKERS = ("chaos", "fleet", "livetip")
 
 
 @pytest.hookimpl(hookwrapper=True)

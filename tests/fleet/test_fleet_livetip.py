@@ -1,0 +1,240 @@
+"""Fleet live-tip semantics: update fan-out, receipt agreement, and
+pending updates surviving (via the flush) a rolling restart.
+
+Updates are replicated, not durable: an acknowledged update lives in
+every rotation replica's overlay until a fold makes it a real batch.
+The router therefore flushes pending updates to the durable tip
+before restoring a restarted replica — the assertions here are the
+receipt laws that flush preserves: strictly consecutive versions,
+``(tip_version, overlay_depth)`` agreement across replicas, and no
+acknowledged update ever lost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Set, Tuple
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.errors import ProtocolError, ServiceError
+from repro.evolving.store import SnapshotStore
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet, decode_edges
+from repro.kickstarter.engine import static_compute
+
+from tests.conftest import assert_values_equal
+
+pytestmark = [pytest.mark.service, pytest.mark.fleet, pytest.mark.livetip]
+
+
+def durable_tip_pairs(fleet, donor: str = "replica-0") -> Set[Tuple[int, int]]:
+    store = SnapshotStore(fleet.replicas[donor].store_dir)
+    edges = store.load().snapshot_edges(-1)
+    sources, targets = decode_edges(edges.codes)
+    return set(zip(sources.tolist(), targets.tolist()))
+
+
+def fresh_edges(fleet, k: int,
+                used: Set[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """``k`` edges absent from the durable tip *and* from ``used``
+    (edges already living only in the replicas' overlays)."""
+    present = durable_tip_pairs(fleet) | used
+    picked: List[Tuple[int, int]] = []
+    for u in range(64):
+        for v in range(64):
+            if u != v and (u, v) not in present:
+                picked.append((u, v))
+                if len(picked) == k:
+                    return picked
+    raise AssertionError("graph too dense for fresh edges")
+
+
+def reference_tip(fleet, live_pairs, algorithm, source, weight_fn):
+    graph = CSRGraph.from_edge_set(
+        EdgeSet.from_pairs(sorted(live_pairs)), 64, weight_fn=weight_fn,
+    )
+    return static_compute(
+        graph, get_algorithm(algorithm), source, track_parents=True,
+    ).values
+
+
+class TestUpdateFanout:
+    def test_update_reaches_every_replica(self, fleet):
+        (u, v) = fresh_edges(fleet, 1, set())[0]
+        with fleet.client() as client:
+            receipt = client.update("insert", u, v)
+            status = client.status()
+        assert receipt["replicas"] == 3
+        assert receipt["overlay_depth"] == 1
+        assert receipt["tip_version"] == 4
+        assert status["fleet"]["fleet_overlay_depth"] == 1
+        assert sorted(status["fleet"]["rotation"]) == [
+            "replica-0", "replica-1", "replica-2",
+        ]
+
+    def test_queries_see_the_update_on_any_owner(self, fleet, fleet_weights):
+        (u, v) = fresh_edges(fleet, 1, set())[0]
+        live = durable_tip_pairs(fleet) | {(u, v)}
+        with fleet.client() as client:
+            client.update("insert", u, v)
+            # Different sources hash to different replicas; each owner
+            # must answer from its own patched overlay, identically.
+            for source in (0, 1, 2, 3):
+                response = client.query("SSSP", source)
+                assert response["livetip_seq"] == 1
+                assert_values_equal(
+                    response["values"][-1],
+                    reference_tip(fleet, live, "SSSP", source,
+                                  fleet_weights),
+                    f"fleet tip source {source}",
+                )
+
+    def test_deterministic_refusal_passes_through(self, fleet):
+        (u, v) = sorted(durable_tip_pairs(fleet))[0]
+        with fleet.client() as client:
+            response = client.request({"op": "update", "kind": "insert",
+                                       "edge": [int(u), int(v)]})
+            status = client.status()
+        assert response["ok"] is False
+        assert response["error_type"] == "ProtocolError"
+        # Unanimous refusal: nobody applied, nobody is quarantined.
+        assert sorted(status["fleet"]["rotation"]) == [
+            "replica-0", "replica-1", "replica-2",
+        ]
+
+    def test_explicit_compact_folds_the_whole_fleet(self, fleet):
+        edges = fresh_edges(fleet, 2, set())
+        with fleet.client() as client:
+            for u, v in edges:
+                client.update("insert", u, v)
+            receipt = client.update("compact")
+            status = client.status()
+        assert receipt["replicas"] == 3
+        assert receipt["compacted"] is True
+        assert receipt["updates_folded"] == 2
+        assert receipt["tip_version"] == 5
+        assert receipt["overlay_depth"] == 0
+        assert status["fleet"]["fleet_version"] == 5
+        assert status["fleet"]["fleet_overlay_depth"] == 0
+        # The fold is durable and identical on every replica's disk.
+        tips = {
+            name: SnapshotStore(replica.store_dir).load().snapshot_edges(-1)
+            for name, replica in fleet.replicas.items()
+        }
+        assert tips["replica-0"] == tips["replica-1"] == tips["replica-2"]
+        for u, v in edges:
+            assert (u, v) in tips["replica-0"]
+
+
+class TestRollingRestart:
+    def test_restart_flushes_pending_updates(self, fleet):
+        edges = fresh_edges(fleet, 2, set())
+        with fleet.client() as client:
+            for u, v in edges:
+                client.update("insert", u, v)
+            assert client.status()["fleet"]["fleet_overlay_depth"] == 2
+        report = fleet.restart_replica("replica-0")
+        assert report["tip"] == 5  # the flush folded version 5
+        with fleet.client() as client:
+            status = client.status()
+        assert status["fleet"]["fleet_version"] == 5
+        assert status["fleet"]["fleet_overlay_depth"] == 0
+        assert sorted(status["fleet"]["rotation"]) == [
+            "replica-0", "replica-1", "replica-2",
+        ]
+        # Acknowledged updates survived the restart, now durably.
+        for u, v in edges:
+            assert (u, v) in durable_tip_pairs(fleet, "replica-0")
+
+    def test_receipts_stay_consecutive_across_a_rolling_restart(self, fleet):
+        used: Set[Tuple[int, int]] = set()
+        versions = []
+        with fleet.client() as client:
+            for u, v in fresh_edges(fleet, 2, used):
+                used.add((u, v))
+                versions.append(client.update("insert", u, v)["tip_version"])
+        for report in fleet.rolling_restart():
+            versions.append(report["tip"])
+        with fleet.client() as client:
+            for u, v in fresh_edges(fleet, 2, used):
+                used.add((u, v))
+                receipt = client.update("insert", u, v)
+                versions.append(receipt["tip_version"])
+            assert receipt["replicas"] == 3
+            fold = client.update("compact")
+        # Updates at tip 4, one flush-fold to 5, restarts hold at 5,
+        # post-restart updates still 5, final fold lands 6: the version
+        # stream never skips and never rewinds.
+        assert versions == [4, 4, 5, 5, 5, 5, 5]
+        assert fold["tip_version"] == 6
+        tips = {
+            name: SnapshotStore(replica.store_dir).load().snapshot_edges(-1)
+            for name, replica in fleet.replicas.items()
+        }
+        assert tips["replica-0"] == tips["replica-1"] == tips["replica-2"]
+        for u, v in used:
+            assert (u, v) in tips["replica-0"]
+
+
+@pytest.mark.chaos
+def test_updates_racing_a_rolling_restart(fleet):
+    """The storm: a writer streams updates while every replica is
+    gracefully restarted in turn.  Conservation: every *acknowledged*
+    update is durably present on all three replicas afterwards, and
+    nobody ends the storm quarantined."""
+    script = fresh_edges(fleet, 16, set())
+    acknowledged: List[Tuple[int, int]] = []
+    errors: List[BaseException] = []
+    started = threading.Event()
+
+    def writer():
+        try:
+            with fleet.client(overload_retries=4) as client:
+                for edge in script:
+                    started.set()
+                    for attempt in range(8):
+                        try:
+                            client.update("insert", *edge)
+                            acknowledged.append(edge)
+                            break
+                        except ProtocolError:
+                            # An applied-but-unacked insert (the ack lost
+                            # to a dropped connection) resurfaces as an
+                            # "already present" refusal on retry: the
+                            # fleet has it — count it acknowledged.
+                            acknowledged.append(edge)
+                            break
+                        except ServiceError:
+                            time.sleep(0.05)  # rotation churn mid-restart
+                    else:
+                        return  # router unreachable: stop the stream
+                    time.sleep(0.01)
+        except BaseException as exc:
+            errors.append(exc)
+
+    thread = threading.Thread(target=writer, name="fleet-updater")
+    thread.start()
+    started.wait(timeout=10)
+    reports = fleet.rolling_restart()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+    assert not errors, errors
+    assert len(reports) == 3
+    with fleet.client() as client:
+        client.update("compact")
+        status = client.status()
+    assert sorted(status["fleet"]["rotation"]) == [
+        "replica-0", "replica-1", "replica-2",
+    ]
+    assert status["fleet"]["fleet_overlay_depth"] == 0
+    tips = {
+        name: SnapshotStore(replica.store_dir).load().snapshot_edges(-1)
+        for name, replica in fleet.replicas.items()
+    }
+    assert tips["replica-0"] == tips["replica-1"] == tips["replica-2"]
+    assert len(acknowledged) > 0
+    for edge in acknowledged:
+        assert edge in tips["replica-0"], f"acknowledged {edge} lost"

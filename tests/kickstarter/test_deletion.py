@@ -11,7 +11,11 @@ from repro.graph.edgeset import EdgeSet
 from repro.graph.mutable import MutableGraph
 from repro.graph.weights import HashWeights
 from repro.kickstarter.deletion import trim_and_repair
-from repro.kickstarter.engine import EngineCounters, static_compute
+from repro.kickstarter.engine import (
+    EngineCounters,
+    incremental_additions,
+    static_compute,
+)
 from tests.conftest import ALL_ALGORITHMS, assert_values_equal
 from tests.helpers import reference_compute_edgeset
 from tests.strategies import edge_pairs
@@ -163,6 +167,74 @@ class TestSimpleCases:
         deletions = EdgeSet.from_pairs([(0, 1)])
         graph.delete_batch(deletions)
         assert trim_and_repair(graph, alg, state, deletions) == 2
+
+
+class TestSingleEdgeCases:
+    """The live-tip overlay's staple deletions, bit-identical to scratch.
+
+    Per-update ingest deletes exactly one edge at a time, so the three
+    shapes a single deletion can take — severing a vertex's last
+    in-edge, cutting the source's own approximation tree, and pure
+    delete-then-reinsert churn — each get a from-scratch oracle check
+    across every algorithm and tagging policy.
+    """
+
+    @pytest.mark.parametrize("tagging", ["parent", "hybrid", "support"])
+    def test_last_in_edge_of_reachable_vertex(self, algorithm, tagging):
+        # (1, 2) is 2's only in-edge; deleting it must push
+        # unreachability through 2 down to 3, while 4 keeps 5 alive.
+        base = EdgeSet.from_pairs(
+            [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (3, 5)]
+        )
+        deletions = EdgeSet.from_pairs([(1, 2)])
+        values = run_deletion(base, deletions, 6, algorithm, 0,
+                              tagging=tagging)
+        want = reference_compute_edgeset(base - deletions, 6, algorithm,
+                                         0, WF)
+        assert_values_equal(values, want,
+                            f"{algorithm.name}/{tagging} last in-edge")
+        assert values[2] == algorithm.worst
+        assert values[3] == algorithm.worst
+
+    @pytest.mark.parametrize("tagging", ["parent", "hybrid", "support"])
+    def test_edge_on_the_source_approximation_tree(self, algorithm,
+                                                   tagging):
+        # (0, 1) roots the source's own approximation subtree; the
+        # repair must reroute 1 (and everything below it) through the
+        # longer 0 -> 2 -> 1 detour, never trimming the source itself.
+        base = EdgeSet.from_pairs([(0, 1), (0, 2), (2, 1), (1, 3)])
+        deletions = EdgeSet.from_pairs([(0, 1)])
+        counters = EngineCounters()
+        values = run_deletion(base, deletions, 4, algorithm, 0,
+                              counters=counters, tagging=tagging)
+        want = reference_compute_edgeset(base - deletions, 4, algorithm,
+                                         0, WF)
+        assert_values_equal(values, want,
+                            f"{algorithm.name}/{tagging} source tree")
+        assert values[0] == algorithm.source_value
+
+    def test_delete_then_reinsert_is_identity(self, algorithm):
+        # Weights are a deterministic function of the edge, so a trim
+        # followed by a re-push of the same edge must restore the
+        # original converged state bit for bit — the invariant behind
+        # the overlay's net-batch churn cancellation.
+        base = EdgeSet.from_pairs(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)]
+        )
+        graph = MutableGraph.from_edge_set(base, 6, weight_fn=WF)
+        original = static_compute(graph, algorithm, 0, track_parents=True)
+        before = original.values.copy()
+        edge = EdgeSet.from_pairs([(3, 4)])
+        src, dst = edge.arrays()
+        weights = WF(src, dst)
+        graph.delete_batch(edge)
+        trim_and_repair(graph, algorithm, original, edge,
+                        tagging="hybrid", deleted_weights=weights)
+        assert original.values[4] == algorithm.worst  # really severed
+        graph.add_batch(edge)
+        incremental_additions(graph, algorithm, original, src, dst, weights)
+        assert_values_equal(original.values, before,
+                            f"{algorithm.name} delete/reinsert identity")
 
 
 @settings(max_examples=20, deadline=None)

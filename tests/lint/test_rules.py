@@ -194,6 +194,16 @@ def test_async_blocking_covers_fleet_package(lint_project):
     assert findings[0].context == "bad_handler"
 
 
+def test_async_blocking_covers_livetip_package(lint_project):
+    # The live-tip overlay sits on the service's hot path (the update
+    # lane's executor hand-off): the same offender under
+    # repro/livetip/ is in scope.
+    result = lint_project({"repro/livetip/overlay2.py": ASYNC_HANDLERS})
+    findings = rule_findings(result, "async-blocking")
+    assert len(findings) == 1
+    assert findings[0].context == "bad_handler"
+
+
 def test_async_blocking_covers_resilience_module(lint_project):
     # The retry/breaker helpers run on the event loop too: the same
     # time.sleep that is flagged under repro/service/ is flagged in
@@ -434,6 +444,17 @@ def test_determinism_covers_temporal_package(lint_project):
     # works off ingest stamps passed *in* (version_times), never off a
     # wall clock read inside repro/temporal/.
     result = lint_project({"repro/temporal/engine2.py": IMPURE})
+    findings = rule_findings(result, "determinism")
+    contexts = sorted(f.context for f in findings)
+    assert contexts == ["draw", "stall", "unseeded", "wall"]
+
+
+def test_determinism_covers_livetip_package(lint_project):
+    # Per-update receipts must replay bit-identically (and fleet
+    # replicas must agree on them): repro/livetip/ may not read the
+    # wall clock or an unseeded RNG — age-based compaction works off
+    # an *injected* time_fn only.
+    result = lint_project({"repro/livetip/overlay2.py": IMPURE})
     findings = rule_findings(result, "determinism")
     contexts = sorted(f.context for f in findings)
     assert contexts == ["draw", "stall", "unseeded", "wall"]

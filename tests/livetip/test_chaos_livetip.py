@@ -1,0 +1,131 @@
+"""Chaos: threshold compactions racing live queries.
+
+The race under test: a single writer streams single-edge updates
+through the state while threshold folds fire inline (every 4th
+update appends a real TG column, bumps the epoch and rebases the
+overlay) and a pack of reader threads hammers tip queries the whole
+time.
+
+The conservation law that makes this deterministic: **folds never
+change the live edge set** — they only move the TG tip underneath the
+overlay.  So the sequence of live edge sets is fully determined by
+the update script alone, independent of fold/query timing, and every
+answer's tip vector must be bit-identical to the from-scratch values
+of *some* prefix of the script.  An answer matching no prefix means a
+query observed a torn tip (TG column and overlay patch from different
+instants) — exactly the bug the single-lock-hold capture prevents.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.kickstarter.engine import static_compute
+from repro.service import ServiceState
+
+from tests.livetip.conftest import edge_pairs_of, live_edge_set
+
+pytestmark = [pytest.mark.livetip, pytest.mark.chaos]
+
+N_UPDATES = 24
+N_READERS = 4
+FOLD_EVERY = 4
+ALGORITHM = "SSSP"
+SOURCE = 0
+
+
+def build_script(state):
+    """A valid update script plus per-prefix oracle values, precomputed.
+
+    Simulated against a model edge set, so the script is valid by
+    construction and the oracle needs no mid-race computation (which
+    would race the very state it checks).
+    """
+    live = edge_pairs_of(live_edge_set(state))
+    n = state.decomposition.num_vertices
+    alg = get_algorithm(ALGORITHM)
+
+    def tip_values(pairs):
+        graph = CSRGraph.from_edge_set(
+            EdgeSet.from_pairs(sorted(pairs)), n, weight_fn=state.weight_fn,
+        )
+        return static_compute(graph, alg, SOURCE, track_parents=True).values
+
+    script = []
+    expected = {tip_values(live).tobytes()}
+    rng = np.random.default_rng(1337)
+    for step in range(N_UPDATES):
+        if step % 3 == 2 and live:
+            present = sorted(live)
+            u, v = present[int(rng.integers(len(present)))]
+            script.append(("delete", u, v))
+            live = live - {(u, v)}
+        else:
+            absent = sorted(
+                (u, v)
+                for u in range(n) for v in range(n)
+                if u != v and (u, v) not in live
+            )
+            u, v = absent[int(rng.integers(len(absent)))]
+            script.append(("insert", u, v))
+            live = live | {(u, v)}
+        expected.add(tip_values(live).tobytes())
+    return script, expected, live
+
+
+def test_compaction_racing_live_queries(livetip_store, livetip_weights):
+    state = ServiceState(livetip_store, weight_fn=livetip_weights,
+                         livetip_max_updates=FOLD_EVERY)
+    try:
+        script, expected, final_live = build_script(state)
+        stop = threading.Event()
+        errors = []
+        torn = []
+        answered = [0] * N_READERS
+
+        def reader(index):
+            try:
+                while not stop.is_set():
+                    answer = state.query(ALGORITHM, SOURCE)
+                    answered[index] += 1
+                    tip = answer.values[-1].tobytes()
+                    if tip not in expected:
+                        torn.append(answer.livetip_seq)
+            except BaseException as exc:  # any error fails the storm
+                errors.append(exc)
+
+        readers = [
+            threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
+            for i in range(N_READERS)
+        ]
+        for thread in readers:
+            thread.start()
+        receipts = [state.update(kind, u, v) for kind, u, v in script]
+        final = state.compact_tip()
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+        assert not errors, errors
+        assert torn == [], f"torn tips at livetip_seq={torn}"
+        assert all(count > 0 for count in answered)
+        # The folds really happened, inline and on schedule.
+        folds = [r for r in receipts if r["compacted"]]
+        assert len(folds) == N_UPDATES // FOLD_EVERY
+        versions = [r["tip_version"] for r in receipts]
+        assert versions == sorted(versions)
+        # Everything folded: the durable tip IS the final live set.
+        assert final["overlay_depth"] == 0
+        store_tip = state.store.load().snapshot_edges(-1)
+        assert store_tip == EdgeSet.from_pairs(sorted(final_live))
+        # And the post-storm answer is the last prefix's oracle, clean.
+        answer = state.query(ALGORITHM, SOURCE)
+        assert answer.livetip_seq is None
+        assert answer.values[-1].tobytes() in expected
+    finally:
+        state.close()

@@ -1,0 +1,327 @@
+"""LiveTipOverlay unit tests: validation, repair exactness, compaction
+protocol, and hypothesis-driven interleavings against a from-scratch
+oracle.
+
+The load-bearing invariant: values a capture resolves to are
+**bit-identical** to ``static_compute`` on the materialized live edge
+set, whether they came from an incremental repair of a tracked state
+or a lazy from-scratch resolve — for every algorithm, after any valid
+interleaving of inserts, deletes and queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import get_algorithm
+from repro.errors import ProtocolError, ServiceError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgeset import EdgeSet
+from repro.graph.weights import HashWeights
+from repro.kickstarter.engine import static_compute
+from repro.livetip import LiveTipOverlay
+
+from tests.conftest import ALL_ALGORITHMS, assert_values_equal
+from tests.strategies import edge_pairs
+
+pytestmark = pytest.mark.livetip
+
+WF = HashWeights(max_weight=8, seed=7)
+
+#: A diamond with a tail plus a spare vertex, dense enough for deletes
+#: with alternate routes and sparse enough for inserts.
+TIP = EdgeSet.from_pairs(
+    [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (0, 6)]
+)
+N = 7
+
+
+def make_overlay(**kwargs):
+    kwargs.setdefault("weight_fn", WF)
+    return LiveTipOverlay(TIP, N, tip_version=4, **kwargs)
+
+
+def oracle(edges: EdgeSet, algorithm: str, source: int = 0) -> np.ndarray:
+    graph = CSRGraph.from_edge_set(edges, N, weight_fn=WF)
+    return static_compute(
+        graph, get_algorithm(algorithm), source, track_parents=True,
+    ).values
+
+
+def resolve(overlay, algorithm: str, source: int = 0) -> np.ndarray:
+    capture = overlay.capture(get_algorithm(algorithm), source)
+    assert capture is not None
+    return capture.resolve()
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        overlay = make_overlay()
+        with pytest.raises(ProtocolError):
+            overlay.apply_update("upsert", 0, 1)
+
+    @pytest.mark.parametrize("edge", [(-1, 0), (0, N), (N, 0)])
+    def test_endpoint_out_of_range(self, edge):
+        overlay = make_overlay()
+        with pytest.raises(ProtocolError):
+            overlay.apply_update("insert", *edge)
+
+    def test_insert_present_edge_rejected(self):
+        overlay = make_overlay()
+        with pytest.raises(ProtocolError):
+            overlay.apply_update("insert", 0, 1)
+
+    def test_delete_absent_edge_rejected(self):
+        overlay = make_overlay()
+        with pytest.raises(ProtocolError):
+            overlay.apply_update("delete", 5, 0)
+
+    def test_refusal_leaves_overlay_untouched(self):
+        # Replicas must reject identical updates identically *and*
+        # cheaply: a refusal is not an absorbed update.
+        overlay = make_overlay()
+        with pytest.raises(ProtocolError):
+            overlay.apply_update("insert", 0, 1)
+        assert overlay.seq == 0
+        assert overlay.depth == 0
+        assert overlay.live_edges() == TIP
+
+    def test_max_tracked_must_be_positive(self):
+        with pytest.raises(ServiceError):
+            make_overlay(max_tracked=0)
+
+
+class TestReceipts:
+    def test_receipts_are_sequential(self):
+        overlay = make_overlay()
+        first = overlay.apply_update("insert", 5, 0)
+        second = overlay.apply_update("delete", 4, 5)
+        assert first == {"seq": 1, "tip_version": 4, "overlay_depth": 1}
+        assert second == {"seq": 2, "tip_version": 4, "overlay_depth": 2}
+
+    def test_snapshot_counts(self):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 5, 0)
+        overlay.apply_update("delete", 5, 0)
+        snap = overlay.snapshot()
+        assert snap["overlay_depth"] == 2
+        assert snap["updates_total"] == 2
+        assert snap["update_counts"] == {"insert": 1, "delete": 1}
+        assert snap["live_edges"] == len(TIP)
+
+    def test_clean_overlay_captures_nothing(self):
+        overlay = make_overlay()
+        assert overlay.capture(get_algorithm("BFS"), 0) is None
+
+    def test_capture_refused_on_version_mismatch(self):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 5, 0)
+        assert overlay.capture(get_algorithm("BFS"), 0,
+                               tip_version=3) is None
+        assert overlay.capture(get_algorithm("BFS"), 0,
+                               tip_version=4) is not None
+
+
+class TestRepairExactness:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_untracked_resolve_equals_scratch(self, name):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 6, 5)
+        live = TIP.union(EdgeSet.from_pairs([(6, 5)]))
+        assert_values_equal(resolve(overlay, name), oracle(live, name),
+                            f"{name} lazy resolve")
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_insert_repairs_tracked_state(self, name):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 6, 5)
+        resolve(overlay, name)  # adopt: next update repairs in place
+        assert overlay.tracked_states == 1
+        overlay.apply_update("insert", 6, 4)
+        live = TIP.union(EdgeSet.from_pairs([(6, 5), (6, 4)]))
+        assert_values_equal(resolve(overlay, name), oracle(live, name),
+                            f"{name} insert repair")
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_delete_repairs_tracked_state(self, name):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 6, 5)
+        resolve(overlay, name)
+        # (1, 3) severs the shorter branch of the diamond; repair must
+        # reroute 3's value through (2, 3).
+        overlay.apply_update("delete", 1, 3)
+        live = TIP.union(EdgeSet.from_pairs([(6, 5)])).difference(
+            EdgeSet.from_pairs([(1, 3)])
+        )
+        assert_values_equal(resolve(overlay, name), oracle(live, name),
+                            f"{name} delete repair")
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_delete_disconnects_subtree(self, name):
+        # (3, 4) is the sole in-edge of 4, which feeds 5: the repaired
+        # state must push unreachability down the tail.
+        overlay = make_overlay()
+        overlay.apply_update("insert", 5, 6)
+        resolve(overlay, name)
+        overlay.apply_update("delete", 3, 4)
+        live = TIP.union(EdgeSet.from_pairs([(5, 6)])).difference(
+            EdgeSet.from_pairs([(3, 4)])
+        )
+        assert_values_equal(resolve(overlay, name), oracle(live, name),
+                            f"{name} disconnect repair")
+
+
+class TestAdoption:
+    def test_resolve_adopts_fresh_state(self):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 5, 0)
+        capture = overlay.capture(get_algorithm("BFS"), 0)
+        assert overlay.tracked_states == 0
+        capture.resolve()
+        assert overlay.tracked_states == 1
+
+    def test_stale_resolve_is_not_adopted(self):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 5, 0)
+        capture = overlay.capture(get_algorithm("BFS"), 0)
+        overlay.apply_update("insert", 5, 1)  # moves seq past the capture
+        values = capture.resolve()
+        assert overlay.tracked_states == 0
+        # The capture still answers for *its* instant, not the new one.
+        assert_values_equal(
+            values, oracle(TIP.union(EdgeSet.from_pairs([(5, 0)])), "BFS"),
+            "stale capture",
+        )
+
+    def test_tracked_states_are_lru_bounded(self):
+        overlay = make_overlay(max_tracked=2)
+        overlay.apply_update("insert", 5, 0)
+        for source in (0, 1, 2):
+            resolve(overlay, "BFS", source)
+        assert overlay.tracked_states == 2
+
+
+class TestCompactionProtocol:
+    def test_seal_is_the_net_diff(self):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 5, 0)
+        overlay.apply_update("delete", 4, 5)
+        batch, depth, seq = overlay.seal()
+        assert (depth, seq) == (2, 2)
+        assert sorted(batch.additions) == [(5, 0)]
+        assert sorted(batch.deletions) == [(4, 5)]
+
+    def test_churn_cancels_in_the_seal(self):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 5, 0)
+        overlay.apply_update("delete", 5, 0)
+        overlay.apply_update("delete", 0, 6)
+        overlay.apply_update("insert", 0, 6)
+        batch, depth, _ = overlay.seal()
+        assert depth == 4
+        assert batch.size == 0
+
+    def test_collapse_requires_a_current_seal(self):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 5, 0)
+        overlay.apply_update("delete", 5, 0)
+        _, _, seq = overlay.seal()
+        overlay.apply_update("insert", 5, 1)  # lands after the seal
+        assert overlay.collapse(seq) is False
+        _, _, seq = overlay.seal()
+        assert overlay.collapse(seq) is True
+        assert overlay.depth == 0
+        assert overlay.seq == 3  # lifetime counter survives the collapse
+
+    def test_rebase_after_own_compaction_empties_the_log(self):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 5, 0)
+        live = overlay.live_edges()
+        assert overlay.rebase_onto(live, tip_version=5) == 0
+        assert overlay.tip_version == 5
+        assert overlay.depth == 0
+        assert overlay.live_edges() == live
+        # Tracked states survive: the live set did not change.
+        resolve_before = overlay.capture(get_algorithm("BFS"), 0)
+        assert resolve_before is None  # clean overlay: the tip answers
+
+    def test_rebase_after_foreign_append_keeps_unsatisfied_updates(self):
+        overlay = make_overlay()
+        overlay.apply_update("insert", 5, 0)
+        overlay.apply_update("delete", 0, 6)
+        # A foreign batch lands that already contains the insert but
+        # not the delete: the insert is satisfied, the delete stays.
+        foreign_tip = TIP.union(EdgeSet.from_pairs([(5, 0), (6, 3)]))
+        kept = overlay.rebase_onto(foreign_tip, tip_version=5)
+        assert kept == 1
+        assert overlay.depth == 1
+        expected = foreign_tip.difference(EdgeSet.from_pairs([(0, 6)]))
+        assert overlay.live_edges() == expected
+
+    def test_rebase_drops_net_zero_churn(self):
+        # delete-then-reinsert composes to a no-op: weights are
+        # deterministic per edge, so once the tip already shows the
+        # edge nothing stays pending.
+        overlay = make_overlay()
+        overlay.apply_update("delete", 0, 6)
+        overlay.apply_update("insert", 0, 6)
+        kept = overlay.rebase_onto(TIP, tip_version=5)
+        assert kept == 0
+        assert overlay.live_edges() == TIP
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=edge_pairs(max_vertices=8, max_edges=20),
+       data=st.data())
+@pytest.mark.parametrize("name", ["BFS", "SSSP"])
+def test_interleaved_updates_equal_scratch(name, spec, data):
+    """Any valid insert/delete/query interleaving stays bit-identical.
+
+    Queries are drawn *mid-stream* so later updates repair adopted
+    states incrementally — the path under test — rather than falling
+    back to a final from-scratch resolve.
+    """
+    n, pairs = spec
+    tip = EdgeSet.from_pairs(pairs)
+    overlay = LiveTipOverlay(tip, n, tip_version=0, weight_fn=WF)
+    alg = get_algorithm(name)
+    live = set(pairs)
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    steps = data.draw(st.integers(min_value=1, max_value=12), label="steps")
+    for _ in range(steps):
+        op = data.draw(st.sampled_from(["insert", "delete", "query"]),
+                       label="op")
+        if op == "query":
+            if not overlay.depth:
+                continue
+            source = data.draw(st.integers(0, n - 1), label="source")
+            capture = overlay.capture(alg, source)
+            expected = static_compute(
+                CSRGraph.from_edge_set(
+                    EdgeSet.from_pairs(sorted(live)), n, weight_fn=WF),
+                alg, source, track_parents=True,
+            ).values
+            assert_values_equal(capture.resolve(), expected,
+                                f"{name} mid-stream query")
+            continue
+        candidates = (sorted(set(possible) - live) if op == "insert"
+                      else sorted(live))
+        if not candidates:
+            continue
+        index = data.draw(st.integers(0, len(candidates) - 1), label="edge")
+        u, v = candidates[index]
+        overlay.apply_update(op, u, v)
+        live = live | {(u, v)} if op == "insert" else live - {(u, v)}
+    assert overlay.live_edges() == EdgeSet.from_pairs(sorted(live))
+    if overlay.depth:
+        for source in range(min(n, 3)):
+            expected = static_compute(
+                CSRGraph.from_edge_set(
+                    EdgeSet.from_pairs(sorted(live)), n, weight_fn=WF),
+                alg, source, track_parents=True,
+            ).values
+            assert_values_equal(resolve(overlay, name, source), expected,
+                                f"{name} final source {source}")
