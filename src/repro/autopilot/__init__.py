@@ -1,0 +1,60 @@
+"""repro.autopilot — closed-loop fleet autoscaling and self-healing.
+
+The fleet plane (:mod:`repro.fleet`) can grow, shrink and heal
+replicas, but only when an operator drives it by hand.  This package
+closes the loop: a :class:`FleetAutopilot` periodically *observes* the
+signals the stack already exports (admission queue depth and shed
+totals, router counters, per-replica lifecycle, breaker states,
+live-tip overlay depth), *diagnoses* a fleet condition
+(``underprovisioned`` / ``overprovisioned`` / ``unhealthy-replica`` /
+``diverged`` / ``steady``), and *acts* through the
+:class:`~repro.fleet.supervisor.FleetSupervisor`:
+
+* **grow** — provision a fresh replica from a donor-store copy, resync
+  it to the fleet tip, restore it into rotation.  The paper's
+  mutation-free snapshot sharing is what makes this cheap: a new
+  replica is a file copy plus a receipt-ordered replay, not a rebuild.
+* **shrink** — mark the youngest replica draining, let its in-flight
+  work finish, retire it.
+* **heal** — recover a crashed replica, resync a lagging one, rebuild
+  a diverged one, automatically.
+
+Every decision passes a **hysteresis** layer — EWMA-smoothed pressure,
+asymmetric scale-up/scale-down thresholds, per-verb cooldowns, min/max
+replica bounds, one action in flight at a time — so a bursty storm
+cannot thrash membership.  Each cycle produces one structured,
+replayable :class:`AutopilotDecision` (observed signals → rule fired →
+action → outcome), exposed via obs instruments, the router status
+payload, and ``repro autopilot`` (run / once ``--dry-run`` / status).
+"""
+
+from __future__ import annotations
+
+from repro.autopilot.actions import ActionExecutor
+from repro.autopilot.loop import (
+    AutopilotDecision,
+    AutopilotRunner,
+    FleetAutopilot,
+    decision_log,
+)
+from repro.autopilot.policy import (
+    Action,
+    AutopilotConfig,
+    AutopilotPolicy,
+    Ewma,
+)
+from repro.autopilot.signals import FleetScraper, FleetSignals
+
+__all__ = [
+    "Action",
+    "ActionExecutor",
+    "AutopilotConfig",
+    "AutopilotDecision",
+    "AutopilotPolicy",
+    "AutopilotRunner",
+    "Ewma",
+    "FleetAutopilot",
+    "FleetScraper",
+    "FleetSignals",
+    "decision_log",
+]

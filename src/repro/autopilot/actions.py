@@ -1,0 +1,73 @@
+"""Act: run one policy action through the supervisor, fail neutrally.
+
+The executor is the only place the autopilot touches the fleet.  Every
+action goes through the supervisor's existing workflows — provision,
+retire, heal — which reuse the router's serialized restore/fan-out
+discipline, so an action racing live ingest can never produce a
+half-configured membership: the supervisor either completes the whole
+workflow or rolls it back.
+
+A failed action is reported, never raised: the loop records the
+outcome, the policy starts the verb's cooldown, and the next cycle
+re-diagnoses from fresh signals.  ``faults.fail_autopilot`` /
+``delay_autopilot`` hook the ``autopilot:action:<verb>:<target>``
+label, so chaos plans can kill exactly one action.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, TYPE_CHECKING
+
+from repro import faults, obs
+from repro.errors import ReproError, ResyncStalledError
+from repro.resilience import Deadline
+
+from repro.autopilot.policy import Action
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.supervisor import FleetSupervisor
+
+__all__ = ["ActionExecutor"]
+
+
+class ActionExecutor:
+    """Dispatch grow / shrink / heal onto a :class:`FleetSupervisor`."""
+
+    def __init__(self, supervisor: "FleetSupervisor", *,
+                 action_deadline_s: float = 30.0) -> None:
+        self.supervisor = supervisor
+        self.action_deadline_s = action_deadline_s
+
+    def apply(self, action: Action) -> Dict[str, Any]:
+        """Run one action; returns its outcome document (never raises)."""
+        label = f"action:{action.verb}:{action.target or 'fleet'}"
+        with obs.phase_span("autopilot", action.verb,
+                            label=action.target or ""):
+            try:
+                faults.service_check("autopilot", label)
+                report = self._dispatch(action)
+            except ResyncStalledError as exc:
+                # Partial progress is durable — the next heal/grow
+                # resumes the replay from the tip already reached.
+                return {"ok": False, "error": str(exc),
+                        "error_type": type(exc).__name__,
+                        "progress": exc.progress}
+            except (ReproError, OSError) as exc:
+                return {"ok": False, "error": str(exc),
+                        "error_type": type(exc).__name__}
+        outcome: Dict[str, Any] = {"ok": True}
+        outcome.update(report)
+        return outcome
+
+    def _dispatch(self, action: Action) -> Dict[str, Any]:
+        if action.verb == "grow":
+            return self.supervisor.provision_replica(
+                deadline=Deadline.after(self.action_deadline_s)
+            )
+        if action.verb == "shrink":
+            return self.supervisor.retire_replica(action.target)
+        if action.verb == "heal":
+            if action.target is None:
+                raise ReproError("heal needs a target replica")
+            return self.supervisor.heal_replica(action.target)
+        raise ReproError(f"unknown autopilot verb {action.verb!r}")

@@ -1,0 +1,326 @@
+"""The control loop: observe → diagnose → act, one decision per cycle.
+
+:class:`FleetAutopilot` wires the scraper, the policy and the executor
+together and records every cycle as one :class:`AutopilotDecision` —
+the observed signals, the pressure reading, the rule that fired, the
+action taken (or the hysteresis gate that held it), and the outcome.
+The record is JSON-serialisable and replayable: feeding the same
+signal sequence through a fresh policy reproduces the same decisions,
+which is how the FakeClock hysteresis tests pin the loop's behaviour.
+
+``once(dry_run=True)`` runs a full observe → diagnose cycle and
+reports the action that *would* run, touching nothing — the CLI's
+``repro autopilot once --dry-run``.
+
+:class:`AutopilotRunner` drives ``once()`` on a background thread with
+a jittered interval (seeded RNG, injected clock — the loop itself
+never reads the wall clock), swallowing per-cycle errors: a scrape or
+action failure is a recorded decision, not a dead control loop.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, TYPE_CHECKING
+
+from repro import obs
+from repro.errors import ReproError
+from repro.obs.clock import Clock, MonotonicClock
+
+from repro.autopilot.actions import ActionExecutor
+from repro.autopilot.policy import (
+    Action,
+    AutopilotConfig,
+    AutopilotPolicy,
+    PressureReading,
+)
+from repro.autopilot.signals import FleetScraper, FleetSignals
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.supervisor import FleetSupervisor
+
+__all__ = ["AutopilotDecision", "AutopilotRunner", "FleetAutopilot",
+           "decision_log"]
+
+#: Weak handle to the most recently constructed autopilot, so the test
+#: harness can dump its decision log as a failure artifact without
+#: keeping the fleet alive.
+_LAST: Optional["weakref.ReferenceType[FleetAutopilot]"] = None
+
+
+def decision_log() -> List[Dict[str, Any]]:
+    """The last-constructed autopilot's decisions, JSON-safe."""
+    autopilot = _LAST() if _LAST is not None else None
+    if autopilot is None:
+        return []
+    return [decision.to_dict() for decision in autopilot.decisions]
+
+
+@dataclass(frozen=True)
+class AutopilotDecision:
+    """One replayable observe → diagnose → act record."""
+
+    cycle: int
+    at: float
+    condition: str
+    rule: str
+    signals: Dict[str, Any]
+    pressure: Dict[str, float]
+    action: Optional[Dict[str, Optional[str]]]
+    held: Optional[str]
+    outcome: Optional[Dict[str, Any]]
+    dry_run: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cycle": self.cycle,
+            "at": self.at,
+            "condition": self.condition,
+            "rule": self.rule,
+            "signals": self.signals,
+            "pressure": self.pressure,
+            "action": self.action,
+            "held": self.held,
+            "outcome": self.outcome,
+            "dry_run": self.dry_run,
+        }
+
+
+def _hold_family(held: str) -> str:
+    """Normalise a held reason to its obs label (cooldowns collapse)."""
+    return "cooldown" if held.startswith("cooldown:") else held
+
+
+class FleetAutopilot:
+    """Closed-loop controller over one supervised fleet."""
+
+    def __init__(self, supervisor: "FleetSupervisor",
+                 config: Optional[AutopilotConfig] = None, *,
+                 clock: Optional[Clock] = None) -> None:
+        global _LAST
+        self.supervisor = supervisor
+        self.config = config or AutopilotConfig()
+        self.clock = clock or self.config.clock or MonotonicClock()
+        self.scraper = FleetScraper(supervisor, clock=self.clock)
+        self.policy = AutopilotPolicy(self.config, clock=self.clock)
+        self.executor = ActionExecutor(
+            supervisor, action_deadline_s=self.config.action_deadline_s
+        )
+        self.decisions: Deque[AutopilotDecision] = deque(
+            maxlen=self.config.decision_log_size
+        )
+        self.counters: Dict[str, int] = {
+            "cycles": 0, "actions": 0, "action_failures": 0,
+            "grows": 0, "shrinks": 0, "heals": 0, "holds": 0,
+            "membership_changes": 0, "scrape_errors": 0,
+        }
+        self._last_signals: Optional[FleetSignals] = None
+        self._unregister_collector = obs.register_collector(
+            self._collect_metrics
+        )
+        _LAST = weakref.ref(self)
+
+    def close(self) -> None:
+        self._unregister_collector()
+        self._unregister_collector = lambda: None
+
+    def __enter__(self) -> "FleetAutopilot":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- the cycle -----------------------------------------------------------
+    def once(self, *, dry_run: bool = False) -> AutopilotDecision:
+        """One observe → diagnose → act cycle; returns its decision.
+
+        With ``dry_run`` the cycle observes and diagnoses for real but
+        executes nothing and publishes nothing — the returned decision
+        carries the action that *would* have run.
+        """
+        with obs.phase_span("autopilot", "cycle"):
+            cycle = self.counters["cycles"]
+            self.counters["cycles"] += 1
+            obs.counter_inc("repro_autopilot_cycles_total")
+            try:
+                signals = self.scraper.scrape()
+            except (ReproError, OSError) as exc:
+                decision = self._held_decision(cycle, exc, dry_run)
+            else:
+                self._last_signals = signals
+                reading = self.policy.observe(signals)
+                obs.gauge_set("repro_autopilot_pressure", reading.smoothed)
+                decision = self._decide_and_act(
+                    cycle, signals, reading, dry_run
+                )
+        self.decisions.append(decision)
+        obs.counter_inc("repro_autopilot_decisions_total",
+                        condition=decision.condition)
+        if not dry_run:
+            self.publish()
+        return decision
+
+    def _held_decision(self, cycle: int, exc: BaseException,
+                       dry_run: bool) -> AutopilotDecision:
+        """A cycle that could not even observe: diagnose ``unknown``.
+
+        Acting on stale or absent signals is how control loops wreck
+        fleets; a failed router scrape therefore holds every action and
+        simply records why.
+        """
+        self.counters["scrape_errors"] += 1
+        self.counters["holds"] += 1
+        obs.counter_inc("repro_autopilot_holds_total",
+                        reason="scrape-failed")
+        return AutopilotDecision(
+            cycle=cycle, at=self.clock.now(), condition="unknown",
+            rule=f"scrape failed: {exc}", signals={"error": str(exc)},
+            pressure={"raw": 0.0, "smoothed": self.policy.pressure},
+            action=None, held="scrape-failed", outcome=None,
+            dry_run=dry_run,
+        )
+
+    def _decide_and_act(self, cycle: int, signals: FleetSignals,
+                        reading: PressureReading,
+                        dry_run: bool) -> AutopilotDecision:
+        condition, rule, action, held = self.policy.decide(signals, reading)
+        outcome: Optional[Dict[str, Any]] = None
+        if action is not None:
+            if dry_run:
+                outcome = {"dry_run": True}
+                obs.counter_inc("repro_autopilot_actions_total",
+                                verb=action.verb, outcome="dry_run")
+            else:
+                outcome = self._act(action)
+        elif held is not None:
+            self.counters["holds"] += 1
+            obs.counter_inc("repro_autopilot_holds_total",
+                            reason=_hold_family(held))
+        return AutopilotDecision(
+            cycle=cycle, at=signals.at, condition=condition, rule=rule,
+            signals=signals.to_dict(), pressure=reading.to_dict(),
+            action=None if action is None else action.to_dict(),
+            held=held, outcome=outcome, dry_run=dry_run,
+        )
+
+    def _act(self, action: Action) -> Dict[str, Any]:
+        self.policy.begin(action)
+        try:
+            outcome = self.executor.apply(action)
+        except BaseException:
+            # ``apply`` reports failures instead of raising, so this is
+            # belt-and-braces: whatever happens, the action is no longer
+            # in flight and its cooldown runs.
+            self.policy.complete(action, ok=False)
+            raise
+        self.policy.complete(action, ok=bool(outcome.get("ok")))
+        self.counters["actions"] += 1
+        self.counters[action.verb + "s"] += 1
+        if outcome.get("ok"):
+            obs.counter_inc("repro_autopilot_actions_total",
+                            verb=action.verb, outcome="ok")
+            if action.verb in ("grow", "shrink"):
+                self.counters["membership_changes"] += 1
+                obs.counter_inc(
+                    "repro_autopilot_membership_changes_total"
+                )
+        else:
+            self.counters["action_failures"] += 1
+            obs.counter_inc("repro_autopilot_actions_total",
+                            verb=action.verb, outcome="failed")
+        return outcome
+
+    # -- reporting -----------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """JSON-safe loop status (router status payload, CLI)."""
+        last = self.decisions[-1] if self.decisions else None
+        return {
+            "counters": dict(self.counters),
+            "pressure": self.policy.pressure,
+            "cooldowns": self.policy.cooldowns(),
+            "in_flight": (None if self.policy.in_flight is None
+                          else self.policy.in_flight.to_dict()),
+            "config": self.config.to_dict(),
+            "last_decision": None if last is None else last.to_dict(),
+        }
+
+    def publish(self) -> None:
+        """Best-effort: surface loop status in the router status doc."""
+        runner = self.supervisor.router_runner
+        if runner is None:
+            return
+        try:
+            runner.set_autopilot(self.status())
+        except (ReproError, OSError):
+            # The router may be mid-shutdown; status publication is
+            # telemetry, never worth failing a control cycle over.
+            pass
+
+    def _collect_metrics(self, registry: "obs.MetricsRegistry") -> None:
+        """Scrape-time bridge: loop state → autopilot gauges."""
+        pressure = obs.instruments.family(
+            registry, "repro_autopilot_pressure"
+        )
+        pressure.labels().set(self.policy.pressure)
+        if self._last_signals is None:
+            return
+        tally: Dict[str, int] = {}
+        for state in self._last_signals.states.values():
+            tally[state] = tally.get(state, 0) + 1
+        replicas = obs.instruments.family(
+            registry, "repro_autopilot_replicas"
+        )
+        for state in ("ready", "unhealthy", "quarantined", "draining",
+                      "stopped"):
+            replicas.labels(state=state).set(tally.get(state, 0))
+
+
+class AutopilotRunner:
+    """Drive :meth:`FleetAutopilot.once` on a background thread."""
+
+    def __init__(self, autopilot: FleetAutopilot) -> None:
+        self.autopilot = autopilot
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._rng = random.Random(autopilot.config.jitter_seed)
+
+    def start(self) -> "AutopilotRunner":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._main, name="repro-autopilot", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+            self._thread = None
+
+    def _main(self) -> None:
+        config = self.autopilot.config
+        while not self._stop.is_set():
+            try:
+                self.autopilot.once()
+            except (ReproError, OSError):
+                # ``once`` already turns expected failures into held
+                # decisions; anything that still escapes (a racing
+                # teardown, a dead router) must not kill the loop.
+                pass
+            pause = config.interval_s * (
+                1.0 + config.jitter * self._rng.random()
+            )
+            self._stop.wait(pause)
+
+    def __enter__(self) -> "AutopilotRunner":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

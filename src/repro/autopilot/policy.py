@@ -1,0 +1,361 @@
+"""Diagnose: signals → fleet condition → (maybe) one action.
+
+The policy is deliberately a pure state machine over injected time —
+no I/O, no threads — so every hysteresis property (smoothing,
+asymmetric thresholds, cooldowns, bounds, one-action-in-flight) is
+unit-testable with a :class:`~repro.obs.clock.FakeClock`.
+
+Hysteresis layers, in the order they gate a decision:
+
+1. **EWMA smoothing** — the overload pressure the policy acts on is an
+   exponentially weighted moving average of the per-cycle raw
+   pressure, so one bad scrape cannot trigger a membership change.
+2. **Asymmetric thresholds** — scaling up fires at
+   ``scale_up_pressure``; scaling down requires the smoothed pressure
+   to sit at or under the (strictly lower) ``scale_down_pressure`` for
+   ``calm_cycles`` consecutive cycles.  The gap between the two
+   thresholds is the dead band that prevents flapping.
+3. **Per-verb cooldowns** — after any grow/shrink/heal attempt
+   (successful *or* failed: failures are neutral, never retried hot)
+   that verb is held for its cooldown window.  The membership verbs
+   grow and shrink additionally hold *each other*: a completed change
+   in either direction gates both directions until its cooldown
+   lapses, so a flapping signal can change membership at most once
+   per cooldown window.
+4. **Bounds** — membership never leaves ``[min_replicas,
+   max_replicas]``.
+5. **One action in flight** — a second action is held until
+   :meth:`AutopilotPolicy.complete` lands, so concurrent loops or a
+   slow action can never interleave membership changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FleetError
+from repro.obs.clock import Clock, MonotonicClock
+
+from repro.autopilot.signals import FleetSignals
+
+__all__ = ["Action", "AutopilotConfig", "AutopilotPolicy", "CONDITIONS",
+           "Ewma"]
+
+#: Every condition :meth:`AutopilotPolicy.decide` can diagnose.
+CONDITIONS = ("steady", "underprovisioned", "overprovisioned",
+              "unhealthy-replica", "diverged", "unknown")
+
+#: Quarantine reason that marks a *grow in progress*, not a casualty:
+#: the provision workflow parks the new replica as quarantined until
+#: its resync proves it holds the fleet tip.
+PROVISIONING = "provisioning"
+
+
+class Ewma:
+    """Exponentially weighted moving average; first sample seeds it."""
+
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise FleetError(f"EWMA alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> float:
+        return 0.0 if self._value is None else self._value
+
+    def update(self, sample: float) -> float:
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.alpha * (float(sample) - self._value)
+        return self._value
+
+
+@dataclass(frozen=True)
+class Action:
+    """One membership action the policy asks the executor to run."""
+
+    verb: str  # "grow" | "shrink" | "heal"
+    target: Optional[str] = None  # replica name; None = policy default
+    rule: str = ""
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        return {"verb": self.verb, "target": self.target, "rule": self.rule}
+
+
+@dataclass
+class AutopilotConfig:
+    """Tunables of one autopilot (see ``docs/autopilot.md``)."""
+
+    min_replicas: int = 2
+    max_replicas: int = 5
+    #: EWMA smoothing factor for the pressure signal.
+    ewma_alpha: float = 0.5
+    #: Smoothed pressure at or above which the fleet is underprovisioned.
+    scale_up_pressure: float = 0.25
+    #: Smoothed pressure at or below which a cycle counts as calm.
+    scale_down_pressure: float = 0.05
+    #: Queue depth that alone saturates the pressure signal to 1.0.
+    queue_pressure_depth: int = 8
+    #: Consecutive calm cycles required before a shrink may fire.
+    calm_cycles: int = 3
+    grow_cooldown_s: float = 2.0
+    shrink_cooldown_s: float = 10.0
+    heal_cooldown_s: float = 1.0
+    #: Seconds between control cycles (the runner adds jitter on top).
+    interval_s: float = 0.5
+    #: Per-cycle jitter as a fraction of ``interval_s``, so N autopilots
+    #: started together do not synchronize scrape storms.
+    jitter: float = 0.2
+    jitter_seed: int = 0
+    #: Wall-clock budget for one grow action (clone + resync + restore).
+    action_deadline_s: float = 30.0
+    #: Ring-buffer size of the replayable decision log.
+    decision_log_size: int = 256
+    #: Injected time source (tests pass ``FakeClock``).
+    clock: Optional[Clock] = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise FleetError(
+                f"need 1 <= min_replicas <= max_replicas, got "
+                f"{self.min_replicas}..{self.max_replicas}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise FleetError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if not 0.0 <= self.scale_down_pressure < self.scale_up_pressure:
+            raise FleetError(
+                "scale_down_pressure must be strictly below "
+                f"scale_up_pressure, got {self.scale_down_pressure} vs "
+                f"{self.scale_up_pressure}"
+            )
+        if self.calm_cycles < 1:
+            raise FleetError("calm_cycles must be >= 1")
+        if self.queue_pressure_depth < 1:
+            raise FleetError("queue_pressure_depth must be >= 1")
+
+    def cooldown_s(self, verb: str) -> float:
+        return {"grow": self.grow_cooldown_s,
+                "shrink": self.shrink_cooldown_s,
+                "heal": self.heal_cooldown_s}[verb]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "min_replicas": self.min_replicas,
+            "max_replicas": self.max_replicas,
+            "ewma_alpha": self.ewma_alpha,
+            "scale_up_pressure": self.scale_up_pressure,
+            "scale_down_pressure": self.scale_down_pressure,
+            "queue_pressure_depth": self.queue_pressure_depth,
+            "calm_cycles": self.calm_cycles,
+            "grow_cooldown_s": self.grow_cooldown_s,
+            "shrink_cooldown_s": self.shrink_cooldown_s,
+            "heal_cooldown_s": self.heal_cooldown_s,
+            "interval_s": self.interval_s,
+        }
+
+
+@dataclass
+class PressureReading:
+    """Raw and smoothed pressure for one cycle (decision record)."""
+
+    raw: float = 0.0
+    smoothed: float = 0.0
+    shed_delta: int = 0
+    answered_delta: int = 0
+    calm_streak: int = 0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "raw": self.raw,
+            "smoothed": self.smoothed,
+            "shed_delta": self.shed_delta,
+            "answered_delta": self.answered_delta,
+            "calm_streak": self.calm_streak,
+        }
+
+
+@dataclass
+class _VerbState:
+    cooldown_until: Optional[float] = None
+
+
+class AutopilotPolicy:
+    """The hysteresis state machine between signals and actions."""
+
+    def __init__(self, config: Optional[AutopilotConfig] = None, *,
+                 clock: Optional[Clock] = None) -> None:
+        self.config = config or AutopilotConfig()
+        self.clock = clock or self.config.clock or MonotonicClock()
+        self._ewma = Ewma(self.config.ewma_alpha)
+        self._previous: Optional[FleetSignals] = None
+        self._calm_streak = 0
+        self._verbs: Dict[str, _VerbState] = {
+            verb: _VerbState() for verb in ("grow", "shrink", "heal")
+        }
+        self._in_flight: Optional[Action] = None
+
+    # -- observe -------------------------------------------------------------
+    def observe(self, signals: FleetSignals) -> PressureReading:
+        """Fold one scrape into the smoothed pressure signal.
+
+        Raw pressure is the worse of two saturating fractions: the shed
+        fraction of this cycle's *new* traffic (counter deltas, so a
+        long-gone historical storm cannot keep pressure high) and the
+        current admission queue depth against
+        ``queue_pressure_depth``.  Queue depth leads shedding — a
+        filling waiting room is the pre-echo of the sheds to come — so
+        including it lets the loop grow *before* conservation suffers.
+        """
+        shed_delta = 0
+        answered_delta = 0
+        if self._previous is not None:
+            shed_delta = max(0, signals.shed - self._previous.shed)
+            answered_delta = max(
+                0, signals.answered - self._previous.answered
+            )
+        self._previous = signals
+        handled = shed_delta + answered_delta
+        shed_fraction = shed_delta / handled if handled else 0.0
+        queue_fraction = min(
+            1.0, signals.queue_depth / self.config.queue_pressure_depth
+        )
+        raw = max(shed_fraction, queue_fraction)
+        smoothed = self._ewma.update(raw)
+        if smoothed <= self.config.scale_down_pressure:
+            self._calm_streak += 1
+        else:
+            self._calm_streak = 0
+        return PressureReading(
+            raw=raw, smoothed=smoothed, shed_delta=shed_delta,
+            answered_delta=answered_delta, calm_streak=self._calm_streak,
+        )
+
+    @property
+    def pressure(self) -> float:
+        return self._ewma.value
+
+    # -- diagnose ------------------------------------------------------------
+    def decide(
+        self, signals: FleetSignals, reading: PressureReading,
+    ) -> Tuple[str, str, Optional[Action], Optional[str]]:
+        """Diagnose one condition; returns ``(condition, rule, action,
+        held)``.
+
+        ``action`` is the membership change the condition calls for, or
+        ``None``; ``held`` names the hysteresis gate that suppressed an
+        indicated action (``None`` when the action may proceed or none
+        was indicated).  Healing outranks scaling: a fleet with a dead
+        or diverged replica gets repaired before its size is judged.
+        """
+        config = self.config
+        casualty = self._casualty(signals)
+        if casualty is not None:
+            name, state, reason = casualty
+            condition = ("diverged" if reason == "divergence"
+                         else "unhealthy-replica")
+            rule = f"heal {name}: {state}" + (
+                f" ({reason})" if reason else ""
+            )
+            action = Action("heal", target=name, rule=rule)
+            return (condition, rule, *self._gate(action))
+        if reading.smoothed >= config.scale_up_pressure:
+            rule = (f"pressure {reading.smoothed:.3f} >= "
+                    f"{config.scale_up_pressure} (scale up)")
+            if signals.total_replicas >= config.max_replicas:
+                return "underprovisioned", rule, None, "at-max-replicas"
+            action = Action("grow", rule=rule)
+            return ("underprovisioned", rule, *self._gate(action))
+        if (reading.smoothed <= config.scale_down_pressure
+                and reading.calm_streak >= config.calm_cycles):
+            rule = (f"pressure {reading.smoothed:.3f} <= "
+                    f"{config.scale_down_pressure} for "
+                    f"{reading.calm_streak} cycles (scale down)")
+            if signals.ready_replicas <= config.min_replicas:
+                return "overprovisioned", rule, None, "at-min-replicas"
+            action = Action("shrink", rule=rule)
+            return ("overprovisioned", rule, *self._gate(action))
+        return ("steady",
+                f"pressure {reading.smoothed:.3f} in dead band",
+                None, None)
+
+    @staticmethod
+    def _casualty(
+        signals: FleetSignals,
+    ) -> Optional[Tuple[str, str, Optional[str]]]:
+        """The first replica heal should act on, diverged ones first."""
+        casualties = [
+            (name, state, signals.reasons.get(name))
+            for name, state in sorted(signals.states.items())
+            if state in ("stopped", "unhealthy", "quarantined")
+            and signals.reasons.get(name) != PROVISIONING
+        ]
+        if not casualties:
+            return None
+        for entry in casualties:
+            if entry[2] == "divergence":
+                return entry
+        return casualties[0]
+
+    def _gate(
+        self, action: Action,
+    ) -> Tuple[Optional[Action], Optional[str]]:
+        """Apply cooldown and one-action-in-flight to an indicated action.
+
+        Grow and shrink check each other's cooldown as well as their
+        own — one membership change per window, whatever its
+        direction.  Heal only checks itself, so a casualty can still
+        be repaired while a scale action cools.
+        """
+        if self._in_flight is not None:
+            return None, "action-in-flight"
+        if action.verb in ("grow", "shrink"):
+            gated = ("grow", "shrink")
+        else:
+            gated = (action.verb,)
+        now = self.clock.now()
+        for verb in gated:
+            until = self._verbs[verb].cooldown_until
+            if until is not None and now < until:
+                return None, f"cooldown:{verb}"
+        return action, None
+
+    # -- act bookkeeping -----------------------------------------------------
+    def begin(self, action: Action) -> None:
+        if self._in_flight is not None:
+            raise FleetError(
+                f"action {self._in_flight.verb!r} already in flight"
+            )
+        self._in_flight = action
+
+    def complete(self, action: Action, ok: bool) -> None:
+        """Land an action; the cooldown starts whether it succeeded.
+
+        Failure is *neutral*: the supervisor rolled the fleet back to
+        its prior membership, so the correct response is to wait out
+        the cooldown and re-diagnose, not to retry hot.
+        """
+        self._in_flight = None
+        state = self._verbs[action.verb]
+        state.cooldown_until = (self.clock.now()
+                                + self.config.cooldown_s(action.verb))
+
+    @property
+    def in_flight(self) -> Optional[Action]:
+        return self._in_flight
+
+    def cooldowns(self) -> Dict[str, Optional[float]]:
+        """Remaining cooldown per verb (``None`` = not cooling)."""
+        remaining: Dict[str, Optional[float]] = {}
+        for verb, state in self._verbs.items():
+            if state.cooldown_until is None:
+                remaining[verb] = None
+            else:
+                remaining[verb] = max(
+                    0.0, state.cooldown_until - self.clock.now()
+                )
+        return remaining

@@ -1,0 +1,149 @@
+"""Observe: one consistent snapshot of the fleet's health signals.
+
+The scraper reads only what the stack already publishes — the router's
+status document (rotation, counters, per-replica state and breaker)
+and each running replica's own status (admission queue totals) — so
+the autopilot sees exactly what an operator watching the dashboards
+would see.  A scrape is a read: it never mutates the fleet.
+
+Fault injection: every network read is preceded by
+``faults.service_check("autopilot", "scrape:<target>")``, so a chaos
+plan can fail exactly one scrape.  A failed *router* scrape raises
+(there is nothing to diagnose from); a failed *replica* scrape is
+recorded in ``scrape_errors`` and the cycle proceeds on partial data —
+a replica that cannot answer status is precisely the kind the loop
+exists to notice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro import faults
+from repro.errors import ReproError
+from repro.obs.clock import Clock, MonotonicClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.supervisor import FleetSupervisor
+
+__all__ = ["FleetScraper", "FleetSignals"]
+
+
+@dataclass(frozen=True)
+class FleetSignals:
+    """One observed snapshot of the fleet, as the policy consumes it."""
+
+    at: float
+    #: Replica name → lifecycle state; ``stopped`` for a replica the
+    #: supervisor owns but whose process is not running.
+    states: Dict[str, str] = field(default_factory=dict)
+    #: Replica name → why it left rotation (``None`` while in it).
+    reasons: Dict[str, Optional[str]] = field(default_factory=dict)
+    fleet_version: Optional[int] = None
+    overlay_depth: int = 0
+    #: Router lifetime counters (the policy works on deltas).
+    answered: int = 0
+    shed: int = 0
+    errors: int = 0
+    #: Admission totals summed over the replicas that answered status.
+    queue_depth: int = 0
+    queue_high_water: int = 0
+    shed_by_reason: Dict[str, int] = field(default_factory=dict)
+    breakers_open: int = 0
+    scrape_errors: Tuple[str, ...] = ()
+
+    @property
+    def total_replicas(self) -> int:
+        return len(self.states)
+
+    @property
+    def ready_replicas(self) -> int:
+        return sum(1 for state in self.states.values() if state == "ready")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "at": self.at,
+            "states": dict(self.states),
+            "reasons": dict(self.reasons),
+            "fleet_version": self.fleet_version,
+            "overlay_depth": self.overlay_depth,
+            "answered": self.answered,
+            "shed": self.shed,
+            "errors": self.errors,
+            "queue_depth": self.queue_depth,
+            "queue_high_water": self.queue_high_water,
+            "shed_by_reason": dict(self.shed_by_reason),
+            "breakers_open": self.breakers_open,
+            "scrape_errors": list(self.scrape_errors),
+        }
+
+
+class FleetScraper:
+    """Collect :class:`FleetSignals` from a supervised fleet."""
+
+    def __init__(self, supervisor: "FleetSupervisor", *,
+                 clock: Optional[Clock] = None) -> None:
+        self.supervisor = supervisor
+        self.clock = clock or MonotonicClock()
+
+    def scrape(self) -> FleetSignals:
+        faults.service_check("autopilot", "scrape:router")
+        status = self.supervisor.fleet_status()
+        fleet = status.get("fleet", {})
+        server = status.get("server", {})
+        router_view: Dict[str, Any] = fleet.get("replicas", {})
+
+        states: Dict[str, str] = {}
+        reasons: Dict[str, Optional[str]] = {}
+        breakers_open = 0
+        for name, doc in router_view.items():
+            states[name] = str(doc.get("state", "unhealthy"))
+            reasons[name] = doc.get("reason")
+            if doc.get("breaker", {}).get("state") == "open":
+                breakers_open += 1
+        # The supervisor knows about processes the router only infers:
+        # a crashed replica still shows a (stale) router entry, but its
+        # runner is gone — that is the signal heal acts on.
+        for name, managed in self.supervisor.replicas.items():
+            if not managed.running:
+                states[name] = "stopped"
+                reasons.setdefault(name, None)
+
+        queue_depth = 0
+        queue_high_water = 0
+        shed_by_reason: Dict[str, int] = {}
+        scrape_errors = []
+        for name, managed in self.supervisor.replicas.items():
+            if not managed.running:
+                continue
+            try:
+                faults.service_check("autopilot", f"scrape:{name}")
+                with self.supervisor.replica_client(name) as client:
+                    replica_status = client.status()
+            except (ReproError, OSError) as exc:
+                scrape_errors.append(f"{name}: {exc}")
+                continue
+            totals = replica_status.get("admission", {}).get("totals", {})
+            queue_depth += int(totals.get("waiting", 0))
+            queue_high_water = max(queue_high_water,
+                                   int(totals.get("max_depth", 0)))
+            for reason, count in totals.get("shed", {}).items():
+                shed_by_reason[reason] = (shed_by_reason.get(reason, 0)
+                                          + int(count))
+
+        return FleetSignals(
+            at=self.clock.now(),
+            states=states,
+            reasons=reasons,
+            fleet_version=fleet.get("fleet_version"),
+            overlay_depth=int(fleet.get("fleet_overlay_depth", 0)),
+            answered=int(server.get("answered", 0)),
+            shed=int(server.get("shed", 0)),
+            errors=int(server.get("errors", 0)),
+            queue_depth=queue_depth,
+            queue_high_water=queue_high_water,
+            shed_by_reason=shed_by_reason,
+            breakers_open=breakers_open,
+            scrape_errors=tuple(scrape_errors),
+        )

@@ -7,6 +7,8 @@ still letting programming errors (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -92,6 +94,24 @@ class FleetError(ServiceError):
     rather than failures of any single replica (those surface as the
     replica's own error and drive ejection/quarantine instead).
     """
+
+
+class ResyncStalledError(FleetError):
+    """A resync could not catch the fleet tip within its budget.
+
+    Continuous ingest advances the fleet tip while a lagging replica
+    replays history, so an unbounded catch-up loop could chase that tip
+    forever.  The supervisor bounds the chase with a round cap and a
+    deadline and raises this error when either is spent.  ``progress``
+    is the partial-progress report — the replica, the rounds completed,
+    the tip it reached, and the batches replayed — so the caller can
+    surface how far the resync got and resume it later.
+    """
+
+    def __init__(self, message: str, *,
+                 progress: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.progress: Dict[str, Any] = dict(progress or {})
 
 
 class ServiceOverloadedError(ServiceError):

@@ -169,6 +169,31 @@ class FaultPlan:
         )
         return self
 
+    def fail_autopilot(self, index: int = 0, match: str = "*",
+                       times: int = 1) -> "FaultPlan":
+        """Raise inside the ``index``-th matching autopilot operation.
+
+        Labels are ``"autopilot:scrape:<target>"`` (signal collection)
+        and ``"autopilot:action:<verb>:<target>"`` (grow/shrink/heal
+        execution), so a plan can fail exactly one scrape or exactly one
+        membership action and the loop's neutral-failure handling
+        (retry after cooldown, never half-configured membership) can be
+        asserted deterministically.
+        """
+        self.rules.append(
+            FaultRule("service", index, f"autopilot:{match}", times, "fail")
+        )
+        return self
+
+    def delay_autopilot(self, seconds: float, index: int = 0,
+                        match: str = "*", times: int = 1) -> "FaultPlan":
+        """Stall the ``index``-th matching autopilot operation."""
+        self.rules.append(
+            FaultRule("service", index, f"autopilot:{match}", times,
+                      "delay", seconds)
+        )
+        return self
+
     def corrupt(self, path: Union[str, Path],
                 count: int = 1) -> List[Tuple[int, int, int]]:
         """Corrupt ``count`` bytes of ``path`` now, seeded by the plan."""

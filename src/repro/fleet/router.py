@@ -53,6 +53,7 @@ Design points:
 from __future__ import annotations
 
 import asyncio
+import random
 import threading
 from collections import Counter as TallyCounter
 from dataclasses import dataclass
@@ -104,11 +105,29 @@ class RouterConfig:
     breaker_reset_timeout: float = 1.0
     #: Seconds between background health probes (``None`` disables the
     #: probe task; the supervisor or tests call :meth:`probe` directly).
+    #: Deprecated spelling — prefer :attr:`probe_interval_s`.
     health_interval: Optional[float] = None
+    #: Seconds between background health probes (canonical name).  Wins
+    #: over ``health_interval`` when both are set.
+    probe_interval_s: Optional[float] = None
+    #: Per-cycle jitter as a fraction of the interval: each probe sleeps
+    #: ``interval * (1 + jitter * u)`` with ``u`` uniform in [0, 1), so N
+    #: routers/autopilots started together drift apart instead of
+    #: synchronizing probe storms against the same replicas.
+    probe_jitter: float = 0.2
+    #: Seed for the jitter stream (``None`` = derive from the router's
+    #: listening port, which already differs per router).
+    probe_jitter_seed: Optional[int] = None
     #: Hard cap on one request line.
     max_line_bytes: int = 1 << 20
     #: Injected time source for the breakers (tests pass ``FakeClock``).
     clock: Optional[Clock] = None
+
+    def probe_interval(self) -> Optional[float]:
+        """The effective probe interval (canonical name wins)."""
+        if self.probe_interval_s is not None:
+            return self.probe_interval_s
+        return self.health_interval
 
 
 class Replica:
@@ -186,6 +205,9 @@ class FleetRouter:
             "errors": 0, "failovers": 0, "ejections": 0, "rebalances": 0,
             "receipt_divergences": 0, "probes": 0,
         }
+        #: Last autopilot status payload published via
+        #: :meth:`set_autopilot`; surfaced verbatim in ``status``.
+        self.autopilot: Optional[Dict[str, Any]] = None
         self._ingest_lock: Optional[asyncio.Lock] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop: Optional[asyncio.Event] = None
@@ -221,9 +243,10 @@ class FleetRouter:
             self._collect_metrics
         )
         await self._initial_sync()
-        if self.config.health_interval is not None:
+        interval = self.config.probe_interval()
+        if interval is not None:
             self._health_task = asyncio.get_running_loop().create_task(
-                self._health_loop(self.config.health_interval)
+                self._health_loop(interval)
             )
 
     async def _initial_sync(self) -> None:
@@ -279,8 +302,12 @@ class FleetRouter:
         await self.wait_closed()
 
     async def _health_loop(self, interval: float) -> None:
+        seed = self.config.probe_jitter_seed
+        rng = random.Random(seed if seed is not None else self.port)
         while True:
-            await asyncio.sleep(interval)
+            await asyncio.sleep(
+                interval * (1.0 + self.config.probe_jitter * rng.random())
+            )
             try:
                 await self.probe()
             except ReproError:
@@ -391,6 +418,47 @@ class FleetRouter:
 
     async def set_address(self, name: str, host: str, port: int) -> None:
         self._replica(name).set_address(host, port)
+
+    async def add_replica(self, name: str, host: str, port: int) -> None:
+        """Grow-path step 1: make the router aware of a new replica.
+
+        The replica joins *quarantined*, not in rotation — it was just
+        cloned from a donor and has to prove (resync + :meth:`restore`)
+        that it holds the fleet tip before any work routes to it.  That
+        keeps membership changes single-phased: either the replica
+        completes the whole provision workflow and enters rotation, or
+        it stays invisible to request routing.
+        """
+        if name in self.replicas:
+            raise FleetError(f"replica {name!r} already exists")
+        replica = Replica(
+            name, host, port,
+            connect_timeout=self.config.connect_timeout,
+            max_line_bytes=self.config.max_line_bytes,
+            breaker=self._make_breaker(name),
+        )
+        replica.state = "quarantined"
+        replica.reason = "provisioning"
+        self.replicas[name] = replica
+
+    async def remove_replica(self, name: str) -> None:
+        """Forget a replica entirely (retire, or grow rollback).
+
+        Holds the ingest lock so a fan-out in flight settles its
+        receipts against the membership it started with.
+        """
+        replica = self._replica(name)
+        assert self._ingest_lock is not None
+        async with self._ingest_lock:
+            if replica.in_rotation:
+                self.ring.remove(name)
+                self.counters["rebalances"] += 1
+                obs.counter_inc("repro_fleet_rebalance_total")
+            del self.replicas[name]
+
+    async def set_autopilot(self, payload: Optional[Dict[str, Any]]) -> None:
+        """Publish the autopilot's status into the router status doc."""
+        self.autopilot = payload
 
     async def probe(self) -> Dict[str, str]:
         """One health sweep: try to bring ``unhealthy`` replicas back.
@@ -560,6 +628,7 @@ class FleetRouter:
                 "fleet_overlay_depth": self.fleet_overlay_depth,
                 "vnodes": self.config.vnodes,
             },
+            "autopilot": self.autopilot,
             "server": dict(self.counters),
             "lifecycle": self._lifecycle_payload(),
             "observability": obs.describe(),
@@ -965,6 +1034,15 @@ class FleetRunner:
 
     def set_address(self, name: str, host: str, port: int) -> None:
         self.call(lambda: self.router.set_address(name, host, port))
+
+    def add_replica(self, name: str, host: str, port: int) -> None:
+        self.call(lambda: self.router.add_replica(name, host, port))
+
+    def remove_replica(self, name: str) -> None:
+        self.call(lambda: self.router.remove_replica(name))
+
+    def set_autopilot(self, payload: Optional[Dict[str, Any]]) -> None:
+        self.call(lambda: self.router.set_autopilot(payload))
 
     def probe(self) -> Dict[str, str]:
         return self.call(self.router.probe)

@@ -32,10 +32,11 @@ import shutil
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.errors import FleetError
+from repro.errors import FleetError, ResyncStalledError
 from repro.evolving.store import SnapshotStore
 from repro.fleet.router import FleetRouter, FleetRunner, RouterConfig
 from repro.graph.edgeset import decode_edges
+from repro.resilience import Deadline
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceConfig, ServiceRunner
 from repro.service.state import ServiceState, WeightFn
@@ -85,14 +86,22 @@ class FleetSupervisor:
         service_config: Optional[Callable[[str], ServiceConfig]] = None,
         router_config: Optional[RouterConfig] = None,
         host: str = "127.0.0.1",
+        resync_max_rounds: int = 16,
+        resync_deadline_s: Optional[float] = 30.0,
     ) -> None:
         if replicas < 1:
             raise FleetError("a fleet needs at least one replica")
+        if resync_max_rounds < 1:
+            raise FleetError("resync_max_rounds must be >= 1")
         self.base_store = Path(base_store)
         self.root = Path(root)
         self.host = host
         self.weight_fn = weight_fn
         self.window = window
+        #: Tip-chase budget: a resync may replay batches for at most
+        #: this many rounds / seconds before :class:`ResyncStalledError`.
+        self.resync_max_rounds = resync_max_rounds
+        self.resync_deadline_s = resync_deadline_s
         #: Per-replica config factory (replicas may want distinct admission
         #: bounds in tests); defaults to a fresh default config each.
         self._service_config = service_config or (lambda name: ServiceConfig())
@@ -104,6 +113,10 @@ class FleetSupervisor:
             store_dir.parent.mkdir(parents=True, exist_ok=True)
             shutil.copytree(self.base_store, store_dir)
             self.replicas[name] = ManagedReplica(name, store_dir)
+        #: Next suffix for a provisioned replica's name (never reused, so
+        #: a retired replica's metrics/receipts cannot be confused with a
+        #: later one's).
+        self._next_index = replicas
         self.router_runner: Optional[FleetRunner] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -214,14 +227,18 @@ class FleetSupervisor:
             )
         return rotation[0]
 
-    def resync(self, name: str, donor: Optional[str] = None) -> int:
+    def resync(self, name: str, donor: Optional[str] = None, *,
+               deadline: Optional[Deadline] = None) -> int:
         """Catch ``name`` up to the donor's tip; returns the new tip.
 
         Missing batches are read from the donor's SnapshotStore on disk
         and replayed through the lagging replica's own ingest lane.
         Refuses (``FleetError``) when the replica is *ahead* of the
         donor — that is divergence, not lag, and only
-        :meth:`rebuild_replica` can reconcile it.
+        :meth:`rebuild_replica` can reconcile it.  When ``deadline``
+        expires mid-replay, :class:`ResyncStalledError` carries the
+        batches already replayed (they are durable — a later resync
+        resumes from the tip reached, not from scratch).
         """
         replica = self._replica(name)
         if not replica.running:
@@ -237,26 +254,57 @@ class FleetSupervisor:
             )
         if tip == donor_tip:
             return tip
+        replayed = 0
         with self.replica_client(name) as client:
             for index in range(tip, donor_tip):
+                if deadline is not None and deadline.expired():
+                    raise ResyncStalledError(
+                        f"resync of {name!r} ran out of time after "
+                        f"replaying {replayed} of {donor_tip - tip} "
+                        f"batches (tip {tip + replayed})",
+                        progress={
+                            "replica": name,
+                            "donor": donor_name,
+                            "batches_replayed": replayed,
+                            "batches_missing": donor_tip - tip - replayed,
+                            "tip": tip + replayed,
+                        },
+                    )
                 batch = donor_store.read_batch(index)
                 client.ingest(
                     additions=_batch_pairs(batch.additions),
                     deletions=_batch_pairs(batch.deletions),
                 )
+                replayed += 1
         return self.tip(name)
 
-    def _resync_and_restore(self, name: str) -> int:
+    def _resync_and_restore(self, name: str, *,
+                            max_rounds: Optional[int] = None,
+                            deadline: Optional[Deadline] = None) -> int:
         """Resync until the replica holds the fleet tip, then restore.
 
         Under live ingest load the fleet tip can advance between our
         resync and the restore call; the router then (correctly)
-        refuses the restore, and we simply catch up again.  Converges
-        because one resync round is much faster than one fan-out.
+        refuses the restore, and we catch up again.  Each round is much
+        faster than one fan-out, so the chase normally converges in a
+        round or two — but ingest *can* outrun it indefinitely, so the
+        chase is bounded by ``max_rounds`` and ``deadline`` (supervisor
+        defaults) and surfaces :class:`ResyncStalledError` with the
+        partial progress when either budget is spent.
         """
+        rounds = max_rounds if max_rounds is not None else self.resync_max_rounds
+        if deadline is None:
+            deadline = (Deadline.after(self.resync_deadline_s)
+                        if self.resync_deadline_s is not None
+                        else Deadline.never())
         last_refusal: Optional[FleetError] = None
-        for _ in range(16):
-            tip = self.resync(name)
+        tip: Optional[int] = None
+        completed = 0
+        for _ in range(rounds):
+            if deadline.expired():
+                break
+            tip = self.resync(name, deadline=deadline)
+            completed += 1
             if self.router_runner is None:
                 return tip
             try:
@@ -265,9 +313,19 @@ class FleetSupervisor:
             except FleetError as exc:
                 last_refusal = exc
                 continue
-        raise FleetError(
-            f"replica {name!r} could not catch the fleet tip after 16 "
-            f"resync rounds: {last_refusal}"
+        raise ResyncStalledError(
+            f"replica {name!r} could not catch the fleet tip within "
+            f"{completed} resync rounds (cap {rounds}, "
+            f"{deadline!r}): {last_refusal}",
+            progress={
+                "replica": name,
+                "rounds_completed": completed,
+                "rounds_cap": rounds,
+                "tip": tip,
+                "deadline_expired": deadline.expired(),
+                "last_refusal": (None if last_refusal is None
+                                 else str(last_refusal)),
+            },
         )
 
     def rebuild_replica(self, name: str) -> int:
@@ -334,6 +392,128 @@ class FleetSupervisor:
         self._start_replica(replica)
         self._retarget(name)
         return {"replica": name, "tip": self._resync_and_restore(name)}
+
+    # -- elasticity ----------------------------------------------------------
+    @staticmethod
+    def _clone_store(donor_dir: Path, store_dir: Path) -> None:
+        """Copy a donor's SnapshotStore that may be ingesting *right now*.
+
+        The manifest is copied FIRST: batch files are immutable once the
+        manifest references them, so every file the copied manifest
+        names already exists with final contents — batches the donor
+        appends after this point are simply absent from the clone, which
+        is a consistent (merely older) store.  A plain ``copytree``
+        would read the directory listing first and could pair a *newer*
+        manifest with a listing that predates its newest batch file.
+        """
+        store_dir.mkdir(parents=True, exist_ok=True)
+        for relative in ("manifest.json", "manifest.json.bak"):
+            source = donor_dir / relative
+            if source.exists():
+                shutil.copy2(source, store_dir / relative)
+        for source in sorted(donor_dir.iterdir()):
+            if source.name.startswith("manifest.json"):
+                continue
+            if source.is_file():
+                shutil.copy2(source, store_dir / source.name)
+
+    def provision_replica(self, donor: Optional[str] = None, *,
+                          deadline: Optional[Deadline] = None
+                          ) -> Dict[str, Any]:
+        """Grow the fleet by one replica: clone, start, resync, restore.
+
+        The paper's mutation-free sharing is what makes this cheap — a
+        new replica is a donor-store copy plus a receipt-ordered replay
+        of whatever landed since the copy, not a recomputation.  On any
+        failure the half-built replica is fully rolled back (router
+        membership, process, store directory) so the fleet is never left
+        half-configured.
+        """
+        donor_name = donor if donor is not None else self._donor(exclude="")
+        name = f"replica-{self._next_index}"
+        self._next_index += 1
+        store_dir = self.root / name / "store"
+        self._clone_store(self.replicas[donor_name].store_dir, store_dir)
+        replica = ManagedReplica(name, store_dir)
+        self.replicas[name] = replica
+        routed = False
+        try:
+            self._start_replica(replica)
+            if self.router_runner is not None:
+                if replica.port is None:
+                    raise FleetError(
+                        f"replica {name!r} failed to bind a port")
+                self.router_runner.add_replica(name, self.host, replica.port)
+                routed = True
+            tip = self._resync_and_restore(name, deadline=deadline)
+        except BaseException:
+            if routed and self.router_runner is not None:
+                try:
+                    self.router_runner.remove_replica(name)
+                except FleetError:
+                    pass
+            self._stop_replica(replica)
+            del self.replicas[name]
+            shutil.rmtree(self.root / name, ignore_errors=True)
+            raise
+        return {"replica": name, "donor": donor_name, "tip": tip}
+
+    def retire_replica(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Shrink the fleet by one replica: drain, retire, delete.
+
+        With no ``name``, retires the youngest (highest-numbered)
+        running replica — the natural inverse of :meth:`provision_replica`.
+        The replica is marked draining at the router first so no new
+        work routes to it, its in-flight requests finish via the
+        graceful drain, and only then do the process and store go away.
+        """
+        if name is None:
+            candidates = [candidate for candidate, replica
+                          in self.replicas.items() if replica.running]
+            if not candidates:
+                raise FleetError("no running replica to retire")
+            name = max(candidates,
+                       key=lambda value: int(value.rsplit("-", 1)[-1]))
+        replica = self._replica(name)
+        if len(self.replicas) <= 1:
+            raise FleetError("refusing to retire the last replica")
+        report: Dict[str, Any] = {"replica": name}
+        if self.router_runner is not None and replica.running:
+            self.router_runner.mark_draining(name)
+        if replica.runner is not None:
+            runner = replica.runner
+            replica.runner = None
+            try:
+                report["drain"] = runner.drain()
+            finally:
+                runner.state.close()
+        if self.router_runner is not None:
+            self.router_runner.remove_replica(name)
+        del self.replicas[name]
+        shutil.rmtree(self.root / name, ignore_errors=True)
+        return report
+
+    def heal_replica(self, name: str) -> Dict[str, Any]:
+        """Bring one unhealthy replica back by the cheapest working path.
+
+        Stopped → :meth:`recover_replica`; lagging → resync + restore;
+        diverged (resync refuses) → :meth:`rebuild_replica`.  A stalled
+        resync propagates — the caller retries after its cooldown with
+        the durable partial progress already banked.
+        """
+        replica = self._replica(name)
+        if not replica.running:
+            report = self.recover_replica(name)
+            report["healed"] = "recover"
+            return report
+        try:
+            tip = self._resync_and_restore(name)
+            return {"replica": name, "tip": tip, "healed": "resync"}
+        except ResyncStalledError:
+            raise
+        except FleetError:
+            tip = self.rebuild_replica(name)
+            return {"replica": name, "tip": tip, "healed": "rebuild"}
 
     def fleet_status(self) -> Dict[str, Any]:
         """The router's status document (one network round trip)."""

@@ -38,7 +38,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["LockOrderRule"]
 
 #: Prefixes of the async planes where await-under-lock is enforced.
-ASYNC_PLANES: Tuple[str, ...] = ("repro/service/", "repro/fleet/")
+ASYNC_PLANES: Tuple[str, ...] = ("repro/service/", "repro/fleet/",
+                                 "repro/autopilot/")
 
 
 class LockOrderRule(ProjectRule):

@@ -230,6 +230,20 @@ class AdmissionController:
             kind: gate.snapshot() for kind, gate in self._gates.items()
         }
         payload["draining"] = self._draining
+        # Cross-lane aggregate for control loops (the autopilot scrapes
+        # one pressure number per replica, not one per lane).
+        gates = [payload[kind] for kind in self._gates]
+        shed_by_reason: Dict[str, int] = {}
+        for gate in gates:
+            for reason, count in gate["shed"].items():
+                shed_by_reason[reason] = shed_by_reason.get(reason, 0) + count
+        payload["totals"] = {
+            "waiting": sum(gate["waiting"] for gate in gates),
+            "active": sum(gate["active"] for gate in gates),
+            "admitted": sum(gate["admitted"] for gate in gates),
+            "max_depth": max(gate["max_depth"] for gate in gates),
+            "shed": shed_by_reason,
+        }
         return payload
 
 

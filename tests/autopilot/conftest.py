@@ -1,0 +1,25 @@
+"""Fixtures for the autopilot tests: reuse the fleet suite's fleet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.testing import reset_observability
+
+# Re-exported so the autopilot tests get the same seeded fleet graph,
+# base store and weights the fleet suite runs on.
+from tests.fleet.conftest import (  # noqa: F401
+    base_store,
+    fleet,
+    fleet_evolving,
+    fleet_weights,
+)
+
+
+@pytest.fixture
+def obs_runtime(tmp_path):
+    runtime = obs.configure(sample_rate=1.0,
+                            span_sink=tmp_path / "spans.jsonl")
+    yield runtime
+    reset_observability()

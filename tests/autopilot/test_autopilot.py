@@ -1,0 +1,247 @@
+"""The control loop against a live fleet: observe → diagnose → act.
+
+The hysteresis math is pinned in ``test_policy.py`` with a FakeClock;
+these tests exercise the other half — the scraper reading the real
+router and replica status documents, and the executor driving real
+membership changes (grow clones a donor store, shrink drains, heal
+recovers a killed process) through the supervisor.
+
+Where a test needs overload pressure it injects it at the one seam
+built for it: wrapping ``scraper.scrape`` to raise the router's
+``shed`` counter.  Everything downstream of the counters — policy,
+executor, supervisor, router — runs for real.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.autopilot import (
+    Action,
+    ActionExecutor,
+    AutopilotConfig,
+    FleetAutopilot,
+    decision_log,
+)
+
+pytestmark = [pytest.mark.service, pytest.mark.fleet, pytest.mark.autopilot]
+
+
+def rotation(supervisor):
+    return supervisor.fleet_status()["fleet"]["rotation"]
+
+
+def autopilot_config(**overrides):
+    defaults = dict(
+        min_replicas=2, max_replicas=5, ewma_alpha=1.0,
+        scale_up_pressure=0.25, scale_down_pressure=0.05,
+        calm_cycles=99, grow_cooldown_s=0.0, shrink_cooldown_s=0.0,
+        heal_cooldown_s=0.0,
+    )
+    defaults.update(overrides)
+    # Zero cooldowns and an unreachable calm streak suit single-shot
+    # once() tests; the shrink test opts back into calm_cycles=1.
+    return AutopilotConfig(**defaults)
+
+
+class TestDryRun:
+    def test_dry_run_reports_the_action_without_mutating(self, fleet):
+        config = autopilot_config()
+        with FleetAutopilot(fleet, config) as autopilot:
+            autopilot.once(dry_run=True)  # baseline seeds the deltas
+            _inflate_shed(autopilot, 50)
+            decision = autopilot.once(dry_run=True)
+            assert decision.dry_run is True
+            assert decision.condition == "underprovisioned"
+            assert decision.action is not None
+            assert decision.action["verb"] == "grow"
+            assert decision.outcome == {"dry_run": True}
+            # Nothing moved and nothing was published.
+            assert sorted(fleet.replicas) == [
+                "replica-0", "replica-1", "replica-2",
+            ]
+            status = fleet.fleet_status()
+            assert status["fleet"]["rotation"] == [
+                "replica-0", "replica-1", "replica-2",
+            ]
+            assert status["autopilot"] is None
+            assert autopilot.counters["membership_changes"] == 0
+
+
+class TestHeal:
+    def test_loop_recovers_a_killed_replica(self, fleet):
+        fleet.kill_replica("replica-1")
+        with FleetAutopilot(fleet, autopilot_config()) as autopilot:
+            decision = autopilot.once()
+            assert decision.condition == "unhealthy-replica"
+            assert decision.action["verb"] == "heal"
+            assert decision.action["target"] == "replica-1"
+            assert decision.outcome["ok"] is True
+            assert decision.outcome["healed"] == "recover"
+            assert rotation(fleet) == [
+                "replica-0", "replica-1", "replica-2",
+            ]
+            # Healing repairs; it is not a membership change.
+            assert autopilot.counters["membership_changes"] == 0
+            assert autopilot.counters["heals"] == 1
+
+    def test_router_scrape_failure_holds_every_action(self, fleet):
+        plan = faults.FaultPlan(seed=1)
+        plan.fail_autopilot(match="scrape:router")
+        with FleetAutopilot(fleet, autopilot_config()) as autopilot:
+            with plan.active():
+                decision = autopilot.once()
+            assert decision.condition == "unknown"
+            assert decision.held == "scrape-failed"
+            assert decision.action is None
+            assert autopilot.counters["scrape_errors"] == 1
+            # The next cycle scrapes clean and proceeds normally.
+            decision = autopilot.once()
+            assert decision.condition == "steady"
+
+    def test_replica_scrape_failure_degrades_to_partial_data(self, fleet):
+        plan = faults.FaultPlan(seed=1)
+        plan.fail_autopilot(match="scrape:replica-1")
+        with FleetAutopilot(fleet, autopilot_config()) as autopilot:
+            with plan.active():
+                decision = autopilot.once()
+            assert decision.condition == "steady"
+            errors = decision.signals["scrape_errors"]
+            assert len(errors) == 1
+            assert errors[0].startswith("replica-1:")
+
+
+class TestGrow:
+    def test_sustained_pressure_grows_the_fleet(self, fleet):
+        with FleetAutopilot(fleet, autopilot_config()) as autopilot:
+            autopilot.once()  # baseline
+            _inflate_shed(autopilot, 50)
+            decision = autopilot.once()
+            assert decision.condition == "underprovisioned"
+            assert decision.outcome["ok"] is True
+            assert decision.outcome["replica"] == "replica-3"
+            assert autopilot.counters["membership_changes"] == 1
+        assert sorted(fleet.replicas) == [
+            "replica-0", "replica-1", "replica-2", "replica-3",
+        ]
+        assert rotation(fleet) == [
+            "replica-0", "replica-1", "replica-2", "replica-3",
+        ]
+        # The provisioned replica answers bit-identically to the donor.
+        with fleet.replica_client("replica-3") as grown:
+            with fleet.replica_client("replica-0") as donor:
+                for source in (0, 3):
+                    got = grown.query("SSSP", source)["values"]
+                    want = donor.query("SSSP", source)["values"]
+                    for a, b in zip(got, want):
+                        assert np.array_equal(a, b)
+
+    def test_action_failure_is_neutral(self, fleet):
+        plan = faults.FaultPlan(seed=1)
+        plan.fail_autopilot(match="action:grow:*")
+        config = autopilot_config(grow_cooldown_s=120.0)
+        with FleetAutopilot(fleet, config) as autopilot:
+            autopilot.once()
+            _inflate_shed(autopilot, 50)
+            with plan.active():
+                decision = autopilot.once()
+            assert decision.action["verb"] == "grow"
+            assert decision.outcome["ok"] is False
+            assert autopilot.counters["action_failures"] == 1
+            assert autopilot.policy.in_flight is None
+            # Membership rolled back to exactly where it started ...
+            assert sorted(fleet.replicas) == [
+                "replica-0", "replica-1", "replica-2",
+            ]
+            assert rotation(fleet) == [
+                "replica-0", "replica-1", "replica-2",
+            ]
+            # ... and the verb cools down instead of retrying hot.
+            decision = autopilot.once()
+            assert decision.condition == "underprovisioned"
+            assert decision.action is None
+            assert decision.held == "cooldown:grow"
+
+
+class TestShrink:
+    def test_idle_fleet_shrinks_to_min_and_stops(self, fleet):
+        with FleetAutopilot(fleet,
+                            autopilot_config(calm_cycles=1)) as autopilot:
+            decision = autopilot.once()
+            assert decision.condition == "overprovisioned"
+            assert decision.outcome["ok"] is True
+            assert decision.outcome["replica"] == "replica-2"
+            assert rotation(fleet) == ["replica-0", "replica-1"]
+            # At min_replicas the next calm cycle holds, forever.
+            decision = autopilot.once()
+            assert decision.condition == "overprovisioned"
+            assert decision.action is None
+            assert decision.held == "at-min-replicas"
+            assert autopilot.counters["membership_changes"] == 1
+
+
+class TestExecutor:
+    def test_unknown_verb_is_a_reported_failure(self, fleet):
+        executor = ActionExecutor(fleet)
+        outcome = executor.apply(Action("explode"))
+        assert outcome["ok"] is False
+        assert "explode" in outcome["error"]
+
+
+class TestReporting:
+    def test_live_cycle_publishes_into_router_status(self, fleet):
+        with FleetAutopilot(fleet, autopilot_config()) as autopilot:
+            autopilot.once()
+            payload = fleet.fleet_status()["autopilot"]
+        assert payload is not None
+        assert payload["counters"]["cycles"] == 1
+        assert payload["last_decision"]["condition"] == "steady"
+        assert payload["config"]["min_replicas"] == 2
+
+    def test_decisions_are_json_serialisable_and_logged(self, fleet):
+        with FleetAutopilot(fleet, autopilot_config()) as autopilot:
+            decision = autopilot.once(dry_run=True)
+            replayed = json.loads(json.dumps(decision.to_dict()))
+            assert replayed["condition"] == decision.condition
+            assert replayed["signals"]["fleet_version"] == 4
+            assert replayed["pressure"]["smoothed"] == 0.0
+            log = decision_log()
+            assert len(log) == 1
+            assert log[0] == decision.to_dict()
+
+    def test_autopilot_metrics_are_exported(self, fleet, obs_runtime):
+        with FleetAutopilot(fleet, autopilot_config()) as autopilot:
+            autopilot.once()
+            export = obs_runtime.registry.render_prometheus()
+        assert "repro_autopilot_cycles_total 1" in export
+        assert 'repro_autopilot_decisions_total{condition="steady"} 1' \
+            in export
+        assert "repro_autopilot_pressure 0" in export
+        assert 'repro_autopilot_replicas{state="ready"} 3' in export
+
+
+def _inflate_shed(autopilot, extra_shed):
+    """Make every later scrape look like the router shed more queries.
+
+    The counters are the seam the policy actually consumes; inflating
+    them exercises scrape → observe → decide → act end-to-end without
+    needing a real storm (the chaos test runs one).
+    """
+    real_scrape = autopilot.scraper.scrape
+    calls = {"scrapes": 0}
+
+    def scrape():
+        calls["scrapes"] += 1
+        signals = real_scrape()
+        fields = signals.to_dict()
+        # Cumulative, like the real counter: the policy acts on deltas,
+        # so the storm must keep shedding to keep pressure up.
+        fields["shed"] = signals.shed + extra_shed * calls["scrapes"]
+        fields["scrape_errors"] = tuple(fields["scrape_errors"])
+        return type(signals)(**fields)
+
+    autopilot.scraper.scrape = scrape

@@ -1,0 +1,361 @@
+"""Hysteresis unit tests: the policy under a FakeClock, no fleet.
+
+Every decision layer is pinned with synthetic signal sequences:
+EWMA smoothing, the asymmetric up/down thresholds with their calm-cycle
+requirement, per-verb cooldowns, the min/max bounds, and the
+one-action-in-flight rule.  The flapping test is the hysteresis
+contract itself: a signal that oscillates across both thresholds every
+cycle may still change membership at most once per cooldown window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autopilot import (
+    Action,
+    AutopilotConfig,
+    AutopilotPolicy,
+    Ewma,
+    FleetSignals,
+)
+from repro.errors import FleetError
+from repro.obs.clock import FakeClock
+
+pytestmark = [pytest.mark.autopilot]
+
+
+def signals(states=None, answered=0, shed=0, queue_depth=0, at=0.0,
+            reasons=None):
+    return FleetSignals(
+        at=at,
+        states=dict(states or {"replica-0": "ready", "replica-1": "ready",
+                               "replica-2": "ready"}),
+        reasons=dict(reasons or {}),
+        answered=answered,
+        shed=shed,
+        queue_depth=queue_depth,
+    )
+
+
+def make_policy(clock, **overrides):
+    defaults = dict(
+        min_replicas=2, max_replicas=5, ewma_alpha=1.0,
+        scale_up_pressure=0.25, scale_down_pressure=0.05,
+        calm_cycles=2, grow_cooldown_s=2.0, shrink_cooldown_s=10.0,
+        heal_cooldown_s=1.0, queue_pressure_depth=8,
+    )
+    defaults.update(overrides)
+    return AutopilotPolicy(AutopilotConfig(**defaults), clock=clock)
+
+
+class TestEwma:
+    def test_first_sample_seeds_the_average(self):
+        ewma = Ewma(0.5)
+        assert ewma.update(0.8) == pytest.approx(0.8)
+
+    def test_smoothing_converges_geometrically(self):
+        ewma = Ewma(0.5)
+        ewma.update(0.0)
+        assert ewma.update(1.0) == pytest.approx(0.5)
+        assert ewma.update(1.0) == pytest.approx(0.75)
+        assert ewma.update(1.0) == pytest.approx(0.875)
+
+    def test_alpha_one_tracks_the_raw_signal(self):
+        ewma = Ewma(1.0)
+        ewma.update(0.2)
+        assert ewma.update(0.9) == pytest.approx(0.9)
+
+    def test_invalid_alpha_refused(self):
+        with pytest.raises(FleetError):
+            Ewma(0.0)
+        with pytest.raises(FleetError):
+            Ewma(1.5)
+
+
+class TestConfigValidation:
+    def test_bounds_must_nest(self):
+        with pytest.raises(FleetError):
+            AutopilotConfig(min_replicas=4, max_replicas=2)
+        with pytest.raises(FleetError):
+            AutopilotConfig(min_replicas=0)
+
+    def test_down_threshold_strictly_below_up(self):
+        with pytest.raises(FleetError):
+            AutopilotConfig(scale_up_pressure=0.2,
+                            scale_down_pressure=0.2)
+
+    def test_calm_cycles_positive(self):
+        with pytest.raises(FleetError):
+            AutopilotConfig(calm_cycles=0)
+
+
+class TestPressure:
+    def test_first_scrape_has_no_deltas(self):
+        policy = make_policy(FakeClock(0.0))
+        reading = policy.observe(signals(answered=100, shed=900))
+        # Counter history from before the loop started must not count.
+        assert reading.raw == 0.0
+
+    def test_shed_fraction_of_new_traffic(self):
+        policy = make_policy(FakeClock(0.0))
+        policy.observe(signals(answered=10, shed=0))
+        reading = policy.observe(signals(answered=13, shed=1))
+        assert reading.shed_delta == 1
+        assert reading.answered_delta == 3
+        assert reading.raw == pytest.approx(0.25)
+
+    def test_queue_depth_saturates_pressure(self):
+        policy = make_policy(FakeClock(0.0), queue_pressure_depth=4)
+        reading = policy.observe(signals(queue_depth=2))
+        assert reading.raw == pytest.approx(0.5)
+        reading = policy.observe(signals(queue_depth=100))
+        assert reading.raw == 1.0
+
+    def test_ewma_smooths_one_bad_scrape(self):
+        policy = make_policy(FakeClock(0.0), ewma_alpha=0.25)
+        policy.observe(signals(answered=10, shed=0))
+        reading = policy.observe(signals(answered=10, shed=10))
+        # Raw pressure spiked to 1.0 but the smoothed signal did not.
+        assert reading.raw == 1.0
+        assert reading.smoothed == pytest.approx(0.25)
+
+
+class TestThresholds:
+    def test_high_pressure_grows(self):
+        policy = make_policy(FakeClock(0.0))
+        policy.observe(signals())
+        reading = policy.observe(signals(shed=10))
+        condition, _rule, action, held = policy.decide(signals(shed=10),
+                                                       reading)
+        assert condition == "underprovisioned"
+        assert action is not None and action.verb == "grow"
+        assert held is None
+
+    def test_dead_band_is_steady(self):
+        policy = make_policy(FakeClock(0.0))
+        policy.observe(signals())
+        reading = policy.observe(signals(answered=10, shed=1))
+        # 1/11 ≈ 0.09: above the down threshold, below the up one.
+        condition, _rule, action, held = policy.decide(
+            signals(answered=10, shed=1), reading
+        )
+        assert condition == "steady"
+        assert action is None and held is None
+
+    def test_shrink_requires_consecutive_calm_cycles(self):
+        policy = make_policy(FakeClock(0.0), calm_cycles=3)
+        quiet = signals()
+        readings = [policy.observe(quiet) for _ in range(3)]
+        # Cycles 1 and 2 are calm but not calm for long enough.
+        for reading in readings[:2]:
+            condition, _rule, action, _held = policy.decide(quiet, reading)
+            assert condition == "steady"
+            assert action is None
+        condition, _rule, action, held = policy.decide(quiet, readings[2])
+        assert condition == "overprovisioned"
+        assert action is not None and action.verb == "shrink"
+        assert held is None
+
+    def test_pressure_spike_resets_the_calm_streak(self):
+        policy = make_policy(FakeClock(0.0), calm_cycles=2)
+        assert policy.observe(signals()).calm_streak == 1
+        assert policy.observe(signals()).calm_streak == 2
+        spike = policy.observe(signals(shed=10))
+        assert spike.calm_streak == 0
+        # One calm cycle after the spike starts the count over.
+        assert policy.observe(signals(shed=10)).calm_streak == 1
+
+
+class TestBounds:
+    def test_grow_clamped_at_max_replicas(self):
+        policy = make_policy(FakeClock(0.0), max_replicas=3)
+        crowd = signals(shed=50)
+        policy.observe(signals())
+        reading = policy.observe(crowd)
+        condition, _rule, action, held = policy.decide(crowd, reading)
+        assert condition == "underprovisioned"
+        assert action is None
+        assert held == "at-max-replicas"
+
+    def test_shrink_clamped_at_min_replicas(self):
+        policy = make_policy(FakeClock(0.0), min_replicas=3, calm_cycles=1)
+        quiet = signals()
+        reading = policy.observe(quiet)
+        condition, _rule, action, held = policy.decide(quiet, reading)
+        assert condition == "overprovisioned"
+        assert action is None
+        assert held == "at-min-replicas"
+
+
+class TestCooldowns:
+    def test_cooldown_holds_the_verb_until_it_expires(self):
+        clock = FakeClock(100.0)
+        policy = make_policy(clock, grow_cooldown_s=2.0)
+        policy.observe(signals())
+        reading = policy.observe(signals(shed=50))
+        _c, _r, action, _h = policy.decide(signals(shed=50), reading)
+        policy.begin(action)
+        policy.complete(action, ok=True)
+        # The storm persists: the counters keep climbing.
+        reading = policy.observe(signals(shed=100))
+        _c, _r, action, held = policy.decide(signals(shed=100), reading)
+        assert action is None
+        assert held == "cooldown:grow"
+        clock.advance(2.5)
+        reading = policy.observe(signals(shed=150))
+        _c, _r, action, held = policy.decide(signals(shed=150), reading)
+        assert action is not None and action.verb == "grow"
+        assert held is None
+
+    def test_failed_action_is_neutral_and_still_cools_down(self):
+        clock = FakeClock(0.0)
+        policy = make_policy(clock, grow_cooldown_s=5.0)
+        policy.observe(signals())
+        reading = policy.observe(signals(shed=50))
+        _c, _r, action, _h = policy.decide(signals(shed=50), reading)
+        policy.begin(action)
+        policy.complete(action, ok=False)  # the supervisor rolled back
+        assert policy.in_flight is None
+        reading = policy.observe(signals(shed=100))
+        _c, _r, action, held = policy.decide(signals(shed=100), reading)
+        # No hot retry: the failure starts the same cooldown a success
+        # would, and the loop re-diagnoses once it lapses.
+        assert action is None
+        assert held == "cooldown:grow"
+
+    def test_heal_is_not_gated_by_a_scale_cooldown(self):
+        clock = FakeClock(0.0)
+        policy = make_policy(clock, grow_cooldown_s=10.0,
+                             heal_cooldown_s=1.0)
+        policy.observe(signals())
+        reading = policy.observe(signals(shed=50))
+        _c, _r, action, _h = policy.decide(signals(shed=50), reading)
+        policy.begin(action)
+        policy.complete(action, ok=True)
+        # Growing is cooling, but a casualty can still be healed.
+        hurt = signals(states={"replica-0": "ready", "replica-1": "stopped",
+                               "replica-2": "ready"}, shed=50)
+        reading = policy.observe(hurt)
+        condition, _rule, action, held = policy.decide(hurt, reading)
+        assert condition == "unhealthy-replica"
+        assert action is not None and action.verb == "heal"
+        assert held is None
+
+    def test_grow_and_shrink_share_the_membership_cooldown(self):
+        clock = FakeClock(0.0)
+        policy = make_policy(clock, calm_cycles=1, grow_cooldown_s=4.0,
+                             shrink_cooldown_s=4.0)
+        policy.observe(signals())
+        reading = policy.observe(signals(shed=50))
+        _c, _r, action, _h = policy.decide(signals(shed=50), reading)
+        assert action.verb == "grow"
+        policy.begin(action)
+        policy.complete(action, ok=True)
+        # The storm evaporates instantly; a shrink is indicated but the
+        # fresh grow holds it — no grow/shrink ping-pong.
+        quiet = signals(answered=100, shed=50)
+        reading = policy.observe(quiet)
+        condition, _rule, action, held = policy.decide(quiet, reading)
+        assert condition == "overprovisioned"
+        assert action is None
+        assert held == "cooldown:grow"
+
+
+class TestOneActionInFlight:
+    def test_second_action_held_while_one_is_in_flight(self):
+        policy = make_policy(FakeClock(0.0))
+        policy.observe(signals())
+        reading = policy.observe(signals(shed=50))
+        _c, _r, action, _h = policy.decide(signals(shed=50), reading)
+        policy.begin(action)
+        reading = policy.observe(signals(shed=100))
+        _c, _r, second, held = policy.decide(signals(shed=100), reading)
+        assert second is None
+        assert held == "action-in-flight"
+
+    def test_double_begin_refused(self):
+        policy = make_policy(FakeClock(0.0))
+        policy.begin(Action("grow"))
+        with pytest.raises(FleetError):
+            policy.begin(Action("heal", target="replica-0"))
+
+
+class TestHealing:
+    def test_stopped_replica_outranks_scaling(self):
+        policy = make_policy(FakeClock(0.0))
+        hurt = signals(states={"replica-0": "stopped",
+                               "replica-1": "ready",
+                               "replica-2": "ready"}, shed=50)
+        policy.observe(signals())
+        reading = policy.observe(hurt)
+        condition, rule, action, _held = policy.decide(hurt, reading)
+        assert condition == "unhealthy-replica"
+        assert action.verb == "heal" and action.target == "replica-0"
+        assert "replica-0" in rule
+
+    def test_divergence_diagnosed_and_preferred(self):
+        policy = make_policy(FakeClock(0.0))
+        hurt = signals(
+            states={"replica-0": "stopped", "replica-1": "quarantined",
+                    "replica-2": "ready"},
+            reasons={"replica-1": "divergence"},
+        )
+        reading = policy.observe(hurt)
+        condition, _rule, action, _held = policy.decide(hurt, reading)
+        assert condition == "diverged"
+        assert action.target == "replica-1"
+
+    def test_provisioning_quarantine_is_not_a_casualty(self):
+        # A grow in progress parks the new replica as quarantined
+        # ("provisioning"); the policy must not try to heal its own
+        # half-born replica.
+        policy = make_policy(FakeClock(0.0))
+        growing = signals(
+            states={"replica-0": "ready", "replica-1": "ready",
+                    "replica-3": "quarantined"},
+            reasons={"replica-3": "provisioning"},
+        )
+        reading = policy.observe(growing)
+        condition, _rule, action, _held = policy.decide(growing, reading)
+        assert condition == "steady"
+        assert action is None
+
+
+class TestFlapping:
+    def test_at_most_one_membership_change_per_cooldown_window(self):
+        """The hysteresis contract under a worst-case oscillating signal.
+
+        The signal alternates every cycle between full overload and
+        full calm for 40 cycles at 10 cycles per cooldown window; the
+        policy may change membership at most once per window.
+        """
+        clock = FakeClock(0.0)
+        cooldown = 5.0
+        policy = make_policy(
+            clock, ewma_alpha=1.0, calm_cycles=1,
+            grow_cooldown_s=cooldown, shrink_cooldown_s=cooldown,
+        )
+        replica_count = 3
+        changes = []  # (time, verb)
+        answered, shed = 0, 0
+        for cycle in range(40):
+            if cycle % 2 == 0:
+                shed += 10  # storm half-cycle
+            else:
+                answered += 10  # calm half-cycle
+            states = {f"replica-{i}": "ready" for i in range(replica_count)}
+            snap = signals(states=states, answered=answered, shed=shed,
+                           at=clock.now())
+            reading = policy.observe(snap)
+            _c, _r, action, _h = policy.decide(snap, reading)
+            if action is not None and action.verb in ("grow", "shrink"):
+                policy.begin(action)
+                policy.complete(action, ok=True)
+                replica_count += 1 if action.verb == "grow" else -1
+                changes.append((clock.now(), action.verb))
+            clock.advance(0.5)  # 10 cycles per cooldown window
+        assert changes, "the storm half-cycles must trigger something"
+        for first, second in zip(changes, changes[1:]):
+            assert second[0] - first[0] >= cooldown
+        assert 2 <= replica_count <= 5

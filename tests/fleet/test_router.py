@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -230,3 +232,77 @@ class TestDeadline:
             "DeadlineExceededError", "ServiceUnavailableError",
             "ServiceOverloadedError",
         )
+
+
+class TestProbeInterval:
+    def test_canonical_name_wins_over_deprecated_spelling(self):
+        from repro.fleet.router import RouterConfig
+
+        config = RouterConfig(probe_interval_s=0.25, health_interval=5.0)
+        assert config.probe_interval() == 0.25
+        assert RouterConfig(health_interval=5.0).probe_interval() == 5.0
+        assert RouterConfig().probe_interval() is None
+
+    def test_jitter_knobs_have_safe_defaults(self):
+        from repro.fleet.router import RouterConfig
+
+        config = RouterConfig()
+        assert 0.0 <= config.probe_jitter < 1.0
+        # None = derive from the router's port, which already differs
+        # per router, so co-started routers drift apart.
+        assert config.probe_jitter_seed is None
+
+    def test_probe_loop_runs_at_the_configured_interval(
+        self, tmp_path, base_store, fleet_weights
+    ):
+        from repro.fleet import FleetSupervisor
+        from repro.fleet.router import RouterConfig
+
+        supervisor = FleetSupervisor(
+            base_store.directory, tmp_path / "fleet",
+            replicas=1, weight_fn=fleet_weights,
+            router_config=RouterConfig(probe_interval_s=0.05,
+                                       probe_jitter=0.2,
+                                       probe_jitter_seed=9),
+        )
+        with supervisor as fleet:
+            deadline = time.monotonic() + 10.0
+            probes = 0
+            while time.monotonic() < deadline:
+                with fleet.client() as client:
+                    probes = client.status()["server"]["probes"]
+                if probes >= 2:
+                    break
+                time.sleep(0.05)
+        assert probes >= 2
+
+
+class TestMembership:
+    def test_added_replica_joins_quarantined_until_restored(self, fleet):
+        replica = fleet.replicas["replica-0"]
+        fleet.router_runner.add_replica("replica-9", "127.0.0.1",
+                                        replica.port)
+        with fleet.client() as client:
+            info = client.status()["fleet"]
+        doc = info["replicas"]["replica-9"]
+        assert doc["state"] == "quarantined"
+        assert doc["reason"] == "provisioning"
+        # Not on the ring: no traffic routes to it until a resync
+        # proves it holds the fleet tip and restore() admits it.
+        assert "replica-9" not in info["rotation"]
+        fleet.router_runner.remove_replica("replica-9")
+
+    def test_duplicate_add_raises(self, fleet):
+        with pytest.raises(FleetError):
+            fleet.router_runner.add_replica(
+                "replica-0", "127.0.0.1", 1,
+            )
+
+    def test_remove_replica_drops_it_from_rotation(self, fleet):
+        fleet.router_runner.remove_replica("replica-2")
+        with fleet.client() as client:
+            info = client.status()["fleet"]
+        assert "replica-2" not in info["replicas"]
+        assert info["rotation"] == ["replica-0", "replica-1"]
+        with pytest.raises(FleetError):
+            fleet.router_runner.remove_replica("replica-2")
